@@ -1,0 +1,95 @@
+(* Benchmark harness.
+
+   Two parts:
+   1. Bechamel micro-benchmarks — one [Test.make] per reproduced experiment
+      (F2-F8, V1-V7), each running a reduced-size kernel of that experiment's
+      simulation, so regressions in any protocol path show up as wall-clock
+      changes.
+   2. The full experiment tables (Icdb_workload.Experiments), regenerating
+      every figure and validation claim of the paper. EXPERIMENTS.md quotes
+      this output. *)
+
+open Bechamel
+open Toolkit
+module Runner = Icdb_workload.Runner
+module Protocol = Icdb_workload.Protocol
+module Experiments = Icdb_workload.Experiments
+
+let small ?(n_txns = 30) ?(p_intended_abort = 0.0) ?(p_spontaneous = 0.0)
+    ?(crash_rate = 0.0) ?(use_increments = true) protocol () =
+  ignore
+    (Runner.run
+       {
+         Runner.default with
+         protocol;
+         n_txns;
+         concurrency = 6;
+         accounts_per_site = 8;
+         p_intended_abort;
+         p_spontaneous;
+         crash_rate;
+         use_increments;
+       })
+
+(* One kernel per experiment id; figure kernels regenerate the figure
+   itself, claim kernels run a reduced instance of the swept workload. *)
+let kernels =
+  [
+    ("f2", fun () -> ignore (Experiments.run "f2"));
+    ("f3", fun () -> ignore (Experiments.run "f3"));
+    ("f4", fun () -> ignore (Experiments.run "f4"));
+    ("f5", fun () -> ignore (Experiments.run "f5"));
+    ("f6", fun () -> ignore (Experiments.run "f6"));
+    ("f7", fun () -> ignore (Experiments.run "f7"));
+    ("f8", fun () -> ignore (Experiments.run "f8"));
+    ("v1", small ~use_increments:false Protocol.Two_phase);
+    ("v2", small ~p_spontaneous:0.2 Protocol.After);
+    ("v3", small ~p_intended_abort:0.2 Protocol.Before);
+    ("v4", small Protocol.Before_mlt);
+    ("v5", small Protocol.Before);
+    ("v6", small ~crash_rate:5.0 Protocol.After);
+    ("v7", fun () -> ignore (Experiments.run "v7"));
+    ("a1", small ~use_increments:false Protocol.Presumed_abort);
+    ("a2", small Protocol.Hybrid);
+    ("a3", small ~p_spontaneous:0.2 Protocol.Before_mlt);
+    ("a4", fun () -> ignore (Experiments.run "a4"));
+    ("a5", small Protocol.Before);
+    ("a6", small Protocol.Before);
+  ]
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.25) ~kde:None ~stabilize:false ()
+  in
+  let tests =
+    Test.make_grouped ~name:"icdb"
+      (List.map (fun (name, f) -> Test.make ~name (Staged.stage f)) kernels)
+  in
+  let raw = Benchmark.all cfg instances tests in
+  Analyze.all ols Instance.monotonic_clock raw
+
+let print_benchmark results =
+  print_endline "Bechamel micro-benchmarks (one kernel per experiment, wall clock per run)";
+  print_endline "--------------------------------------------------------------------------";
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with Some (t :: _) -> t | _ -> Float.nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, ns) -> Printf.printf "%-12s %10.3f ms/run\n" name (ns /. 1e6))
+    rows;
+  print_newline ()
+
+let () =
+  print_benchmark (benchmark ());
+  print_string (Experiments.run_all ())

@@ -1,0 +1,178 @@
+(* icdb — command-line interface to the integrated-commitment testbed.
+
+   Subcommands:
+   - [exp <id>|all]   regenerate one (or every) paper experiment
+   - [list]           list experiment ids
+   - [run ...]        run a parameterized workload and print the report
+   - [trace <proto>]  run one transfer under a protocol and dump the trace *)
+
+open Cmdliner
+module Runner = Icdb_workload.Runner
+module Protocol = Icdb_workload.Protocol
+module Experiments = Icdb_workload.Experiments
+
+let protocol_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Protocol.of_string s) in
+  Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (Protocol.name p))
+
+let list_cmd =
+  let doc = "List the reproduced experiments (figures F2-F8, claims V1-V7)." in
+  let run () =
+    List.iter (fun (id, descr) -> Printf.printf "%-4s %s\n" id descr) Experiments.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let exp_cmd =
+  let doc = "Run one experiment by id (or $(b,all))." in
+  let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
+  let run id =
+    if id = "all" then print_string (Experiments.run_all ())
+    else
+      match Experiments.run id with
+      | report -> print_string report
+      | exception Not_found ->
+        Printf.eprintf "unknown experiment %S; try `icdb list`\n" id;
+        exit 1
+  in
+  Cmd.v (Cmd.info "exp" ~doc) Term.(const run $ id)
+
+let report_to_string (r : Runner.report) =
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "elapsed (virtual time)     %.1f" r.elapsed;
+  line "started / committed / aborted   %d / %d / %d" r.started r.committed r.aborted;
+  line "throughput (commits/1000tu)     %.2f" r.throughput;
+  line "response time mean / p95        %.2f / %.2f" r.mean_response r.p95_response;
+  line "local lock hold mean / p95      %.2f / %.2f" r.mean_hold r.p95_hold;
+  line "messages total / per commit     %d / %.1f" r.messages r.messages_per_committed;
+  line "repetitions / compensations     %d / %d" r.repetitions r.compensations;
+  line "redo-log / undo-log / L1-log    %d / %d / %d writes" r.redo_log_writes
+    r.undo_log_writes r.mlt_log_writes;
+  line "additional CC / L1 lock acq.    %d / %d" r.global_cc_acquisitions r.l1_acquisitions;
+  line "local lock waits/timeouts/dl    %d / %d / %d" r.local_lock_waits
+    r.local_lock_timeouts r.local_lock_deadlocks;
+  line "log forces / per commit        %d / %.2f" r.log_forces r.log_forces_per_commit;
+  line "message copies dropped          %d" r.messages_dropped;
+  line "money conserved                 %b (%d -> %d)" r.money_conserved r.money_before
+    r.money_after;
+  line "globally serializable           %b" r.serializable;
+  List.iter (fun v -> line "  violation: %s" v) r.violations;
+  Buffer.contents b
+
+let run_cmd =
+  let doc = "Run a parameterized banking workload and print the full report." in
+  let protocol =
+    Arg.(value & opt protocol_conv Protocol.Before & info [ "p"; "protocol" ] ~docv:"PROTO")
+  in
+  let txns = Arg.(value & opt int 200 & info [ "n"; "txns" ]) in
+  let sites = Arg.(value & opt int 4 & info [ "sites" ]) in
+  let concurrency = Arg.(value & opt int 8 & info [ "c"; "concurrency" ]) in
+  let seed = Arg.(value & opt int64 42L & info [ "seed" ]) in
+  let p_intended = Arg.(value & opt float 0.0 & info [ "intended-aborts" ]) in
+  let p_spont = Arg.(value & opt float 0.0 & info [ "kills" ]) in
+  let crash_rate = Arg.(value & opt float 0.0 & info [ "crash-rate" ]) in
+  let theta = Arg.(value & opt float 0.6 & info [ "zipf" ]) in
+  let loss = Arg.(value & opt float 0.0 & info [ "loss" ] ~doc:"per-message-copy drop probability") in
+  let gc_window =
+    Arg.(value & opt (some float) None & info [ "group-commit" ] ~doc:"group-commit window")
+  in
+  let retries = Arg.(value & opt int 0 & info [ "action-retries" ] ~doc:"MLT L0 action retries") in
+  let run protocol n_txns n_sites concurrency seed p_intended_abort p_spontaneous crash_rate
+      zipf_theta message_loss group_commit_window mlt_action_retries =
+    let r =
+      Runner.run
+        {
+          Runner.default with
+          protocol;
+          n_txns;
+          n_sites;
+          concurrency;
+          seed;
+          p_intended_abort;
+          p_spontaneous;
+          crash_rate;
+          zipf_theta;
+          message_loss;
+          group_commit_window;
+          mlt_action_retries;
+        }
+    in
+    Printf.printf "protocol: %s\n%s" (Protocol.name protocol) (report_to_string r)
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ protocol $ txns $ sites $ concurrency $ seed $ p_intended $ p_spont
+      $ crash_rate $ theta $ loss $ gc_window $ retries)
+
+let trace_cmd =
+  let doc = "Trace a single two-site transfer under the given protocol." in
+  let protocol = Arg.(value & pos 0 protocol_conv Protocol.Before & info [] ~docv:"PROTO") in
+  let abortive = Arg.(value & flag & info [ "abort" ] ~doc:"make one branch vote abort") in
+  let run protocol abortive =
+    let id =
+      match (protocol, abortive) with
+      | (Protocol.Two_phase | Protocol.Presumed_abort | Protocol.Hybrid), _ -> "f2"
+      | Protocol.After, _ -> "f4"
+      | (Protocol.Before | Protocol.Before_mlt), _ -> "f6"
+    in
+    print_string (Experiments.run id)
+  in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ protocol $ abortive)
+
+let check_cmd =
+  let doc =
+    "Run the invariant battery: every protocol under kills, intended aborts and site \
+     crashes; verifies atomicity (money conservation) and global serializability. Exits \
+     non-zero on any violation."
+  in
+  let txns = Arg.(value & opt int 300 & info [ "n"; "txns" ]) in
+  let seed = Arg.(value & opt int64 42L & info [ "seed" ]) in
+  let run n_txns seed =
+    let table =
+      Icdb_util.Table.create ~title:"invariant battery (chaos workload)"
+        [ "protocol"; "committed"; "aborted"; "reps"; "comps"; "money"; "serializable" ]
+    in
+    let failed = ref false in
+    List.iter
+      (fun protocol ->
+        let r =
+          Runner.run
+            {
+              Runner.default with
+              protocol;
+              n_txns;
+              seed;
+              concurrency = 10;
+              p_spontaneous = 0.15;
+              p_intended_abort = 0.1;
+              crash_rate = 4.0;
+              crash_duration = 25.0;
+              zipf_theta = 0.9;
+            }
+        in
+        if not (r.money_conserved && r.serializable) then failed := true;
+        Icdb_util.Table.add_row table
+          [
+            Protocol.name protocol;
+            string_of_int r.committed;
+            string_of_int r.aborted;
+            string_of_int r.repetitions;
+            string_of_int r.compensations;
+            (if r.money_conserved then "conserved" else "VIOLATED");
+            (if r.serializable then "yes" else "NO");
+          ];
+        List.iter (fun v -> Printf.printf "  violation: %s\n" v) r.violations)
+      Protocol.all;
+    Icdb_util.Table.print table;
+    if !failed then begin
+      print_endline "INVARIANT VIOLATIONS FOUND";
+      exit 1
+    end
+    else print_endline "all invariants hold."
+  in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ txns $ seed)
+
+let () =
+  let doc = "atomic commitment for integrated database systems (Muth & Rakow, ICDE 1991)" in
+  let info = Cmd.info "icdb" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; exp_cmd; run_cmd; trace_cmd; check_cmd ]))

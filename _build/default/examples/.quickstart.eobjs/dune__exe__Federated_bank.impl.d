@@ -1,0 +1,1 @@
+examples/federated_bank.ml: Icdb_workload List Printf

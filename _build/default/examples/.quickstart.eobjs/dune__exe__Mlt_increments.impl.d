@@ -1,0 +1,1 @@
+examples/mlt_increments.ml: Float Hashtbl Icdb_core Icdb_localdb Icdb_mlt Icdb_net Icdb_sim List Option Printf

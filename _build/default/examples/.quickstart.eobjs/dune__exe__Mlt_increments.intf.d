@@ -1,0 +1,1 @@
+examples/mlt_increments.mli:

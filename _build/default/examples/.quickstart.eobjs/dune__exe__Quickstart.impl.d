@@ -1,0 +1,1 @@
+examples/quickstart.ml: Icdb_core Icdb_localdb Icdb_net Icdb_sim List Option Printf String

@@ -1,0 +1,1 @@
+examples/serializability_lab.ml: Format Icdb_core Icdb_localdb Icdb_net Icdb_sim List Printf String

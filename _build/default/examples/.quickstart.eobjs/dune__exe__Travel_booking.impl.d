@@ -1,0 +1,1 @@
+examples/travel_booking.ml: Icdb_core Icdb_localdb Icdb_mlt Icdb_net Icdb_sim Option Printf

@@ -1,0 +1,43 @@
+(* A federated bank under fire.
+
+   Four branch databases, a stream of inter-branch transfers, and a branch
+   that crashes mid-run. The example runs the same workload under
+   commitment-after and commitment-before and shows that both keep the
+   federation's total balance invariant — one by repeating erroneously
+   aborted locals, the other by compensating committed locals — while their
+   repair work differs exactly as §4.3 predicts.
+
+   Run with:  dune exec examples/federated_bank.exe *)
+
+module Runner = Icdb_workload.Runner
+module Protocol = Icdb_workload.Protocol
+
+let () =
+  let base =
+    {
+      Runner.default with
+      n_sites = 4;
+      accounts_per_site = 16;
+      n_txns = 300;
+      concurrency = 10;
+      (* a kill probability: branch systems abort transactions on their own
+         authority (timeouts, validation failures) *)
+      p_spontaneous = 0.15;
+      (* roughly one crash per branch per run *)
+      crash_rate = 4.0;
+      crash_duration = 30.0;
+      zipf_theta = 0.8;
+    }
+  in
+  Printf.printf "%-18s %9s %8s %6s %6s %6s  %-14s %s\n" "protocol" "committed"
+    "aborted" "reps" "comps" "msgs" "total balance" "serializable";
+  List.iter
+    (fun protocol ->
+      let r = Runner.run { base with protocol } in
+      Printf.printf "%-18s %9d %8d %6d %6d %6d  %7d->%-7d %b\n"
+        (Protocol.name protocol) r.committed r.aborted r.repetitions r.compensations
+        r.messages r.money_before r.money_after r.serializable;
+      assert r.money_conserved)
+    [ Protocol.After; Protocol.Before; Protocol.Before_mlt ];
+  print_endline "\nall protocols preserved the federation-wide balance through";
+  print_endline "spontaneous local aborts and site crashes - atomicity holds."

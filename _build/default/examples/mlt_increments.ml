@@ -1,0 +1,90 @@
+(* Figure 8, replayed.
+
+   Two counters x and y live on the same page of a single-level (page
+   granularity) database. Two transactions increment them concurrently.
+
+   - As flat transactions, each holds the page's exclusive lock from its
+     first access to the end of the global commit protocol: they serialize.
+   - As two-level transactions, each increment runs as its own short L0
+     transaction (the page lock is released at L0 commit) while commuting
+     L1 increment locks keep the schedule serializable: they overlap.
+
+   Run with:  dune exec examples/mlt_increments.exe *)
+
+module Sim = Icdb_sim.Engine
+module Fiber = Icdb_sim.Fiber
+module Db = Icdb_localdb.Engine
+module Program = Icdb_localdb.Program
+module Site = Icdb_net.Site
+module Action = Icdb_mlt.Action
+module Federation = Icdb_core.Federation
+module Global = Icdb_core.Global
+module Tpc = Icdb_core.Two_phase_commit
+module Mlt = Icdb_core.Commit_before_mlt
+
+let page_level_config name =
+  {
+    (Db.default_config ~site_name:name) with
+    capabilities =
+      {
+        supports_prepare = true;
+        supports_increment_locks = false;
+        granularity = Db.Page_level;
+        cc = Locking { wait_timeout = Some 200.0 };
+      };
+  }
+
+let run_variant label make_txn =
+  let engine = Sim.create () in
+  let fed = Federation.create engine [ page_level_config "s0" ] in
+  (* x and y are loaded together: they share a slotted page. *)
+  Db.load (Site.db (Federation.site fed "s0")) [ ("x", 0); ("y", 0) ];
+  let finish = Hashtbl.create 2 in
+  List.iter
+    (fun name ->
+      Fiber.spawn engine (fun () ->
+          make_txn fed;
+          Hashtbl.replace finish name (Sim.now engine)))
+    [ "T1"; "T2" ];
+  Sim.run engine;
+  let v key = Option.value ~default:0 (Db.committed_value (Site.db (Federation.site fed "s0")) key) in
+  Printf.printf "%s\n  T1 finished at t=%.1f, T2 at t=%.1f; x=%d y=%d\n" label
+    (Hashtbl.find finish "T1") (Hashtbl.find finish "T2") (v "x") (v "y");
+  Float.max (Hashtbl.find finish "T1") (Hashtbl.find finish "T2")
+
+let () =
+  print_endline "Figure 8: incr(x); incr(y) by two concurrent transactions,";
+  print_endline "x and y stored on the same page.\n";
+  let flat =
+    run_variant "single-level (flat transaction, page locks held to commit):"
+      (fun fed ->
+        ignore
+          (Tpc.run fed
+             {
+               Global.gid = Federation.fresh_gid fed;
+               branches =
+                 [
+                   Global.branch ~site:"s0"
+                     [ Program.Increment ("x", 1); Program.Increment ("y", 1) ];
+                 ];
+             }))
+  in
+  let mlt =
+    run_variant "\ntwo-level (each increment its own L0 transaction):"
+      (fun fed ->
+        ignore
+          (Mlt.run fed
+             {
+               Global.mlt_gid = Federation.fresh_gid fed;
+               actions =
+                 [
+                   Action.increment ~site:"s0" ~key:"x" 1;
+                   Action.increment ~site:"s0" ~key:"y" 1;
+                 ];
+               abort_after = None;
+             }))
+  in
+  Printf.printf
+    "\nmakespan: %.1f (single-level) vs %.1f (two-level) - the L1 increment\n\
+     locks commute, so the two-level transactions overlap on the hot page.\n"
+    flat mlt

@@ -1,0 +1,1 @@
+lib/core/action_log.ml: Hashtbl Icdb_localdb List Option

@@ -1,0 +1,1 @@
+lib/core/action_log.mli: Icdb_localdb

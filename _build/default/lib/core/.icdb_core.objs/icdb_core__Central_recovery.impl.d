@@ -1,0 +1,1 @@
+lib/core/central_recovery.ml: Action_log Federation Format Icdb_localdb Icdb_lock Icdb_net List Metrics Printf Protocol_common Serialization_graph

@@ -1,0 +1,1 @@
+lib/core/central_recovery.mli: Federation Format

@@ -1,0 +1,1 @@
+lib/core/commit_after.ml: Action_log Federation Global Icdb_localdb Icdb_net Icdb_sim List Metrics Option Protocol_common

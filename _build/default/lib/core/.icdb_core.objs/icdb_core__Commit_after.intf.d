@@ -1,0 +1,1 @@
+lib/core/commit_after.mli: Federation Global

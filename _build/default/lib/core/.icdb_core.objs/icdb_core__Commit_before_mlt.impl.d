@@ -1,0 +1,1 @@
+lib/core/commit_before_mlt.ml: Action_log Federation Global Icdb_localdb Icdb_lock Icdb_mlt Icdb_net Icdb_sim List Metrics Printf Protocol_common

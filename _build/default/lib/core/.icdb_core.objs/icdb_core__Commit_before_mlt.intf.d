@@ -1,0 +1,1 @@
+lib/core/commit_before_mlt.mli: Federation Global

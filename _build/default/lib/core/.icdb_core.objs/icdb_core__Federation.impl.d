@@ -1,0 +1,1 @@
+lib/core/federation.ml: Action_log Hashtbl Icdb_localdb Icdb_lock Icdb_mlt Icdb_net Icdb_sim List Metrics Option Serialization_graph String

@@ -1,0 +1,1 @@
+lib/core/federation.mli: Action_log Hashtbl Icdb_localdb Icdb_lock Icdb_mlt Icdb_net Icdb_sim Metrics Serialization_graph

@@ -1,0 +1,1 @@
+lib/core/global.ml: Format Icdb_localdb Icdb_mlt

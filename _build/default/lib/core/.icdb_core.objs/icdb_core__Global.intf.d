@@ -1,0 +1,1 @@
+lib/core/global.mli: Format Icdb_localdb Icdb_mlt

@@ -1,0 +1,1 @@
+lib/core/presumed_abort.ml: Federation Global Icdb_localdb Icdb_net Icdb_sim List Metrics Option Protocol_common

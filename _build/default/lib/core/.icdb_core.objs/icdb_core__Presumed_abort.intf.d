@@ -1,0 +1,1 @@
+lib/core/presumed_abort.mli: Federation Global

@@ -1,0 +1,1 @@
+lib/core/protocol_common.ml: Federation Format Global Icdb_localdb Icdb_lock Icdb_net Icdb_sim List Metrics Printf Serialization_graph

@@ -1,0 +1,1 @@
+lib/core/protocol_common.mli: Federation Global Icdb_localdb Icdb_lock

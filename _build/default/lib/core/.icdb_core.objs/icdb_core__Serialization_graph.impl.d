@@ -1,0 +1,1 @@
+lib/core/serialization_graph.ml: Array Format Hashtbl Icdb_localdb List Option String

@@ -1,0 +1,1 @@
+lib/core/serialization_graph.mli: Format Icdb_localdb

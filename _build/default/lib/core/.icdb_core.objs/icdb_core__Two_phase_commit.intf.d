@@ -1,0 +1,1 @@
+lib/core/two_phase_commit.mli: Federation Global

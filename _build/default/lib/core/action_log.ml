@@ -1,0 +1,19 @@
+type entry = { site : string; program : Icdb_localdb.Program.t; tag : string }
+
+type t = {
+  table : (int, entry list) Hashtbl.t; (* gid -> reversed entries *)
+  mutable writes : int;
+}
+
+let create () = { table = Hashtbl.create 64; writes = 0 }
+
+let append t ~gid entry =
+  let current = Option.value ~default:[] (Hashtbl.find_opt t.table gid) in
+  Hashtbl.replace t.table gid (entry :: current);
+  t.writes <- t.writes + 1
+
+let entries t ~gid = List.rev (Option.value ~default:[] (Hashtbl.find_opt t.table gid))
+
+let remove t ~gid = Hashtbl.remove t.table gid
+let write_count t = t.writes
+let pending t = Hashtbl.length t.table

@@ -1,0 +1,38 @@
+(** Stable logs of local-transaction programs kept by the central system.
+
+    Two instances exist per federation:
+    - the {e redo-log} of commitment-after (§3.2): the original local
+      programs, replayed when a local transaction is erroneously aborted
+      after its "ready" answer;
+    - the {e undo-log} of commitment-before (§3.3) and of the L1 recovery
+      component of multi-level transactions (§4): inverse programs, executed
+      to compensate committed locals after a global abort.
+
+    Write counts are the V4 ablation's overhead metric: with multi-level
+    transactions, the undo-log is {e already} maintained by the L1
+    transaction manager, so the commitment protocol adds zero writes. *)
+
+type entry = {
+  site : string;
+  program : Icdb_localdb.Program.t;
+  tag : string;  (** free-form: action name, "branch", ... (for traces) *)
+}
+
+type t
+
+val create : unit -> t
+
+(** [append t ~gid entry] — a stable write, counted. *)
+val append : t -> gid:int -> entry -> unit
+
+(** Entries for one global transaction, in append order. *)
+val entries : t -> gid:int -> entry list
+
+(** [remove t ~gid] discards entries once the global outcome is final. *)
+val remove : t -> gid:int -> unit
+
+(** Total appends since creation (not reduced by {!remove}). *)
+val write_count : t -> int
+
+(** Global transactions currently holding entries. *)
+val pending : t -> int

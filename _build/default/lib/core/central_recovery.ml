@@ -1,0 +1,133 @@
+module Lock = Icdb_lock.Lock_table
+module Site = Icdb_net.Site
+module Db = Icdb_localdb.Engine
+open Protocol_common
+
+type summary = {
+  entries_recovered : int;
+  decisions_pushed : int;
+  locals_aborted : int;
+  branches_redone : int;
+  branches_undone : int;
+}
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "recovered %d entries: %d decisions pushed, %d locals aborted, %d redone, %d undone"
+    s.entries_recovered s.decisions_pushed s.locals_aborted s.branches_redone
+    s.branches_undone
+
+let crash (fed : Federation.t) =
+  Lock.reset fed.global_cc;
+  Lock.reset fed.l1_locks
+
+(* Same marker scheme as Commit_before_mlt. *)
+let action_marker ~gid ~seq = Printf.sprintf "__am:%d:%d" gid seq
+
+let recover (fed : Federation.t) =
+  let pushed = ref 0 and aborted = ref 0 and redone = ref 0 and undone = ref 0 in
+  let entries = Federation.journal_open_entries fed in
+  List.iter
+    (fun ((gid : int), (entry : Federation.journal_entry)) ->
+      let decision =
+        match entry.j_phase with
+        | Federation.Decided d -> d
+        | Federation.Executing -> false (* presumed abort *)
+      in
+      let resolve_or_abort site_name txn_id =
+        let site = Federation.site fed site_name in
+        Site.await_up site;
+        let db = Site.db site in
+        if Db.abort_txn_id db ~txn_id then incr aborted
+        else
+          match Db.resolve_prepared db ~txn_id ~commit:decision with
+          | () -> incr pushed
+          | exception Failure _ -> () (* already finished before the crash *)
+      in
+      let undo_branch site_name =
+        let db = Site.db (Federation.site fed site_name) in
+        if Db.committed_value db (commit_marker ~gid) = Some 1 then begin
+          let inverse =
+            match
+              List.find_opt
+                (fun (e : Action_log.entry) -> e.site = site_name)
+                (Action_log.entries fed.undo_log ~gid)
+            with
+            | Some e -> e.program
+            | None -> failwith "Central_recovery: missing undo-log entry"
+          in
+          if
+            persistently_apply fed ~gid ~site:site_name ~marker:(undo_marker ~gid ~seq:0)
+              ~compensation:true
+              ~on_attempt:(fun () -> Metrics.compensation fed.metrics)
+              inverse
+          then incr undone
+        end
+      in
+      (match entry.j_protocol with
+      | "after" when decision ->
+        (* Complete phase 2: any still-running original is rolled back and
+           the branch re-executed from the redo-log unless its marker shows
+           a commit already happened. *)
+        List.iter
+          (fun (e : Action_log.entry) ->
+            let site = Federation.site fed e.site in
+            Site.await_up site;
+            let db = Site.db site in
+            List.iter
+              (fun (s, txn_id) ->
+                if s = e.site && Db.abort_txn_id db ~txn_id then incr aborted)
+              entry.j_branches;
+            if
+              persistently_apply fed ~gid ~site:e.site ~marker:(commit_marker ~gid)
+                ~compensation:false
+                ~on_attempt:(fun () -> Metrics.repetition fed.metrics)
+                e.program
+            then incr redone)
+          (Action_log.entries fed.redo_log ~gid)
+      | "mlt" ->
+        if not decision then begin
+          (* Undo committed actions in reverse order; the per-action marker
+             tells which ones committed. *)
+          let actions = Action_log.entries fed.mlt_undo_log ~gid in
+          List.rev (List.mapi (fun seq e -> (seq, e)) actions)
+          |> List.iter (fun (seq, (e : Action_log.entry)) ->
+                 let site = Federation.site fed e.site in
+                 Site.await_up site;
+                 let db = Site.db site in
+                 (* roll back a still-running action first *)
+                 List.iter
+                   (fun (s, txn_id) ->
+                     if s = e.site && Db.abort_txn_id db ~txn_id then incr aborted)
+                   entry.j_branches;
+                 if Db.committed_value db (action_marker ~gid ~seq) = Some 1 then
+                   if
+                     persistently_apply fed ~gid ~site:e.site
+                       ~marker:(undo_marker ~gid ~seq) ~compensation:true
+                       ~on_attempt:(fun () -> Metrics.compensation fed.metrics)
+                       e.program
+                   then incr undone)
+        end
+      | _ ->
+        (* 2pc and commitment-before shapes (incl. presumed-abort and hybrid
+           variants): resolve prepared locals, abort orphaned running ones,
+           and on a (presumed) abort compensate unilaterally committed
+           commitment-before locals. *)
+        List.iter (fun (site, txn_id) -> resolve_or_abort site txn_id) entry.j_branches;
+        if not decision then
+          List.iter
+            (fun (e : Action_log.entry) -> undo_branch e.site)
+            (Action_log.entries fed.undo_log ~gid));
+      Action_log.remove fed.redo_log ~gid;
+      Action_log.remove fed.undo_log ~gid;
+      Action_log.remove fed.mlt_undo_log ~gid;
+      Serialization_graph.record_outcome fed.graph ~gid ~committed:decision;
+      Federation.journal_close fed ~gid)
+    entries;
+  {
+    entries_recovered = List.length entries;
+    decisions_pushed = !pushed;
+    locals_aborted = !aborted;
+    branches_redone = !redone;
+    branches_undone = !undone;
+  }

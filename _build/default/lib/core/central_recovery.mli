@@ -1,0 +1,44 @@
+(** Recovery of the {e central} system.
+
+    The paper assumes the global transaction manager survives; this module
+    answers the obvious follow-up — what if it does not? The central
+    system's stable state is the decision log, the per-transaction protocol
+    {!Federation.journal}, and the redo-/undo-logs. Its volatile state —
+    the additional CC module's lock table, the L1 lock table, and every
+    in-flight protocol fiber — is lost by {!crash}.
+
+    {!recover} then completes every journaled transaction:
+
+    - entries still [Executing] are {b presumed aborted} (no decision was
+      ever logged, so no site can have been told to commit … except
+      commitment-before locals, which commit unilaterally — those are
+      detected via their database-resident commit markers and compensated);
+    - [Decided] entries have their outcome {b pushed to completion}:
+      prepared locals are resolved, orphaned running locals rolled back,
+      missing commitment-after locals re-executed from the redo-log, and
+      committed locals of aborted transactions undone from the undo-log.
+
+    All repair work is marker-guarded, so recovering twice — or crashing
+    during recovery and recovering again — never double-applies. *)
+
+type summary = {
+  entries_recovered : int;  (** journal entries processed *)
+  decisions_pushed : int;  (** prepared locals resolved with the decision *)
+  locals_aborted : int;  (** orphaned running locals rolled back *)
+  branches_redone : int;  (** commitment-after locals completed by redo *)
+  branches_undone : int;  (** committed locals compensated *)
+}
+
+val pp_summary : Format.formatter -> summary -> unit
+
+(** [crash fed] discards the central system's volatile state: both central
+    lock tables are reset (blocked requesters are woken with
+    [Lock_revoked]). In-flight protocol fibers are {e not} magically
+    stopped — simulate the crash of their control flow by installing a
+    raising [fed.central_fail] hook. *)
+val crash : Federation.t -> unit
+
+(** [recover fed] walks the journal and completes every open transaction;
+    must run in a fiber (repairs execute local transactions and may wait
+    for site recoveries). Idempotent. *)
+val recover : Federation.t -> summary

@@ -1,0 +1,124 @@
+module Sim = Icdb_sim.Engine
+module Fiber = Icdb_sim.Fiber
+module Trace = Icdb_sim.Trace
+module Site = Icdb_net.Site
+module Link = Icdb_net.Link
+module Db = Icdb_localdb.Engine
+module Program = Icdb_localdb.Program
+open Protocol_common
+
+type vote = Ready of Db.txn | No of Global.abort_cause
+
+(* Repeat the branch's local transaction until one incarnation commits. The
+   commit marker written inside the transaction makes the loop idempotent:
+   if a previous incarnation did commit (e.g. the crash hit after commit),
+   no second execution happens. *)
+let redo_until_committed (fed : Federation.t) ~gid (b : Global.branch) =
+  ignore
+    (persistently_apply fed ~gid ~site:b.site ~marker:(commit_marker ~gid)
+       ~compensation:false
+       ~on_attempt:(fun () ->
+         Metrics.repetition fed.metrics;
+         Trace.record fed.trace ~actor:b.site (ev gid "redo-execution"))
+       b.program)
+
+let run (fed : Federation.t) (spec : Global.spec) =
+  let gid = spec.gid in
+  let start = Sim.now fed.engine in
+  Metrics.txn_started fed.metrics;
+  Federation.journal_open fed ~gid ~protocol:"after";
+  Trace.record fed.trace ~actor:"central" (ev gid "running");
+  if not (acquire_global_locks fed ~gid spec) then begin
+    Federation.journal_close fed ~gid;
+    finish fed ~gid ~start (Aborted Global_cc_denied)
+  end
+  else begin
+    (* Stable redo-log entry per branch, before anything executes. *)
+    List.iter
+      (fun (b : Global.branch) ->
+        Action_log.append fed.redo_log ~gid
+          { site = b.site; program = b.program; tag = "branch" })
+      spec.branches;
+    let marker_op = [ Program.Write (commit_marker ~gid, 1) ] in
+    let results =
+      Fiber.all fed.engine
+        (List.map
+           (fun b () -> (b, execute_branch fed ~gid b ~extra_ops:marker_op))
+           spec.branches)
+    in
+    fed.central_fail ~gid "executed";
+    (* The inquiry: communication managers answer from the running state. *)
+    Trace.record fed.trace ~actor:"central" (ev gid "inquire");
+    let votes =
+      Fiber.all fed.engine
+        (List.map
+           (fun (result : Global.branch * exec_status) () ->
+             let b, status = result in
+             let site = Federation.site fed b.site in
+             let db = Site.db site in
+             match status with
+             | Exec_failed r -> (b, No (Global.Local_abort { site = b.site; reason = r }))
+             | Exec_ok txn ->
+               Link.rpc (Site.link site) ~label:"prepare" (fun () ->
+                   if not b.vote_commit then begin
+                     Db.abort db txn;
+                     ("abort-vote", (b, No (Global.Voted_abort b.site)))
+                   end
+                   else
+                     (* No ready state: the vote only reports that the local
+                        transaction is still alive. It may yet die. *)
+                     match Db.state txn with
+                     | `Running ->
+                       Trace.record fed.trace ~actor:b.site (ev gid "ready");
+                       ("ready", (b, Ready txn))
+                     | `Aborted r ->
+                       ( "abort-vote",
+                         (b, No (Global.Local_abort { site = b.site; reason = r })) )
+                     | `Prepared | `Committed ->
+                       invalid_arg "Commit_after: local transaction in impossible state"))
+           results)
+    in
+    let abort_cause =
+      List.find_map (function _, No cause -> Some cause | _, Ready _ -> None) votes
+    in
+    fed.central_fail ~gid "voted";
+    let decide_commit = Option.is_none abort_cause in
+    Trace.record fed.trace ~actor:"central"
+      (ev gid (if decide_commit then "decision:commit" else "decision:abort"));
+    Federation.journal_decide fed ~gid ~commit:decide_commit;
+    fed.central_fail ~gid "decided";
+    ignore
+      (Fiber.all fed.engine
+         (List.filter_map
+            (function
+              | (b : Global.branch), Ready txn ->
+                Some
+                  (fun () ->
+                    let site = Federation.site fed b.site in
+                    let db = Site.db site in
+                    if decide_commit then
+                      Link.rpc (Site.link site) ~label:"commit" (fun () ->
+                          (match Db.commit db txn with
+                          | Ok () ->
+                            graph_local fed ~gid ~site:b.site ~compensation:false txn
+                          | Error _ ->
+                            (* Erroneous abort after the ready answer: the
+                               §3.2 repair — repetition from the redo-log. *)
+                            redo_until_committed fed ~gid b);
+                          Trace.record fed.trace ~actor:b.site (ev gid "committed");
+                          ("finished", ()))
+                    else
+                      Link.rpc (Site.link site) ~label:"abort" (fun () ->
+                          Db.abort db txn;
+                          Trace.record fed.trace ~actor:b.site (ev gid "aborted");
+                          ("finished", ())))
+              | _, No _ -> None)
+            votes));
+    Action_log.remove fed.redo_log ~gid;
+    Federation.journal_close fed ~gid;
+    release_global_locks fed ~gid;
+    let outcome =
+      if decide_commit then Global.Committed else Global.Aborted (Option.get abort_cause)
+    in
+    finish fed ~gid ~start outcome
+  end

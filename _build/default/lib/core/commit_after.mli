@@ -1,0 +1,24 @@
+(** Local commitment {e after} the global decision (§3.2).
+
+    For local systems without a ready state. The communication manager
+    answers the prepare inquiry while its local transaction is still
+    {e running} — a "ready" vote is a promise, not a persisted state. The
+    global decision is therefore made {e before} any local commit
+    (Figure 5), and two extra components compensate for the missing ready
+    state:
+
+    - a {b redo-log} (the original local programs, here also materialised as
+      per-site marker records in the local databases, following the [WV 90]
+      technique) — if a local transaction is erroneously aborted {e after}
+      voting ready (timeout, validation failure, crash), it is {b repeated}
+      until it commits;
+    - an {b additional global concurrency-control module} that holds global
+      locks on every accessed object until the global transaction ends, so
+      a repetition can never observe a different serialization order than
+      the first execution (§3.2's serializability requirement).
+
+    Cost profile (§4.3): two logs maintained, and every local lock is held
+    until the end of the {e global} transaction — the concurrency advantage
+    of multi-level transactions is lost. *)
+
+val run : Federation.t -> Global.spec -> Global.outcome

@@ -1,0 +1,150 @@
+module Sim = Icdb_sim.Engine
+module Fiber = Icdb_sim.Fiber
+module Trace = Icdb_sim.Trace
+module Site = Icdb_net.Site
+module Link = Icdb_net.Link
+module Db = Icdb_localdb.Engine
+module Program = Icdb_localdb.Program
+open Protocol_common
+
+type local_state = Locally_committed | Locally_aborted of Global.abort_cause
+
+(* Run the inverse transaction for a branch until it commits, guarded by the
+   undo marker (idempotence across crashes: §3.3's "doubly undone" hazard). *)
+let undo_until_done (fed : Federation.t) ~gid (b : Global.branch) =
+  let inverse =
+    match
+      List.find_opt
+        (fun (e : Action_log.entry) -> e.site = b.site)
+        (Action_log.entries fed.undo_log ~gid)
+    with
+    | Some entry -> entry.program
+    | None -> failwith "Commit_before: missing undo-log entry"
+  in
+  ignore
+    (persistently_apply fed ~gid ~site:b.site ~marker:(undo_marker ~gid ~seq:0)
+       ~compensation:true
+       ~on_attempt:(fun () ->
+         Metrics.compensation fed.metrics;
+         Trace.record fed.trace ~actor:b.site (ev gid "undo-execution"))
+       inverse)
+
+let run (fed : Federation.t) (spec : Global.spec) =
+  let gid = spec.gid in
+  let start = Sim.now fed.engine in
+  Metrics.txn_started fed.metrics;
+  Federation.journal_open fed ~gid ~protocol:"before";
+  Trace.record fed.trace ~actor:"central" (ev gid "running");
+  if not (acquire_global_locks fed ~gid spec) then begin
+    Federation.journal_close fed ~gid;
+    finish fed ~gid ~start (Aborted Global_cc_denied)
+  end
+  else begin
+    (* Execute every branch; the communication manager commits the local
+       transaction as soon as its last action finishes. *)
+    let results =
+      Fiber.all fed.engine
+        (List.map
+           (fun (b : Global.branch) () ->
+             let site = Federation.site fed b.site in
+             let db = Site.db site in
+             Link.rpc (Site.link site) ~label:"execute" (fun () ->
+                 if not (Db.is_up db) then
+                   ( "execute-failed",
+                     ( b,
+                       Locally_aborted
+                         (Global.Local_abort { site = b.site; reason = Db.Site_crashed })
+                     ) )
+                 else begin
+                   let txn = Db.begin_txn db in
+                   Federation.journal_branch fed ~gid ~site:b.site
+                     ~txn_id:(Db.txn_id txn);
+                   (* The commit marker materialises "this local committed"
+                      inside the local database itself ([WV 90]); recovery —
+                      site or central — reads it instead of guessing. *)
+                   match
+                     Program.run db txn
+                       (b.program @ [ Program.Write (commit_marker ~gid, 1) ])
+                   with
+                   | Error r ->
+                     Db.abort db txn;
+                     ( "execute-failed",
+                       (b, Locally_aborted (Global.Local_abort { site = b.site; reason = r }))
+                     )
+                   | Ok () ->
+                     if not b.vote_commit then begin
+                       Db.abort db txn;
+                       ("executed-aborted", (b, Locally_aborted (Global.Voted_abort b.site)))
+                     end
+                     else begin
+                       (* Undo-log entry first, then the unilateral local
+                          commit. *)
+                       let inverse = Program.inverse_of_accesses (Db.accesses txn) in
+                       Action_log.append fed.undo_log ~gid
+                         { site = b.site; program = inverse; tag = "inverse" };
+                       match Db.commit db txn with
+                       | Ok () ->
+                         graph_local fed ~gid ~site:b.site ~compensation:false txn;
+                         Trace.record fed.trace ~actor:b.site (ev gid "locally-committed");
+                         ("executed-committed", (b, Locally_committed))
+                       | Error r ->
+                         ( "execute-failed",
+                           ( b,
+                             Locally_aborted
+                               (Global.Local_abort { site = b.site; reason = r }) ) )
+                     end
+                 end))
+           spec.branches)
+    in
+    fed.central_fail ~gid "executed";
+    (* The inquiry: ask every site for the final state of its local. A
+       crashed site answers after recovery. *)
+    Trace.record fed.trace ~actor:"central" (ev gid "inquire");
+    let states =
+      Fiber.all fed.engine
+        (List.map
+           (fun (result : Global.branch * local_state) () ->
+             let b, st = result in
+             let site = Federation.site fed b.site in
+             Link.rpc (Site.link site) ~label:"prepare" (fun () ->
+                 Site.await_up site;
+                 match st with
+                 | Locally_committed -> ("committed", (b, st))
+                 | Locally_aborted _ -> ("aborted", (b, st))))
+           results)
+    in
+    let abort_cause =
+      List.find_map
+        (function _, Locally_aborted cause -> Some cause | _, Locally_committed -> None)
+        states
+    in
+    fed.central_fail ~gid "voted";
+    let decide_commit = Option.is_none abort_cause in
+    Trace.record fed.trace ~actor:"central"
+      (ev gid (if decide_commit then "decision:commit" else "decision:abort"));
+    Federation.journal_decide fed ~gid ~commit:decide_commit;
+    fed.central_fail ~gid "decided";
+    if not decide_commit then
+      (* Mixed outcome: compensate every locally-committed branch. *)
+      ignore
+        (Fiber.all fed.engine
+           (List.filter_map
+              (function
+                | (b : Global.branch), Locally_committed ->
+                  Some
+                    (fun () ->
+                      let site = Federation.site fed b.site in
+                      Link.rpc (Site.link site) ~label:"undo" (fun () ->
+                          undo_until_done fed ~gid b;
+                          Trace.record fed.trace ~actor:b.site (ev gid "undone");
+                          ("finished", ())))
+                | _, Locally_aborted _ -> None)
+              states));
+    Action_log.remove fed.undo_log ~gid;
+    Federation.journal_close fed ~gid;
+    release_global_locks fed ~gid;
+    let outcome =
+      if decide_commit then Global.Committed else Global.Aborted (Option.get abort_cause)
+    in
+    finish fed ~gid ~start outcome
+  end

@@ -1,0 +1,23 @@
+(** Local commitment {e before} the global decision (§3.3) — the paper's
+    protocol, here in its standalone form (the additional components built
+    on top of the existing systems; see {!Commit_before_mlt} for the
+    variant fused with multi-level transactions).
+
+    Each local transaction executes and {b commits immediately},
+    independently of the global transaction manager — local locks are
+    released at the end of the {e local} transaction. The global manager
+    then inquires about every local's final state ([prepare]); a crashed
+    site is simply waited for ("the global transaction manager has to wait
+    for the local system to come up again"). If every local committed, the
+    global transaction commits with no further messages. If outcomes are
+    mixed, the committed locals are {b undone by inverse transactions} from
+    the undo-log, each made idempotent by a marker record so a crash between
+    an undo's commit and its acknowledgement can never cause a double undo.
+
+    The standalone form needs the same additional global CC module as
+    commitment-after (§3.3's serializability requirement: nothing may read
+    data of a not-yet-globally-committed transaction that an inverse might
+    take back), plus the undo-log — both of which §4.3 shows come for free
+    under multi-level transactions. *)
+
+val run : Federation.t -> Global.spec -> Global.outcome

@@ -1,0 +1,125 @@
+module Sim = Icdb_sim.Engine
+module Trace = Icdb_sim.Trace
+module Lock = Icdb_lock.Lock_table
+module Site = Icdb_net.Site
+module Link = Icdb_net.Link
+module Db = Icdb_localdb.Engine
+module Program = Icdb_localdb.Program
+module Action = Icdb_mlt.Action
+open Protocol_common
+
+(* Execute an inverse action until it commits, marker-guarded (the L1
+   recovery component's "inverse of inverse" is avoided by idempotence). *)
+let undo_action (fed : Federation.t) ~gid ~seq (action : Action.t) =
+  ignore
+    (persistently_apply fed ~gid ~site:action.Action.site ~marker:(undo_marker ~gid ~seq)
+       ~compensation:true
+       ~on_attempt:(fun () ->
+         Metrics.compensation fed.metrics;
+         Trace.record fed.trace ~actor:action.Action.site (ev gid "inverse-action"))
+       action.Action.inverse)
+
+(* Per-action commit marker: lets site and central recovery see which
+   actions of a global transaction committed. *)
+let action_marker ~gid ~seq = Printf.sprintf "__am:%d:%d" gid seq
+
+let execute_action (fed : Federation.t) ~gid ~seq (action : Action.t) =
+  let site = Federation.site fed action.site in
+  let db = Site.db site in
+  Link.rpc (Site.link site) ~label:"execute-action" (fun () ->
+      if not (Db.is_up db) then
+        ( "action-failed",
+          Error (Global.Local_abort { site = action.site; reason = Db.Site_crashed }) )
+      else begin
+        let txn = Db.begin_txn db in
+        Federation.journal_branch fed ~gid ~site:action.site ~txn_id:(Db.txn_id txn);
+        match
+          Program.run db txn
+            (action.program @ [ Program.Write (action_marker ~gid ~seq, 1) ])
+        with
+        | Error r ->
+          Db.abort db txn;
+          ("action-failed", Error (Global.Local_abort { site = action.site; reason = r }))
+        | Ok () -> (
+          (* The L1 undo-log write — inherent to the transaction model, not
+             an addition of the commitment protocol. *)
+          Action_log.append fed.mlt_undo_log ~gid
+            { site = action.site; program = action.inverse; tag = action.name };
+          match Db.commit db txn with
+          | Ok () ->
+            graph_local fed ~gid ~site:action.site ~compensation:false txn;
+            Trace.record fed.trace ~actor:action.site (ev gid ("done:" ^ action.name));
+            ("action-done", Ok ())
+          | Error r ->
+            ( "action-failed",
+              Error (Global.Local_abort { site = action.site; reason = r }) ))
+      end)
+
+let run ?(action_retries = 0) (fed : Federation.t) (spec : Global.mlt_spec) =
+  let gid = spec.mlt_gid in
+  let start = Sim.now fed.engine in
+  Metrics.txn_started fed.metrics;
+  Federation.journal_open fed ~gid ~protocol:"mlt";
+  Trace.record fed.trace ~actor:"central" (ev gid "running");
+  let completed = ref [] in
+  (* L1 actions run in program order; each one is an L0 transaction that
+     commits before the global decision exists. *)
+  let rec step seq = function
+    | [] -> Ok ()
+    | action :: rest ->
+      if spec.abort_after = Some seq then Error Global.Intended_abort
+      else begin
+        match
+          Lock.acquire fed.l1_locks ~owner:gid ~obj:(Action.l1_object action)
+            ~mode:action.Action.clazz ?timeout:fed.global_lock_timeout ()
+        with
+        | Lock.Timeout | Lock.Deadlock -> Error Global.Global_cc_denied
+        | Lock.Granted ->
+          Metrics.l1_lock_acquired fed.metrics;
+          (* An aborted L0 action left no trace, so it can simply be
+             re-submitted; only after [action_retries] failures does the
+             global transaction abort and compensate. *)
+          let rec attempt tries_left =
+            match execute_action fed ~gid ~seq action with
+            | Ok () ->
+              completed := (seq, action) :: !completed;
+              fed.central_fail ~gid (Printf.sprintf "action-%d" seq);
+              step (seq + 1) rest
+            | Error cause ->
+              if tries_left > 0 then begin
+                Metrics.repetition fed.metrics;
+                Trace.record fed.trace ~actor:action.Action.site (ev gid "action-retry");
+                Site.await_up (Federation.site fed action.Action.site);
+                attempt (tries_left - 1)
+              end
+              else Error cause
+          in
+          attempt action_retries
+      end
+  in
+  let result = step 0 spec.actions in
+  let outcome =
+    match result with
+    | Ok () ->
+      Trace.record fed.trace ~actor:"central" (ev gid "decision:commit");
+      Federation.journal_decide fed ~gid ~commit:true;
+      fed.central_fail ~gid "decided";
+      Global.Committed
+    | Error cause ->
+      Trace.record fed.trace ~actor:"central" (ev gid "decision:abort");
+      Federation.journal_decide fed ~gid ~commit:false;
+      fed.central_fail ~gid "decided";
+      (* Undo completed actions in reverse order via inverse actions. *)
+      List.iter
+        (fun (seq, action) ->
+          let site = Federation.site fed action.Action.site in
+          Link.rpc (Site.link site) ~label:"undo-action" (fun () ->
+              undo_action fed ~gid ~seq action;
+              ("finished", ())))
+        !completed;
+      Global.Aborted cause
+  in
+  Action_log.remove fed.mlt_undo_log ~gid;
+  Federation.journal_close fed ~gid;
+  Lock.release_all fed.l1_locks ~owner:gid;
+  finish fed ~gid ~start outcome

@@ -1,0 +1,30 @@
+(** Local commitment before the global decision, fused with multi-level
+    transactions (§4) — the paper's main contribution.
+
+    A global transaction is a two-level transaction: each L1 action runs as
+    one L0 transaction at one local system and {b commits immediately}
+    (early release of L0 locks — the concurrency advantage of multi-level
+    transactions is preserved, Figure 8). Serializability across global
+    transactions comes from the {b L1 lock manager}: an action's conflict
+    class is locked on its target object, with commutativity-based
+    compatibility, and held until the end of the global transaction.
+
+    Atomic commitment needs {e no additional components}: on a global
+    abort, the committed L0 transactions are undone by executing the
+    actions' {b inverse actions} from the L1 undo-log — exactly the
+    recovery mechanism the multi-level transaction model maintains anyway.
+    The §3.3 serializability requirement holds by construction: a
+    transaction scheduled between an action and its inverse either commutes
+    with it (and then cannot invalidate the undo) or was delayed by the L1
+    lock (§4.3's argument).
+
+    The metrics report zero additional-CC acquisitions and zero
+    additional-log writes for this protocol — the V4 ablation. *)
+
+(** [run ?action_retries fed spec]. [action_retries] (default 0) retries a
+    failed L0 action that many times before giving up and aborting the
+    global transaction — exploiting L1 atomicity: an aborted L0 action left
+    no trace, so re-running it is always safe (a cheaper first line of
+    defence than compensating the whole transaction; see the A3 ablation).
+    Retries are counted as repetitions in the metrics. *)
+val run : ?action_retries:int -> Federation.t -> Global.mlt_spec -> Global.outcome

@@ -1,0 +1,23 @@
+(** Hybrid commitment for mixed-capability federations (an extension the
+    paper's architecture invites: "the integration of additional systems
+    into the existing heterogeneous environment does not cause further
+    problems").
+
+    Real federations are rarely uniform: some existing systems happen to
+    expose a prepared state, most do not. This protocol uses the best
+    mechanism each site offers:
+
+    - {b prepare-capable sites} run a 2PC leg: execute, enter the ready
+      state at the inquiry, apply the decision — no redo, no undo, crash
+      safety from the persisted prepare;
+    - {b all other sites} run a commitment-before leg: execute and commit
+      unilaterally; on a global abort they are compensated by inverse
+      transactions from the undo-log.
+
+    The decision commits iff every 2PC leg voted ready and every
+    commitment-before leg committed. The additional global CC module is
+    required (the commitment-before legs import §3.3's serializability
+    requirement), and the undo-log only carries entries for the
+    commitment-before legs. *)
+
+val run : Federation.t -> Global.spec -> Global.outcome

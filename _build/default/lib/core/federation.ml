@@ -1,0 +1,163 @@
+module Sim = Icdb_sim.Engine
+module Trace = Icdb_sim.Trace
+module Lock = Icdb_lock.Lock_table
+module Mode = Icdb_lock.Mode
+module Site = Icdb_net.Site
+module Link = Icdb_net.Link
+module Db = Icdb_localdb.Engine
+module Conflict = Icdb_mlt.Conflict
+
+type journal_phase = Executing | Decided of bool
+
+type journal_entry = {
+  j_protocol : string;
+  mutable j_branches : (string * int) list;
+  mutable j_phase : journal_phase;
+}
+
+type t = {
+  engine : Sim.t;
+  sites : (string * Site.t) list;
+  by_name : (string, Site.t) Hashtbl.t;
+  trace : Trace.t;
+  metrics : Metrics.t;
+  global_cc : Mode.t Lock.t;
+  conflict : Conflict.t;
+  l1_locks : Conflict.clazz Lock.t;
+  redo_log : Action_log.t;
+  undo_log : Action_log.t;
+  mlt_undo_log : Action_log.t;
+  decision_log : (int, bool) Hashtbl.t;
+  journal : (int, journal_entry) Hashtbl.t;
+  graph : Serialization_graph.t;
+  mutable next_gid : int;
+  mutable global_cc_enabled : bool;
+  mutable central_fail : gid:int -> string -> unit;
+  global_lock_timeout : float option;
+}
+
+let default_conflict =
+  Conflict.of_commuting_pairs
+    [
+      ("read", "read");
+      ("increment", "increment");
+      ("increment", "decrement");
+      ("decrement", "decrement");
+      ("deposit", "deposit");
+      ("deposit", "withdraw");
+      ("withdraw", "withdraw");
+      ("deposit", "transfer-in");
+      ("deposit", "transfer-out");
+      ("withdraw", "transfer-in");
+      ("withdraw", "transfer-out");
+      ("transfer-in", "transfer-in");
+      ("transfer-in", "transfer-out");
+      ("transfer-out", "transfer-out");
+      ("read-balance", "read-balance");
+    ]
+
+let create engine ?(latency = 1.0) ?(loss = 0.0) ?(global_lock_timeout = Some 200.0)
+    ?(conflict = default_conflict) configs =
+  let metrics = Metrics.create () in
+  let sites =
+    List.map
+      (fun (config : Db.config) ->
+        let site = Site.create engine ~latency ~loss config in
+        Db.set_hold_time_hook (Site.db site) (fun ~obj:_ ~duration ->
+            Metrics.observe_hold_time metrics duration);
+        (config.site_name, site))
+      configs
+  in
+  let by_name = Hashtbl.create 16 in
+  List.iter (fun (name, site) -> Hashtbl.replace by_name name site) sites;
+  {
+    engine;
+    sites;
+    by_name;
+    trace = Trace.create engine;
+    metrics;
+    global_cc = Lock.create engine ~compatible:Mode.compatible ~combine:Mode.combine;
+    conflict;
+    l1_locks =
+      Lock.create engine ~compatible:(Conflict.compatible conflict)
+        ~combine:(Conflict.combine conflict);
+    redo_log = Action_log.create ();
+    undo_log = Action_log.create ();
+    mlt_undo_log = Action_log.create ();
+    decision_log = Hashtbl.create 256;
+    journal = Hashtbl.create 64;
+    graph = Serialization_graph.create ();
+    next_gid = 0;
+    global_cc_enabled = true;
+    central_fail = (fun ~gid:_ _ -> ());
+    global_lock_timeout;
+  }
+
+let site t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some s -> s
+  | None -> raise Not_found
+
+let site_names t = List.map fst t.sites
+
+let fresh_gid t =
+  t.next_gid <- t.next_gid + 1;
+  t.next_gid
+
+let log_decision t ~gid ~commit = Hashtbl.replace t.decision_log gid commit
+let decision t ~gid = Hashtbl.find_opt t.decision_log gid
+
+let journal_open t ~gid ~protocol =
+  Hashtbl.replace t.journal gid
+    { j_protocol = protocol; j_branches = []; j_phase = Executing }
+
+let journal_find t gid =
+  match Hashtbl.find_opt t.journal gid with
+  | Some entry -> entry
+  | None -> failwith "Federation: no journal entry for this transaction"
+
+let journal_branch t ~gid ~site ~txn_id =
+  let entry = journal_find t gid in
+  entry.j_branches <- entry.j_branches @ [ (site, txn_id) ]
+
+let journal_decide t ~gid ~commit =
+  (journal_find t gid).j_phase <- Decided commit;
+  log_decision t ~gid ~commit
+
+let journal_close t ~gid = Hashtbl.remove t.journal gid
+
+let journal_open_entries t =
+  Hashtbl.fold (fun gid entry acc -> (gid, entry) :: acc) t.journal []
+  |> List.sort compare
+
+let total_messages t =
+  List.fold_left (fun acc (_, site) -> acc + Link.message_count (Site.link site)) 0 t.sites
+
+let messages_by_label t =
+  let merged = Hashtbl.create 32 in
+  List.iter
+    (fun (_, site) ->
+      List.iter
+        (fun (label, n) ->
+          let cur = Option.value ~default:0 (Hashtbl.find_opt merged label) in
+          Hashtbl.replace merged label (cur + n))
+        (Link.messages_by_label (Site.link site)))
+    t.sites;
+  Hashtbl.fold (fun label n acc -> (label, n) :: acc) merged [] |> List.sort compare
+
+let reset_message_counters t =
+  List.iter (fun (_, site) -> Link.reset_counters (Site.link site)) t.sites
+
+let internal_key key = String.length key >= 2 && String.sub key 0 2 = "__"
+
+let snapshot t =
+  List.concat_map
+    (fun (name, site) ->
+      let db = Site.db site in
+      List.filter_map
+        (fun key ->
+          if internal_key key then None
+          else Option.map (fun v -> (name, key, v)) (Db.committed_value db key))
+        (Db.committed_keys db))
+    t.sites
+  |> List.sort compare

@@ -1,0 +1,117 @@
+(** The integrated database system: central system + local systems (Fig. 1).
+
+    A federation bundles everything the global transaction manager needs:
+    the simulated sites with their links, the additional global
+    concurrency-control module (§3.2/§3.3), the L1 lock manager and conflict
+    relation for multi-level transactions (§4), the central redo-/undo-logs,
+    the stable decision log, metrics, the protocol trace and the
+    serialization-graph recorder. *)
+
+(** How far a global transaction's protocol run had progressed, as recorded
+    in the central system's stable journal. Central-crash recovery presumes
+    abort for [Executing] entries and pushes the decision for [Decided]
+    ones. *)
+type journal_phase = Executing | Decided of bool
+
+(** One journal entry per in-flight global transaction. [branches] collects
+    [(site, local transaction id)] pairs as they become known — enough for
+    recovery to find in-doubt locals and abort orphaned running ones. *)
+type journal_entry = {
+  j_protocol : string;  (** "2pc" | "after" | "before" | "mlt" | ... *)
+  mutable j_branches : (string * int) list;
+  mutable j_phase : journal_phase;
+}
+
+type t = {
+  engine : Icdb_sim.Engine.t;
+  sites : (string * Icdb_net.Site.t) list;  (** in creation order *)
+  by_name : (string, Icdb_net.Site.t) Hashtbl.t;
+  trace : Icdb_sim.Trace.t;
+  metrics : Metrics.t;
+  global_cc : Icdb_lock.Mode.t Icdb_lock.Lock_table.t;
+      (** the additional CC module: strict global 2PL on (site/key) *)
+  conflict : Icdb_mlt.Conflict.t;
+  l1_locks : Icdb_mlt.Conflict.clazz Icdb_lock.Lock_table.t;
+      (** L1 lock manager: commutativity-based compatibility *)
+  redo_log : Action_log.t;  (** commitment-after (§3.2) *)
+  undo_log : Action_log.t;  (** commitment-before standalone (§3.3) *)
+  mlt_undo_log : Action_log.t;
+      (** the L1 transaction manager's own undo-log, reused by
+          commitment-before under multi-level transactions (§4.3) *)
+  decision_log : (int, bool) Hashtbl.t;  (** gid -> global decision (stable) *)
+  journal : (int, journal_entry) Hashtbl.t;
+      (** stable per-transaction protocol journal for central recovery *)
+  graph : Serialization_graph.t;
+  mutable next_gid : int;
+  mutable global_cc_enabled : bool;
+      (** V7 switches this off to demonstrate the serializability
+          requirements; never disable it otherwise *)
+  mutable central_fail : gid:int -> string -> unit;
+      (** fault-injection hook called by protocols at named points
+          ("executed", "decided", ...); tests make it raise to simulate a
+          central-system crash mid-protocol. Default: no-op. *)
+  global_lock_timeout : float option;
+}
+
+(** [create engine ?latency ?loss ?global_lock_timeout ?conflict configs]
+    builds one site per config. [latency] is the per-direction link delay
+    (default 1.0); [loss] the per-message-copy drop probability (default 0,
+    see {!Icdb_net.Link}); [global_lock_timeout] bounds waits in the
+    additional CC module and the L1 lock manager (default [Some 200.]);
+    [conflict] is the L1 commutativity relation (default
+    {!Icdb_mlt.Conflict.banking} merged with read/write/increment classes —
+    see {!default_conflict}). *)
+val create :
+  Icdb_sim.Engine.t ->
+  ?latency:float ->
+  ?loss:float ->
+  ?global_lock_timeout:float option ->
+  ?conflict:Icdb_mlt.Conflict.t ->
+  Icdb_localdb.Engine.config list ->
+  t
+
+(** The relation used when [?conflict] is omitted: banking classes plus
+    read/write/increment. *)
+val default_conflict : Icdb_mlt.Conflict.t
+
+(** [site t name]. Raises [Not_found] for unknown names. *)
+val site : t -> string -> Icdb_net.Site.t
+
+val site_names : t -> string list
+val fresh_gid : t -> int
+
+(** Record a decision in the central system's stable log. *)
+val log_decision : t -> gid:int -> commit:bool -> unit
+
+val decision : t -> gid:int -> bool option
+
+(** {2 Central journal (used by the protocols and central recovery)} *)
+
+(** [journal_open t ~gid ~protocol] adds an [Executing] entry. *)
+val journal_open : t -> gid:int -> protocol:string -> unit
+
+(** [journal_branch t ~gid ~site ~txn_id] records one local transaction. *)
+val journal_branch : t -> gid:int -> site:string -> txn_id:int -> unit
+
+(** [journal_decide t ~gid ~commit] flips the entry to [Decided] {e and}
+    writes the decision log. *)
+val journal_decide : t -> gid:int -> commit:bool -> unit
+
+(** [journal_close t ~gid] removes the entry once every site has applied
+    the outcome. *)
+val journal_close : t -> gid:int -> unit
+
+(** Open entries (recovery's work list), sorted by gid. *)
+val journal_open_entries : t -> (int * journal_entry) list
+
+(** Sum of message counts over all links, and the per-label breakdown. *)
+val total_messages : t -> int
+
+val messages_by_label : t -> (string * int) list
+
+val reset_message_counters : t -> unit
+
+(** Committed state across all sites, protocol marker keys filtered out:
+    [(site, key, value)] sorted. The invariant checks of the test-suite and
+    the V6 crash matrix compare these snapshots. *)
+val snapshot : t -> (string * string * int) list

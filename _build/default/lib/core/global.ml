@@ -1,0 +1,39 @@
+type branch = {
+  site : string;
+  program : Icdb_localdb.Program.t;
+  vote_commit : bool;
+}
+
+let branch ?(vote_commit = true) ~site program = { site; program; vote_commit }
+
+type spec = { gid : int; branches : branch list }
+
+type mlt_spec = {
+  mlt_gid : int;
+  actions : Icdb_mlt.Action.t list;
+  abort_after : int option;
+}
+
+type abort_cause =
+  | Local_abort of { site : string; reason : Icdb_localdb.Engine.abort_reason }
+  | Voted_abort of string
+  | Global_cc_denied
+  | Intended_abort
+  | Unsupported_site of string
+
+type outcome = Committed | Aborted of abort_cause
+
+let pp_abort_cause fmt = function
+  | Local_abort { site; reason } ->
+    Format.fprintf fmt "local abort at %s (%a)" site Icdb_localdb.Engine.pp_abort_reason reason
+  | Voted_abort site -> Format.fprintf fmt "voted abort at %s" site
+  | Global_cc_denied -> Format.pp_print_string fmt "global concurrency control denied"
+  | Intended_abort -> Format.pp_print_string fmt "intended abort"
+  | Unsupported_site site -> Format.fprintf fmt "site %s has no ready state" site
+
+let pp_outcome fmt = function
+  | Committed -> Format.pp_print_string fmt "committed"
+  | Aborted cause -> Format.fprintf fmt "aborted: %a" pp_abort_cause cause
+
+let outcome_to_string o = Format.asprintf "%a" pp_outcome o
+let is_committed = function Committed -> true | Aborted _ -> false

@@ -1,0 +1,66 @@
+module Stats = Icdb_util.Stats
+
+type t = {
+  mutable started : int;
+  mutable committed : int;
+  mutable aborted : int;
+  mutable repetitions : int;
+  mutable compensations : int;
+  mutable global_locks : int;
+  mutable l1_locks : int;
+  mutable hold : Stats.Sample.t;
+  mutable response : Stats.Sample.t;
+}
+
+let create () =
+  {
+    started = 0;
+    committed = 0;
+    aborted = 0;
+    repetitions = 0;
+    compensations = 0;
+    global_locks = 0;
+    l1_locks = 0;
+    hold = Stats.Sample.create ();
+    response = Stats.Sample.create ();
+  }
+
+let reset t =
+  t.started <- 0;
+  t.committed <- 0;
+  t.aborted <- 0;
+  t.repetitions <- 0;
+  t.compensations <- 0;
+  t.global_locks <- 0;
+  t.l1_locks <- 0;
+  t.hold <- Stats.Sample.create ();
+  t.response <- Stats.Sample.create ()
+
+let txn_started t = t.started <- t.started + 1
+
+let txn_committed t ~response_time =
+  t.committed <- t.committed + 1;
+  Stats.Sample.add t.response response_time
+
+let txn_aborted t = t.aborted <- t.aborted + 1
+let repetition t = t.repetitions <- t.repetitions + 1
+let compensation t = t.compensations <- t.compensations + 1
+let global_lock_acquired t = t.global_locks <- t.global_locks + 1
+let l1_lock_acquired t = t.l1_locks <- t.l1_locks + 1
+let observe_hold_time t d = Stats.Sample.add t.hold d
+
+let started t = t.started
+let committed t = t.committed
+let aborted t = t.aborted
+let repetitions t = t.repetitions
+let compensations t = t.compensations
+let global_lock_acquisitions t = t.global_locks
+let l1_lock_acquisitions t = t.l1_locks
+
+let safe_stat f sample = if Stats.Sample.count sample = 0 then 0.0 else f sample
+
+let mean_hold_time t = safe_stat Stats.Sample.mean t.hold
+let p95_hold_time t = safe_stat (fun s -> Stats.Sample.percentile s 95.0) t.hold
+let hold_time_samples t = Stats.Sample.count t.hold
+let mean_response_time t = safe_stat Stats.Sample.mean t.response
+let p95_response_time t = safe_stat (fun s -> Stats.Sample.percentile s 95.0) t.response

@@ -1,0 +1,19 @@
+(** Presumed-abort two-phase commit ([ML 83], discussed in the paper's §5
+    as the classic way to cut 2PC's log and message costs).
+
+    Two optimizations over {!Two_phase_commit}:
+
+    - {b presumed abort}: an abort decision is never force-logged by the
+      central system and abort messages carry no acknowledgement — if
+      anyone later asks about a transaction the coordinator has no record
+      of, the answer is "abort". Central recovery gets this for free: a
+      journal entry still [Executing] is presumed aborted.
+    - {b read-only optimization}: a branch whose program only reads votes
+      "read-only" at prepare time and commits immediately — it needs no
+      second phase at all (nothing to redo or undo either way).
+
+    Requires prepare-capable sites, like standard 2PC. Message cost per
+    committed transaction with [n] branches of which [r] are read-only:
+    [6n - 2r]; per aborted transaction: [4n + (n - r)] instead of [6n]. *)
+
+val run : Federation.t -> Global.spec -> Global.outcome

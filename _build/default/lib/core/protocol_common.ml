@@ -1,0 +1,107 @@
+module Sim = Icdb_sim.Engine
+module Trace = Icdb_sim.Trace
+module Lock = Icdb_lock.Lock_table
+module Mode = Icdb_lock.Mode
+module Site = Icdb_net.Site
+module Link = Icdb_net.Link
+module Db = Icdb_localdb.Engine
+module Program = Icdb_localdb.Program
+
+let ev gid label = Printf.sprintf "g%d:%s" gid label
+let commit_marker ~gid = Printf.sprintf "__cm:%d" gid
+let undo_marker ~gid ~seq = Printf.sprintf "__um:%d:%d" gid seq
+
+let mode_of_intent = function
+  | `Read -> Mode.Shared
+  | `Increment -> Mode.Increment
+  | `Write -> Mode.Exclusive
+
+let acquire_global_locks (fed : Federation.t) ~gid (spec : Global.spec) =
+  if not fed.global_cc_enabled then true
+  else begin
+    let wanted =
+      List.concat_map
+        (fun (b : Global.branch) ->
+          List.map
+            (fun (key, intent) -> (b.site ^ "/" ^ key, mode_of_intent intent))
+            (Program.intents b.program))
+        spec.branches
+      |> List.sort compare
+    in
+    let rec go = function
+      | [] -> true
+      | (obj, mode) :: rest -> (
+        match
+          Lock.acquire fed.global_cc ~owner:gid ~obj ~mode
+            ?timeout:fed.global_lock_timeout ()
+        with
+        | Lock.Granted ->
+          Metrics.global_lock_acquired fed.metrics;
+          go rest
+        | Lock.Timeout | Lock.Deadlock -> false)
+    in
+    let ok = go wanted in
+    if not ok then Lock.release_all fed.global_cc ~owner:gid;
+    ok
+  end
+
+let release_global_locks (fed : Federation.t) ~gid =
+  Lock.release_all fed.global_cc ~owner:gid
+
+type exec_status = Exec_ok of Db.txn | Exec_failed of Db.abort_reason
+
+let execute_branch (fed : Federation.t) ~gid (b : Global.branch) ~extra_ops =
+  let site = Federation.site fed b.site in
+  let db = Site.db site in
+  Link.rpc (Site.link site) ~label:"execute" (fun () ->
+      if not (Db.is_up db) then ("execute-failed", Exec_failed Db.Site_crashed)
+      else begin
+        let txn = Db.begin_txn db in
+        Federation.journal_branch fed ~gid ~site:b.site ~txn_id:(Db.txn_id txn);
+        match Program.run db txn (b.program @ extra_ops) with
+        | Ok () ->
+          Trace.record fed.trace ~actor:b.site (ev gid "executed");
+          ("executed", Exec_ok txn)
+        | Error r ->
+          Db.abort db txn;
+          ("execute-failed", Exec_failed r)
+      end)
+
+let graph_local (fed : Federation.t) ~gid ~site ~compensation txn =
+  Serialization_graph.record_local fed.graph ~gid ~site ~compensation (Db.accesses txn)
+
+let persistently_apply (fed : Federation.t) ~gid ~site ~marker ~compensation ~on_attempt
+    program =
+  let site_t = Federation.site fed site in
+  let db = Site.db site_t in
+  let full_program = program @ [ Program.Write (marker, 1) ] in
+  let rec loop did_work =
+    Site.await_up site_t;
+    if Db.committed_value db marker = Some 1 then did_work
+    else begin
+      on_attempt ();
+      let txn = Db.begin_txn db in
+      match Program.run db txn full_program with
+      | Error _ -> loop true
+      | Ok () -> (
+        match Db.commit db txn with
+        | Ok () ->
+          graph_local fed ~gid ~site ~compensation txn;
+          true
+        | Error _ -> loop true)
+    end
+  in
+  loop false
+
+let finish (fed : Federation.t) ~gid ~start outcome =
+  (match outcome with
+  | Global.Committed ->
+    Metrics.txn_committed fed.metrics ~response_time:(Sim.now fed.engine -. start);
+    Serialization_graph.record_outcome fed.graph ~gid ~committed:true;
+    Trace.record fed.trace ~actor:"central" (ev gid "committed")
+  | Global.Aborted cause ->
+    Metrics.txn_aborted fed.metrics;
+    Serialization_graph.record_outcome fed.graph ~gid ~committed:false;
+    Trace.record fed.trace ~actor:"central"
+      (ev gid (Format.asprintf "aborted (%a)" Global.pp_abort_cause cause)));
+  outcome

@@ -1,0 +1,68 @@
+(** Plumbing shared by the three atomic-commitment protocols. *)
+
+module Db = Icdb_localdb.Engine
+module Program = Icdb_localdb.Program
+
+(** [ev gid label] — trace label namespaced by global transaction. *)
+val ev : int -> string -> string
+
+(** The per-site key recording "this global transaction's local commit
+    happened here" — the [WV 90]-style redo-log-in-the-database marker that
+    makes the repetition of §3.2 idempotent across crashes. *)
+val commit_marker : gid:int -> string
+
+(** The per-site key recording "this global transaction's local effects were
+    compensated here" — prevents double undo (§3.3). [seq] distinguishes
+    multiple actions of one global transaction at the same site. *)
+val undo_marker : gid:int -> seq:int -> string
+
+(** Lock mode for the additional global CC module, per access intent. *)
+val mode_of_intent : [ `Read | `Increment | `Write ] -> Icdb_lock.Mode.t
+
+(** [acquire_global_locks fed ~gid spec] takes the additional CC module's
+    locks for every key the spec touches (sorted order, deadlock-detected,
+    bounded by the federation's global lock timeout). Returns [false] —
+    with everything released again — when denied. Counted in metrics. When
+    the federation's [global_cc_enabled] is off (experiment V7), this is a
+    no-op returning [true]. *)
+val acquire_global_locks : Federation.t -> gid:int -> Global.spec -> bool
+
+val release_global_locks : Federation.t -> gid:int -> unit
+
+(** Result of executing one branch's program (transaction left running). *)
+type exec_status = Exec_ok of Db.txn | Exec_failed of Db.abort_reason
+
+(** [execute_branch fed ~gid b ~extra_ops] sends the branch's program to the
+    site's communication manager and runs it in a fresh local transaction,
+    {e without} committing or preparing. [extra_ops] are appended (marker
+    writes). One request/reply message pair. *)
+val execute_branch :
+  Federation.t -> gid:int -> Global.branch -> extra_ops:Program.t -> exec_status
+
+(** Record a committed local transaction in the serialization graph. *)
+val graph_local :
+  Federation.t -> gid:int -> site:string -> compensation:bool -> Db.txn -> unit
+
+(** [persistently_apply fed ~gid ~site ~marker ~compensation ~on_attempt
+    program] runs [program @ \[write marker\]] as a local transaction at
+    [site], retrying (and waiting out site downtime) until an incarnation
+    commits — unless [marker] is already committed, in which case nothing
+    runs. This is the shared engine of §3.2's repetition and §3.3's undo:
+    the marker in the local database makes the loop idempotent across both
+    site and central crashes. [on_attempt] fires before each execution
+    (metrics); the committed incarnation is recorded in the serialization
+    graph with the [compensation] flag. Returns [true] if this call did the
+    work, [false] if the marker showed it already done. *)
+val persistently_apply :
+  Federation.t ->
+  gid:int ->
+  site:string ->
+  marker:string ->
+  compensation:bool ->
+  on_attempt:(unit -> unit) ->
+  Program.t ->
+  bool
+
+(** [finish fed ~gid ~start outcome] records metrics, the graph outcome and
+    the trace end-marker, then returns [outcome]. *)
+val finish : Federation.t -> gid:int -> start:float -> Global.outcome -> Global.outcome

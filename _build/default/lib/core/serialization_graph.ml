@@ -1,0 +1,189 @@
+module Db = Icdb_localdb.Engine
+
+type local = { gid : int; compensation : bool; accesses : Db.access list }
+
+type t = {
+  histories : (string, local list ref) Hashtbl.t; (* site -> reversed commit order *)
+  outcomes : (int, bool) Hashtbl.t; (* gid -> committed *)
+  mutable locals : int;
+}
+
+type violation =
+  | Cycle of int list
+  | Dirty_read of { reader : int; aborted_writer : int; site : string }
+
+let pp_violation fmt = function
+  | Cycle gids ->
+    Format.fprintf fmt "cycle: %a"
+      (Format.pp_print_list
+         ~pp_sep:(fun f () -> Format.pp_print_string f " -> ")
+         (fun f g -> Format.fprintf f "G%d" g))
+      gids
+  | Dirty_read { reader; aborted_writer; site } ->
+    Format.fprintf fmt "dirty access at %s: G%d used data of aborted G%d before compensation"
+      site reader aborted_writer
+
+let create () = { histories = Hashtbl.create 16; outcomes = Hashtbl.create 64; locals = 0 }
+
+let record_local t ~gid ~site ~compensation accesses =
+  let hist =
+    match Hashtbl.find_opt t.histories site with
+    | Some h -> h
+    | None ->
+      let h = ref [] in
+      Hashtbl.replace t.histories site h;
+      h
+  in
+  hist := { gid; compensation; accesses } :: !hist;
+  t.locals <- t.locals + 1
+
+let record_outcome t ~gid ~committed = Hashtbl.replace t.outcomes gid committed
+
+(* Access classification on one key: the strongest kind decides conflicts. *)
+type kind = KRead | KIncr | KWrite
+
+let kinds_of accesses =
+  let tbl = Hashtbl.create 8 in
+  let strengthen key kind =
+    if String.length key >= 2 && String.sub key 0 2 = "__" then ()
+    else
+      match Hashtbl.find_opt tbl key with
+      | None -> Hashtbl.replace tbl key [ kind ]
+      | Some kinds -> if not (List.mem kind kinds) then Hashtbl.replace tbl key (kind :: kinds)
+  in
+  List.iter
+    (function
+      | Db.Read { key; _ } -> strengthen key KRead
+      | Db.Wrote { key; _ } -> strengthen key KWrite
+      | Db.Incremented { key; _ } -> strengthen key KIncr)
+    accesses;
+  tbl
+
+let kinds_conflict k1 k2 =
+  match (k1, k2) with
+  | KRead, KRead -> false
+  | KIncr, KIncr -> false
+  | KRead, (KIncr | KWrite)
+  | KIncr, (KRead | KWrite)
+  | KWrite, (KRead | KIncr | KWrite) ->
+    true
+
+let conflict_kinds a b =
+  Hashtbl.fold
+    (fun key kinds_a hit ->
+      hit
+      ||
+      match Hashtbl.find_opt b key with
+      | None -> false
+      | Some kinds_b ->
+        List.exists (fun ka -> List.exists (fun kb -> kinds_conflict ka kb) kinds_b) kinds_a)
+    a false
+
+let conflict a b = conflict_kinds (kinds_of a) (kinds_of b)
+
+let committed_of t gid = Option.value ~default:false (Hashtbl.find_opt t.outcomes gid)
+
+(* Build edges among committed globals from per-site commit order. *)
+let edges t =
+  let edges = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun _site hist ->
+      let ordered = List.rev !hist in
+      let with_kinds =
+        List.filter_map
+          (fun l ->
+            if committed_of t l.gid && not l.compensation then
+              Some (l.gid, kinds_of l.accesses)
+            else None)
+          ordered
+      in
+      let rec pairs = function
+        | [] -> ()
+        | (g1, k1) :: rest ->
+          List.iter
+            (fun (g2, k2) ->
+              if g1 <> g2 && conflict_kinds k1 k2 then Hashtbl.replace edges (g1, g2) ())
+            rest;
+          pairs rest
+      in
+      pairs with_kinds)
+    t.histories;
+  edges
+
+let find_cycle t =
+  let edge_tbl = edges t in
+  let succ = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun (a, b) () ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt succ a) in
+      Hashtbl.replace succ a (b :: cur))
+    edge_tbl;
+  let state = Hashtbl.create 64 in
+  (* 0 = in progress, 1 = done *)
+  let exception Found of int list in
+  let rec dfs path node =
+    match Hashtbl.find_opt state node with
+    | Some 1 -> ()
+    | Some _ ->
+      (* back edge: extract the cycle from the path *)
+      let rec cut = function
+        | [] -> []
+        | x :: rest -> if x = node then [ x ] else x :: cut rest
+      in
+      raise (Found (List.rev (cut path)))
+    | None ->
+      Hashtbl.replace state node 0;
+      List.iter (dfs (node :: path)) (Option.value ~default:[] (Hashtbl.find_opt succ node));
+      Hashtbl.replace state node 1
+  in
+  try
+    Hashtbl.iter (fun node _ -> dfs [ node ] node) succ;
+    None
+  with Found cycle -> Some cycle
+
+(* A committed local conflicting with an aborted global's original local,
+   positioned after it and before its compensation, read or overwrote data
+   that was later compensated away. *)
+let dirty_reads t =
+  let found = ref [] in
+  Hashtbl.iter
+    (fun site hist ->
+      let ordered = Array.of_list (List.rev !hist) in
+      let n = Array.length ordered in
+      for i = 0 to n - 1 do
+        let l = ordered.(i) in
+        if (not l.compensation) && not (committed_of t l.gid) then begin
+          (* window end: this gid's compensation at this site, if any *)
+          let window_end = ref n in
+          (try
+             for j = i + 1 to n - 1 do
+               if ordered.(j).gid = l.gid && ordered.(j).compensation then begin
+                 window_end := j;
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          (* Only data the aborted local *changed* can be dirty; its pure
+             reads are harmless (read-only optimization). *)
+          let k1 = kinds_of l.accesses in
+          Hashtbl.iter
+            (fun key kinds ->
+              if List.for_all (( = ) KRead) kinds then Hashtbl.remove k1 key)
+            (Hashtbl.copy k1);
+          for j = i + 1 to !window_end - 1 do
+            let m = ordered.(j) in
+            if m.gid <> l.gid && committed_of t m.gid && not m.compensation then
+              if conflict_kinds k1 (kinds_of m.accesses) then
+                found := Dirty_read { reader = m.gid; aborted_writer = l.gid; site } :: !found
+          done
+        end
+      done)
+    t.histories;
+  List.rev !found
+
+let violations t =
+  let cycle = match find_cycle t with Some c -> [ Cycle c ] | None -> [] in
+  cycle @ dirty_reads t
+
+let serializable t = violations t = []
+let recorded_locals t = t.locals

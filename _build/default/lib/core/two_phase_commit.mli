@@ -1,0 +1,16 @@
+(** Two-phase commit (§3.1) — the homogeneous-systems baseline.
+
+    Requires every participating site to expose a persisted ready state
+    ([supports_prepare]); running against any other site aborts with
+    [Unsupported_site] — the paper's core observation that 2PC "has to be
+    implemented inside of the participating transaction managers" and
+    therefore cannot be used in an integrated heterogeneous system.
+
+    Message pattern per global transaction with [n] branches (beyond the
+    [execute] data phase): [prepare] × n, [ready]/[abort-vote] × n,
+    [commit]/[abort] × n, [finished] × n — the 4n the V5 experiment
+    reports. Local locks are held from first access until the decision is
+    applied: the global decision falls {e in the middle} of every local
+    commitment (Figure 3). *)
+
+val run : Federation.t -> Global.spec -> Global.outcome

@@ -1,0 +1,1 @@
+lib/localdb/engine.ml: Float Format Hashtbl Icdb_lock Icdb_sim Icdb_storage Icdb_util Icdb_wal Int64 List Option String

@@ -1,0 +1,1 @@
+lib/localdb/engine.mli: Format Icdb_sim Icdb_wal

@@ -1,0 +1,1 @@
+lib/localdb/program.ml: Engine Format Hashtbl List Result

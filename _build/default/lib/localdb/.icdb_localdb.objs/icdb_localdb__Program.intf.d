@@ -1,0 +1,1 @@
+lib/localdb/program.mli: Engine Format

@@ -1,0 +1,765 @@
+module Sim = Icdb_sim.Engine
+module Fiber = Icdb_sim.Fiber
+module Disk = Icdb_storage.Disk
+module Bp = Icdb_storage.Buffer_pool
+module Heap = Icdb_storage.Heap
+module Log = Icdb_wal.Log
+module Recovery = Icdb_wal.Recovery
+module Lock = Icdb_lock.Lock_table
+module Mode = Icdb_lock.Mode
+module Rng = Icdb_util.Rng
+module Btree = Icdb_util.Btree
+
+type abort_reason =
+  | Deadlock_victim
+  | Lock_timeout
+  | Validation_failed
+  | Site_crashed
+  | Injected
+  | Requested
+
+let abort_reason_to_string = function
+  | Deadlock_victim -> "deadlock"
+  | Lock_timeout -> "lock-timeout"
+  | Validation_failed -> "validation-failed"
+  | Site_crashed -> "site-crashed"
+  | Injected -> "injected"
+  | Requested -> "requested"
+
+let pp_abort_reason fmt r = Format.pp_print_string fmt (abort_reason_to_string r)
+
+type cc_scheme = Locking of { wait_timeout : float option } | Optimistic
+
+type granularity = Record_level | Page_level
+
+type capabilities = {
+  supports_prepare : bool;
+  supports_increment_locks : bool;
+  granularity : granularity;
+  cc : cc_scheme;
+}
+
+let default_capabilities =
+  {
+    supports_prepare = false;
+    supports_increment_locks = true;
+    granularity = Record_level;
+    cc = Locking { wait_timeout = Some 50.0 };
+  }
+
+type spontaneous_abort = {
+  probability : float;
+  min_delay : float;
+  max_delay : float;
+}
+
+type config = {
+  site_name : string;
+  capabilities : capabilities;
+  op_delay : float;
+  commit_delay : float;
+  buffer_capacity : int;
+  spontaneous : spontaneous_abort option;
+  seed : int64;
+  group_commit_window : float option;
+  checkpoint_interval : float option;
+}
+
+let default_config ~site_name =
+  {
+    site_name;
+    capabilities = default_capabilities;
+    op_delay = 1.0;
+    commit_delay = 2.0;
+    buffer_capacity = 64;
+    spontaneous = None;
+    seed = 1L;
+    group_commit_window = None;
+    checkpoint_interval = None;
+  }
+
+type access =
+  | Read of { key : string; value : int option }
+  | Wrote of { key : string; before : int option; after : int option }
+  | Incremented of { key : string; delta : int }
+
+type 'a outcome = ('a, abort_reason) result
+
+type txn_state = Running | Prepared | Committed | Aborted of abort_reason
+
+(* Deferred effect of an optimistic transaction. *)
+type buf_entry = Put of int | Del | Add of int
+
+(* Index maintenance performed by a locking transaction, replayed in reverse
+   when the transaction rolls back. *)
+type index_op = Indexed of string * Heap.rid | Unindexed of string * Heap.rid
+
+type txn = {
+  id : int;
+  mutable tstate : txn_state;
+  mutable committing : bool;
+      (* commit record appended; outcome now decided by log durability, not
+         by rollback paths (kill/injection must leave it alone) *)
+  mutable last_lsn : Log.lsn;
+  mutable acc : access list; (* reversed *)
+  mutable index_ops : index_op list; (* reversed *)
+  (* optimistic state *)
+  start_serial : int;
+  reads : (string, unit) Hashtbl.t;
+  buf : (string, buf_entry) Hashtbl.t;
+  mutable buf_keys : string list; (* first-touch order, reversed *)
+}
+
+type gc_waiter = { gw_lsn : int; gw_txn : txn; gw_resume : unit Fiber.resumer }
+
+type t = {
+  engine : Sim.t;
+  config : config;
+  rng : Rng.t;
+  disk : Disk.t;
+  log : Log.t;
+  mutable pool : Bp.t;
+  mutable heap : Heap.t;
+  mutable locks : Mode.t Lock.t;
+  mutable index : Heap.rid Btree.t;
+  mutable up : bool;
+  mutable next_txn : int;
+  live : (int, txn) Hashtbl.t; (* running and prepared *)
+  in_doubt_tbl : (int, Log.lsn) Hashtbl.t;
+  (* optimistic bookkeeping: committed (serial, write-set) history *)
+  mutable commit_serial : int;
+  mutable committed_writes : (int * (string, unit) Hashtbl.t) list;
+  mutable commits : int;
+  abort_tally : (abort_reason, int) Hashtbl.t;
+  mutable hold_hook : obj:string -> duration:float -> unit;
+  (* group commit: committers waiting for the next batched log force *)
+  mutable gc_waiters : gc_waiter list;
+  mutable gc_scheduled : bool;
+}
+
+exception Local_abort of abort_reason
+
+(* Protocol metadata keys ("__cm:...", "__um:...", ...): the commitment
+   protocols' database-resident markers, the "additional relation" of
+   [WV 90]. Unique per global transaction, they get their own record-level
+   locks even on page-granularity sites and are not charged an operation
+   delay — otherwise marker traffic would distort the very concurrency
+   behaviour the experiments measure. *)
+let internal_key key = String.length key >= 2 && String.sub key 0 2 = "__"
+
+(* Forward reference: [checkpoint] is defined after the transaction
+   machinery but the periodic scheduler in [create] needs it. *)
+let checkpoint_impl : (t -> unit) ref = ref (fun _ -> ())
+
+let name t = t.config.site_name
+let capabilities t = t.config.capabilities
+
+let new_lock_table t_engine hold_hook =
+  let locks =
+    Lock.create t_engine ~compatible:Mode.compatible ~combine:Mode.combine
+  in
+  Lock.set_hold_time_hook locks (fun ~obj ~duration -> hold_hook ~obj ~duration);
+  locks
+
+let install_wal_hook t =
+  Bp.set_wal_hook t.pool (fun ~lsn -> Log.flush_to t.log (Int64.to_int lsn))
+
+let create engine config =
+  (match (config.capabilities.supports_prepare, config.capabilities.cc) with
+  | true, Optimistic ->
+    invalid_arg "Engine.create: prepare support requires the locking scheme"
+  | _ -> ());
+  let disk = Disk.create () in
+  let pool = Bp.create ~capacity:config.buffer_capacity disk in
+  let heap = Heap.create disk pool in
+  let hold_hook = ref (fun ~obj:_ ~duration:_ -> ()) in
+  let t =
+    {
+      engine;
+      config;
+      rng = Rng.create config.seed;
+      disk;
+      log = Log.create ();
+      pool;
+      heap;
+      locks = new_lock_table engine (fun ~obj ~duration -> !hold_hook ~obj ~duration);
+      index = Btree.create ();
+      up = true;
+      next_txn = 0;
+      live = Hashtbl.create 64;
+      in_doubt_tbl = Hashtbl.create 8;
+      commit_serial = 0;
+      committed_writes = [];
+      commits = 0;
+      abort_tally = Hashtbl.create 8;
+      hold_hook = (fun ~obj:_ ~duration:_ -> ());
+      gc_waiters = [];
+      gc_scheduled = false;
+    }
+  in
+  (hold_hook := fun ~obj ~duration -> t.hold_hook ~obj ~duration);
+  install_wal_hook t;
+  (match config.checkpoint_interval with
+  | None -> ()
+  | Some period ->
+    let rec tick () =
+      ignore
+        (Sim.schedule engine ~delay:period (fun () ->
+             if t.up then !checkpoint_impl t;
+             tick ()))
+    in
+    tick ());
+  t
+
+let record_abort t reason =
+  let current = Option.value ~default:0 (Hashtbl.find_opt t.abort_tally reason) in
+  Hashtbl.replace t.abort_tally reason (current + 1)
+
+let fresh_txn t =
+  t.next_txn <- t.next_txn + 1;
+  {
+    id = t.next_txn;
+    tstate = Running;
+    committing = false;
+    last_lsn = Log.null_lsn;
+    acc = [];
+    index_ops = [];
+    start_serial = t.commit_serial;
+    reads = Hashtbl.create 8;
+    buf = Hashtbl.create 8;
+    buf_keys = [];
+  }
+
+let is_locking t = match t.config.capabilities.cc with Locking _ -> true | Optimistic -> false
+
+let wait_timeout t =
+  match t.config.capabilities.cc with
+  | Locking { wait_timeout } -> wait_timeout
+  | Optimistic -> None
+
+let txn_id txn = txn.id
+
+let state txn =
+  match txn.tstate with
+  | Running -> `Running
+  | Prepared -> `Prepared
+  | Committed -> `Committed
+  | Aborted r -> `Aborted r
+
+let accesses txn = List.rev txn.acc
+let note txn a = txn.acc <- a :: txn.acc
+
+(* --- forward logging and application (locking scheme) ----------------- *)
+
+(* In-simulation, the sequence "mutate page; append matching log record" is
+   atomic (no yield point in between), so reserving the next LSN before the
+   heap placement preserves the WAL invariant observably. *)
+let do_insert t txn ~key ~value =
+  let lsn = Log.last_lsn t.log + 1 in
+  let rid = Heap.insert t.heap ~lsn:(Int64.of_int lsn) ~key ~value in
+  let lsn' =
+    Log.append t.log (Op { txn = txn.id; op = Insert { rid; key; value }; prev = txn.last_lsn })
+  in
+  assert (lsn' = lsn);
+  txn.last_lsn <- lsn;
+  Btree.insert t.index key rid;
+  txn.index_ops <- Indexed (key, rid) :: txn.index_ops
+
+let log_and_apply t txn op =
+  let lsn = Log.append t.log (Op { txn = txn.id; op; prev = txn.last_lsn }) in
+  Recovery.apply_op t.pool ~lsn op;
+  txn.last_lsn <- lsn
+
+let do_update t txn rid ~key ~before ~after =
+  log_and_apply t txn (Update { rid; key; before; after })
+
+let do_delete t txn rid ~key ~value =
+  log_and_apply t txn (Delete { rid; key; value });
+  ignore (Btree.remove t.index key);
+  txn.index_ops <- Unindexed (key, rid) :: txn.index_ops
+
+let do_incr t txn rid ~key ~delta = log_and_apply t txn (Incr { rid; key; delta })
+
+let heap_value t key =
+  match Btree.find t.index key with
+  | None -> None
+  | Some rid -> Option.map snd (Heap.read t.heap rid)
+
+let fix_index_after_undo t txn =
+  List.iter
+    (function
+      | Indexed (key, _) -> ignore (Btree.remove t.index key)
+      | Unindexed (key, rid) -> Btree.insert t.index key rid)
+    txn.index_ops;
+  txn.index_ops <- []
+
+(* --- rollback ---------------------------------------------------------- *)
+
+let do_rollback t txn reason =
+  (match t.config.capabilities.cc with
+  | Locking _ ->
+    ignore (Recovery.undo_chain t.log t.pool ~txn:txn.id ~from:txn.last_lsn);
+    fix_index_after_undo t txn
+  | Optimistic -> ());
+  txn.tstate <- Aborted reason;
+  Hashtbl.remove t.live txn.id;
+  Lock.release_all t.locks ~owner:txn.id;
+  record_abort t reason
+
+let begin_txn t =
+  if not t.up then failwith "Engine.begin_txn: site is down";
+  let txn = fresh_txn t in
+  Hashtbl.replace t.live txn.id txn;
+  if is_locking t then ignore (Log.append t.log (Begin txn.id));
+  (match t.config.spontaneous with
+  | Some { probability; min_delay; max_delay } when Rng.bernoulli t.rng probability ->
+    let delay = min_delay +. Rng.float t.rng (Float.max 0.0 (max_delay -. min_delay)) in
+    ignore
+      (Sim.schedule t.engine ~delay (fun () ->
+           if t.up && txn.tstate = Running && not txn.committing then
+             do_rollback t txn Injected))
+  | Some _ | None -> ());
+  txn
+
+(* --- guarded operation plumbing ---------------------------------------- *)
+
+let check_alive t txn =
+  if not t.up then raise (Local_abort Site_crashed);
+  match txn.tstate with
+  | Running -> ()
+  | Aborted r -> raise (Local_abort r)
+  | Committed | Prepared -> invalid_arg "Engine: operation on a finished transaction"
+
+let consume t txn d =
+  Fiber.sleep t.engine d;
+  check_alive t txn
+
+(* Operation cost: protocol metadata writes (marker records) piggyback on
+   the transaction's existing log traffic and are not charged an operation
+   delay of their own. *)
+let op_cost t key = if internal_key key then 0.0 else t.config.op_delay
+
+(* Maps a key access to the lock object and mode the site's granularity
+   dictates. Page-level sites have no record or increment locks: everything
+   but a read takes an exclusive page lock. *)
+let lock_target t key mode =
+  match t.config.capabilities.granularity with
+  | Record_level -> (key, mode)
+  | Page_level when internal_key key -> (key, mode)
+  | Page_level ->
+    let obj =
+      match Btree.find t.index key with
+      | Some (rid : Icdb_storage.Heap.rid) -> "page:" ^ string_of_int rid.page
+      | None -> "page:alloc"
+    in
+    let mode =
+      match mode with
+      | Mode.Shared -> Mode.Shared
+      | Mode.Exclusive | Mode.Increment -> Mode.Exclusive
+    in
+    (obj, mode)
+
+let lock t txn ~key ~mode =
+  let obj, mode = lock_target t key mode in
+  match Lock.acquire t.locks ~owner:txn.id ~obj ~mode ?timeout:(wait_timeout t) () with
+  | Granted -> check_alive t txn
+  | Timeout ->
+    do_rollback t txn Lock_timeout;
+    raise (Local_abort Lock_timeout)
+  | Deadlock ->
+    do_rollback t txn Deadlock_victim;
+    raise (Local_abort Deadlock_victim)
+
+let run_op t txn f =
+  try
+    check_alive t txn;
+    Ok (f ())
+  with
+  | Local_abort r -> Error r
+  | Lock.Lock_revoked -> (
+    (* The wait was torn down by [kill] or a crash; the rollback already
+       happened on the other side. *)
+    match txn.tstate with
+    | Aborted r -> Error r
+    | Running | Prepared | Committed -> Error Injected)
+
+(* --- optimistic-path helpers ------------------------------------------- *)
+
+let buf_note txn key entry =
+  if not (Hashtbl.mem txn.buf key) then txn.buf_keys <- key :: txn.buf_keys;
+  Hashtbl.replace txn.buf key entry
+
+let occ_visible t txn key =
+  match Hashtbl.find_opt txn.buf key with
+  | Some (Put v) -> Some v
+  | Some Del -> None
+  | Some (Add d) -> (
+    Hashtbl.replace txn.reads key ();
+    match heap_value t key with Some v -> Some (v + d) | None -> Some d)
+  | None ->
+    Hashtbl.replace txn.reads key ();
+    heap_value t key
+
+(* --- public operations -------------------------------------------------- *)
+
+let read t txn key =
+  run_op t txn (fun () ->
+      (match t.config.capabilities.cc with
+      | Locking _ -> lock t txn ~key ~mode:Mode.Shared
+      | Optimistic -> ());
+      consume t txn (op_cost t key);
+      let value =
+        match t.config.capabilities.cc with
+        | Locking _ -> heap_value t key
+        | Optimistic -> occ_visible t txn key
+      in
+      note txn (Read { key; value });
+      value)
+
+let write t txn ~key ~value =
+  run_op t txn (fun () ->
+      (match t.config.capabilities.cc with
+      | Locking _ -> lock t txn ~key ~mode:Mode.Exclusive
+      | Optimistic -> ());
+      consume t txn (op_cost t key);
+      let before =
+        match t.config.capabilities.cc with
+        | Locking _ ->
+          let before = heap_value t key in
+          (match Btree.find t.index key with
+          | Some rid -> do_update t txn rid ~key ~before:(Option.get before) ~after:value
+          | None -> do_insert t txn ~key ~value);
+          before
+        | Optimistic ->
+          (* A blind write must stay blind: looking up the before-image for
+             the access record must not enlarge the validation read set. *)
+          let was_read = Hashtbl.mem txn.reads key in
+          let before = occ_visible t txn key in
+          if not was_read then Hashtbl.remove txn.reads key;
+          buf_note txn key (Put value);
+          before
+      in
+      note txn (Wrote { key; before; after = Some value }))
+
+let delete t txn key =
+  run_op t txn (fun () ->
+      (match t.config.capabilities.cc with
+      | Locking _ -> lock t txn ~key ~mode:Mode.Exclusive
+      | Optimistic -> ());
+      consume t txn (op_cost t key);
+      (match t.config.capabilities.cc with
+      | Locking _ -> (
+        match Btree.find t.index key with
+        | Some rid ->
+          let value = Option.get (heap_value t key) in
+          do_delete t txn rid ~key ~value;
+          note txn (Wrote { key; before = Some value; after = None })
+        | None -> note txn (Wrote { key; before = None; after = None }))
+      | Optimistic ->
+        let was_read = Hashtbl.mem txn.reads key in
+        let before = occ_visible t txn key in
+        if not was_read then Hashtbl.remove txn.reads key;
+        buf_note txn key Del;
+        note txn (Wrote { key; before; after = None })))
+
+let increment t txn ~key ~delta =
+  run_op t txn (fun () ->
+      (match t.config.capabilities.cc with
+      | Locking _ ->
+        let mode =
+          if t.config.capabilities.supports_increment_locks then Mode.Increment
+          else Mode.Exclusive
+        in
+        lock t txn ~key ~mode
+      | Optimistic -> ());
+      consume t txn (op_cost t key);
+      (match t.config.capabilities.cc with
+      | Locking _ -> (
+        match Btree.find t.index key with
+        | Some rid -> do_incr t txn rid ~key ~delta
+        | None -> invalid_arg "Engine.increment: unknown key")
+      | Optimistic ->
+        let entry =
+          match Hashtbl.find_opt txn.buf key with
+          | Some (Add d) -> Add (d + delta)
+          | Some (Put v) -> Put (v + delta)
+          | Some Del -> Put delta
+          | None -> Add delta
+        in
+        buf_note txn key entry);
+      note txn (Incremented { key; delta }))
+
+(* Backward validation: fail if any transaction that committed after we
+   started wrote something we read. *)
+let occ_validate t txn =
+  List.for_all
+    (fun (serial, wset) ->
+      serial <= txn.start_serial
+      || not (Hashtbl.fold (fun k () hit -> hit || Hashtbl.mem wset k) txn.reads false))
+    t.committed_writes
+
+let occ_apply t txn =
+  ignore (Log.append t.log (Begin txn.id));
+  let wset = Hashtbl.create 8 in
+  List.iter
+    (fun key ->
+      Hashtbl.replace wset key ();
+      match Hashtbl.find txn.buf key with
+      | Put value -> (
+        match Btree.find t.index key with
+        | Some rid ->
+          let before = Option.get (heap_value t key) in
+          do_update t txn rid ~key ~before ~after:value
+        | None -> do_insert t txn ~key ~value)
+      | Del -> (
+        match Btree.find t.index key with
+        | Some rid ->
+          let value = Option.get (heap_value t key) in
+          do_delete t txn rid ~key ~value
+        | None -> ())
+      | Add delta -> (
+        match Btree.find t.index key with
+        | Some rid -> do_incr t txn rid ~key ~delta
+        | None -> do_insert t txn ~key ~value:delta))
+    (List.rev txn.buf_keys);
+  t.commit_serial <- t.commit_serial + 1;
+  t.committed_writes <- (t.commit_serial, wset) :: t.committed_writes;
+  (* Prune validation history nobody can conflict with anymore. *)
+  let min_start =
+    Hashtbl.fold (fun _ live acc -> min live.start_serial acc) t.live t.commit_serial
+  in
+  t.committed_writes <-
+    List.filter (fun (serial, _) -> serial > min_start) t.committed_writes
+
+(* Make the transaction's commit record durable. With group commit the
+   caller blocks until the batch's single force; a crash inside the window
+   aborts the waiters whose commit records were still volatile — and
+   confirms those whose records had already reached stable storage through
+   an earlier WAL-rule force. *)
+let force_commit_record t txn ~lsn =
+  match t.config.group_commit_window with
+  | None -> Log.flush t.log
+  | Some window ->
+    Fiber.await (fun resume ->
+        t.gc_waiters <- { gw_lsn = lsn; gw_txn = txn; gw_resume = resume } :: t.gc_waiters;
+        if not t.gc_scheduled then begin
+          t.gc_scheduled <- true;
+          ignore
+            (Sim.schedule t.engine ~delay:window (fun () ->
+                 t.gc_scheduled <- false;
+                 if t.up then begin
+                   Log.flush t.log;
+                   let waiters = List.rev t.gc_waiters in
+                   t.gc_waiters <- [];
+                   List.iter (fun w -> w.gw_resume (Ok ())) waiters
+                 end))
+        end)
+
+let finish_commit t txn =
+  txn.committing <- true;
+  let lsn = Log.append t.log (Commit txn.id) in
+  force_commit_record t txn ~lsn;
+  txn.tstate <- Committed;
+  Hashtbl.remove t.live txn.id;
+  t.commits <- t.commits + 1;
+  Lock.release_all t.locks ~owner:txn.id
+
+let commit t txn =
+  run_op t txn (fun () ->
+      consume t txn t.config.commit_delay;
+      match t.config.capabilities.cc with
+      | Locking _ -> finish_commit t txn
+      | Optimistic ->
+        if occ_validate t txn then begin
+          occ_apply t txn;
+          finish_commit t txn
+        end
+        else begin
+          do_rollback t txn Validation_failed;
+          raise (Local_abort Validation_failed)
+        end)
+
+let abort t txn =
+  match txn.tstate with
+  | Running when not txn.committing -> do_rollback t txn Requested
+  | Running | Prepared | Committed | Aborted _ -> ()
+
+let kill t txn =
+  match txn.tstate with
+  | Running when not txn.committing -> do_rollback t txn Injected
+  | Running | Prepared | Committed | Aborted _ -> ()
+
+(* --- prepare / in-doubt -------------------------------------------------- *)
+
+let prepare t txn =
+  if not t.config.capabilities.supports_prepare then
+    failwith "Engine.prepare: this local system has no ready state";
+  run_op t txn (fun () ->
+      consume t txn t.config.commit_delay;
+      ignore (Log.append t.log (Prepare { txn = txn.id; last = txn.last_lsn }));
+      Log.flush t.log;
+      txn.tstate <- Prepared)
+
+(* Index consistency after undoing a transaction recovered from the log:
+   simplest correct answer is a full rebuild from the heap. *)
+let rebuild_index t =
+  t.index <- Btree.create ();
+  Heap.iter t.heap (fun rid key _ -> Btree.insert t.index key rid)
+
+let resolve_prepared t ~txn_id ~commit:decide_commit =
+  match Hashtbl.find_opt t.live txn_id with
+  | Some txn when txn.tstate = Prepared ->
+    if decide_commit then finish_commit t txn else do_rollback t txn Requested
+  | Some _ -> failwith "Engine.resolve_prepared: transaction is not prepared"
+  | None -> (
+    match Hashtbl.find_opt t.in_doubt_tbl txn_id with
+    | None -> failwith "Engine.resolve_prepared: unknown transaction"
+    | Some last ->
+      Hashtbl.remove t.in_doubt_tbl txn_id;
+      if decide_commit then begin
+        ignore (Log.append t.log (Commit txn_id));
+        Log.flush t.log;
+        t.commits <- t.commits + 1
+      end
+      else begin
+        ignore (Recovery.undo_chain t.log t.pool ~txn:txn_id ~from:last);
+        rebuild_index t;
+        record_abort t Requested
+      end;
+      Lock.release_all t.locks ~owner:txn_id)
+
+let in_doubt t = Hashtbl.fold (fun id _ acc -> id :: acc) t.in_doubt_tbl [] |> List.sort compare
+
+let running_transactions t =
+  Hashtbl.fold (fun _ txn acc -> if txn.tstate = Running then txn :: acc else acc) t.live []
+
+let abort_txn_id t ~txn_id =
+  match Hashtbl.find_opt t.live txn_id with
+  | Some txn when txn.tstate = Running ->
+    do_rollback t txn Requested;
+    true
+  | Some _ | None -> false
+
+(* --- crash / restart ----------------------------------------------------- *)
+
+let crash t =
+  if t.up then begin
+    t.up <- false;
+    Log.crash t.log;
+    Bp.drop_all t.pool;
+    (* Group-commit waiters first: a commit record that reached stable
+       storage (e.g. through a WAL-rule force) means the transaction
+       committed despite the crash; a volatile one means it did not. *)
+    let waiters = List.rev t.gc_waiters in
+    t.gc_waiters <- [];
+    List.iter
+      (fun w ->
+        if w.gw_lsn <= Log.flushed_lsn t.log then begin
+          w.gw_txn.tstate <- Committed;
+          w.gw_resume (Ok ())
+        end
+        else begin
+          w.gw_txn.tstate <- Aborted Site_crashed;
+          record_abort t Site_crashed;
+          w.gw_resume (Error (Local_abort Site_crashed))
+        end)
+      waiters;
+    Hashtbl.iter
+      (fun _ txn ->
+        match txn.tstate with
+        | Running ->
+          txn.tstate <- Aborted Site_crashed;
+          record_abort t Site_crashed
+        | Prepared | Committed | Aborted _ -> ())
+      t.live;
+    Hashtbl.reset t.live;
+    Hashtbl.reset t.in_doubt_tbl;
+    t.committed_writes <- [];
+    Lock.reset t.locks
+  end
+
+let reacquire_in_doubt_locks t txn_id =
+  Log.iter t.log (fun _ record ->
+      match record with
+      | Op { txn; op; _ } when txn = txn_id ->
+        let key =
+          match op with
+          | Insert { key; _ } | Delete { key; _ } | Update { key; _ } | Incr { key; _ } -> key
+        in
+        let obj, mode = lock_target t key Mode.Exclusive in
+        ignore (Lock.try_acquire t.locks ~owner:txn_id ~obj ~mode)
+      | _ -> ())
+
+let restart t =
+  if t.up then invalid_arg "Engine.restart: site is up";
+  t.pool <- Bp.create ~capacity:t.config.buffer_capacity t.disk;
+  install_wal_hook t;
+  t.heap <- Heap.recover t.disk t.pool;
+  let outcome = Recovery.restart t.log t.pool in
+  rebuild_index t;
+  t.locks <- new_lock_table t.engine (fun ~obj ~duration -> t.hold_hook ~obj ~duration);
+  List.iter
+    (fun (txn_id, last) ->
+      Hashtbl.replace t.in_doubt_tbl txn_id last;
+      reacquire_in_doubt_locks t txn_id)
+    outcome.in_doubt;
+  t.up <- true;
+  outcome
+
+let is_up t = t.up
+
+(* --- inspection & metrics ------------------------------------------------ *)
+
+let committed_value t key = heap_value t key
+
+let committed_keys t =
+  Btree.keys t.index
+
+let load t rows =
+  let txn = fresh_txn t in
+  ignore (Log.append t.log (Begin txn.id));
+  List.iter (fun (key, value) -> do_insert t txn ~key ~value) rows;
+  ignore (Log.append t.log (Commit txn.id));
+  Log.flush t.log
+
+(* A sharp checkpoint: force pages (log first via the WAL hook), log the
+   checkpoint record, then drop the log prefix nobody can need — the oldest
+   record still reachable from any live, prepared or in-doubt transaction
+   bounds the truncation. *)
+let checkpoint t =
+  if not t.up then invalid_arg "Engine.checkpoint: site is down";
+  Bp.flush_all t.pool;
+  let active =
+    Hashtbl.fold (fun id txn acc -> (id, txn.last_lsn) :: acc) t.live []
+    |> List.sort compare
+  in
+  let ck_lsn = Log.append t.log (Checkpoint { active; dirty = [] }) in
+  Log.flush t.log;
+  let active_ids = Hashtbl.create 16 in
+  Hashtbl.iter (fun id _ -> Hashtbl.replace active_ids id ()) t.live;
+  Hashtbl.iter (fun id _ -> Hashtbl.replace active_ids id ()) t.in_doubt_tbl;
+  let bound = ref ck_lsn in
+  Log.iter t.log (fun lsn record ->
+      let touch id = if Hashtbl.mem active_ids id && lsn < !bound then bound := lsn in
+      match record with
+      | Begin id | Commit id | Abort id -> touch id
+      | Op { txn; _ } | Clr { txn; _ } | Prepare { txn; _ } -> touch txn
+      | Checkpoint _ -> ());
+  Log.truncate_prefix t.log ~keep_from:!bound
+
+let () = checkpoint_impl := checkpoint
+
+let commit_count t = t.commits
+
+let abort_count t = Hashtbl.fold (fun _ n acc -> acc + n) t.abort_tally 0
+
+let abort_counts t =
+  Hashtbl.fold (fun reason n acc -> (reason, n) :: acc) t.abort_tally []
+  |> List.sort compare
+
+let wal t = t.log
+let flush_buffers t = Bp.flush_all t.pool
+let set_hold_time_hook t f = t.hold_hook <- f
+let lock_wait_count t = Lock.wait_count t.locks
+let lock_deadlock_count t = Lock.deadlock_count t.locks
+let lock_timeout_count t = Lock.timeout_count t.locks

@@ -1,0 +1,1 @@
+lib/lock/lock_table.ml: Hashtbl Icdb_sim List Option Queue

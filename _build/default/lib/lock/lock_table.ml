@@ -1,0 +1,319 @@
+module Engine = Icdb_sim.Engine
+module Fiber = Icdb_sim.Fiber
+
+type outcome = Granted | Timeout | Deadlock
+
+exception Lock_revoked
+
+type 'mode holder = { h_owner : int; mutable h_mode : 'mode; mutable acquired_at : float }
+
+type 'mode waiter = {
+  w_owner : int;
+  w_mode : 'mode;
+  w_upgrade : bool;
+  mutable w_active : bool;
+  w_resume : outcome Fiber.resumer;
+}
+
+type 'mode entry = { mutable holders : 'mode holder list; waiters : 'mode waiter Queue.t }
+
+type 'mode t = {
+  engine : Engine.t;
+  compatible : 'mode -> 'mode -> bool;
+  combine : 'mode -> 'mode -> 'mode;
+  entries : (string, 'mode entry) Hashtbl.t;
+  (* owner -> set of objects held, for O(held) release_all *)
+  owned : (int, (string, unit) Hashtbl.t) Hashtbl.t;
+  (* owner -> the single wait it is currently blocked in *)
+  waiting_on : (int, string * 'mode waiter) Hashtbl.t;
+  mutable hold_time_hook : obj:string -> duration:float -> unit;
+  mutable acquisitions : int;
+  mutable waits : int;
+  mutable deadlocks : int;
+  mutable timeouts : int;
+}
+
+let create engine ~compatible ~combine =
+  {
+    engine;
+    compatible;
+    combine;
+    entries = Hashtbl.create 256;
+    owned = Hashtbl.create 64;
+    waiting_on = Hashtbl.create 64;
+    hold_time_hook = (fun ~obj:_ ~duration:_ -> ());
+    acquisitions = 0;
+    waits = 0;
+    deadlocks = 0;
+    timeouts = 0;
+  }
+
+let entry_of t obj =
+  match Hashtbl.find_opt t.entries obj with
+  | Some e -> e
+  | None ->
+    let e = { holders = []; waiters = Queue.create () } in
+    Hashtbl.replace t.entries obj e;
+    e
+
+let find_holder entry owner = List.find_opt (fun h -> h.h_owner = owner) entry.holders
+
+let note_owned t owner obj =
+  let objs =
+    match Hashtbl.find_opt t.owned owner with
+    | Some objs -> objs
+    | None ->
+      let objs = Hashtbl.create 8 in
+      Hashtbl.replace t.owned owner objs;
+      objs
+  in
+  Hashtbl.replace objs obj ()
+
+let active_waiters entry =
+  Queue.fold (fun acc w -> if w.w_active then w :: acc else acc) [] entry.waiters
+  |> List.rev
+
+(* A request is grantable when every *other* holder's mode is compatible
+   with the (possibly combined) requested mode. *)
+let grantable t entry ~owner ~mode ~upgrade =
+  let want =
+    if upgrade then
+      match find_holder entry owner with
+      | Some h -> t.combine h.h_mode mode
+      | None -> mode
+    else mode
+  in
+  List.for_all
+    (fun h -> h.h_owner = owner || t.compatible h.h_mode want)
+    entry.holders
+
+let grant t entry ~obj ~owner ~mode =
+  (match find_holder entry owner with
+  | Some h -> h.h_mode <- t.combine h.h_mode mode
+  | None ->
+    entry.holders <-
+      { h_owner = owner; h_mode = mode; acquired_at = Engine.now t.engine } :: entry.holders);
+  note_owned t owner obj;
+  t.acquisitions <- t.acquisitions + 1
+
+(* Wake newly grantable waiters: upgrades first (they hold part of the lock
+   already — making them wait behind ordinary requests invites needless
+   deadlocks), then the FIFO prefix of ordinary waiters. *)
+let grant_pass t obj entry =
+  let wake w =
+    w.w_active <- false;
+    Hashtbl.remove t.waiting_on w.w_owner;
+    grant t entry ~obj ~owner:w.w_owner ~mode:w.w_mode;
+    w.w_resume (Ok Granted)
+  in
+  Queue.iter
+    (fun w ->
+      if w.w_active && w.w_upgrade
+         && grantable t entry ~owner:w.w_owner ~mode:w.w_mode ~upgrade:true
+      then wake w)
+    entry.waiters;
+  let continue = ref true in
+  while !continue do
+    match Queue.peek_opt entry.waiters with
+    | None -> continue := false
+    | Some w ->
+      if not w.w_active then ignore (Queue.pop entry.waiters)
+      else if grantable t entry ~owner:w.w_owner ~mode:w.w_mode ~upgrade:w.w_upgrade then begin
+        ignore (Queue.pop entry.waiters);
+        wake w
+      end
+      else continue := false
+  done;
+  if entry.holders = [] && Queue.is_empty entry.waiters then Hashtbl.remove t.entries obj
+
+(* Waits-for edges of a blocked owner: the holders of the object it waits
+   on, plus active waiters queued ahead of it (they will be granted first). *)
+let blockers t owner =
+  match Hashtbl.find_opt t.waiting_on owner with
+  | None -> []
+  | Some (obj, w) -> (
+    match Hashtbl.find_opt t.entries obj with
+    | None -> []
+    | Some entry ->
+      let from_holders =
+        List.filter_map
+          (fun h -> if h.h_owner <> owner then Some h.h_owner else None)
+          entry.holders
+      in
+      let ahead = ref [] in
+      (try
+         Queue.iter
+           (fun w' ->
+             if w' == w then raise Exit
+             else if w'.w_active && w'.w_owner <> owner then ahead := w'.w_owner :: !ahead)
+           entry.waiters
+       with Exit -> ());
+      from_holders @ List.rev !ahead)
+
+(* Would blocking [owner] on [entry] close a waits-for cycle back to it? *)
+let would_deadlock t entry ~owner ~upgrade =
+  let initial =
+    let from_holders =
+      List.filter_map
+        (fun h -> if h.h_owner <> owner then Some h.h_owner else None)
+        entry.holders
+    in
+    if upgrade then from_holders
+    else
+      from_holders
+      @ List.filter_map
+          (fun w -> if w.w_owner <> owner then Some w.w_owner else None)
+          (active_waiters entry)
+  in
+  let visited = Hashtbl.create 16 in
+  let rec reaches_owner node =
+    if node = owner then true
+    else if Hashtbl.mem visited node then false
+    else begin
+      Hashtbl.replace visited node ();
+      List.exists reaches_owner (blockers t node)
+    end
+  in
+  List.exists reaches_owner initial
+
+let acquire t ~owner ~obj ~mode ?timeout () =
+  let entry = entry_of t obj in
+  let upgrade, already_covered =
+    match find_holder entry owner with
+    | Some h ->
+      let want = t.combine h.h_mode mode in
+      (true, want = h.h_mode)
+    | None -> (false, false)
+  in
+  if already_covered then Granted
+  else if
+    grantable t entry ~owner ~mode ~upgrade
+    && (upgrade || Queue.fold (fun acc w -> acc && not w.w_active) true entry.waiters)
+  then begin
+    grant t entry ~obj ~owner ~mode;
+    Granted
+  end
+  else begin
+    t.waits <- t.waits + 1;
+    if would_deadlock t entry ~owner ~upgrade then begin
+      t.deadlocks <- t.deadlocks + 1;
+      Deadlock
+    end
+    else
+      Fiber.await (fun resume ->
+          let w = { w_owner = owner; w_mode = mode; w_upgrade = upgrade; w_active = true; w_resume = resume } in
+          Queue.add w entry.waiters;
+          Hashtbl.replace t.waiting_on owner (obj, w);
+          match timeout with
+          | None -> ()
+          | Some d ->
+            ignore
+              (Engine.schedule t.engine ~delay:d (fun () ->
+                   if w.w_active then begin
+                     w.w_active <- false;
+                     Hashtbl.remove t.waiting_on owner;
+                     t.timeouts <- t.timeouts + 1;
+                     resume (Ok Timeout)
+                   end)))
+  end
+
+let try_acquire t ~owner ~obj ~mode =
+  let entry = entry_of t obj in
+  let upgrade = Option.is_some (find_holder entry owner) in
+  if
+    grantable t entry ~owner ~mode ~upgrade
+    && (upgrade || Queue.fold (fun acc w -> acc && not w.w_active) true entry.waiters)
+  then begin
+    grant t entry ~obj ~owner ~mode;
+    true
+  end
+  else begin
+    if entry.holders = [] && Queue.is_empty entry.waiters then Hashtbl.remove t.entries obj;
+    false
+  end
+
+let drop_holder t obj entry owner =
+  match find_holder entry owner with
+  | None -> ()
+  | Some h ->
+    entry.holders <- List.filter (fun h' -> h'.h_owner <> owner) entry.holders;
+    t.hold_time_hook ~obj ~duration:(Engine.now t.engine -. h.acquired_at)
+
+let release t ~owner ~obj =
+  match Hashtbl.find_opt t.entries obj with
+  | None -> ()
+  | Some entry ->
+    drop_holder t obj entry owner;
+    (match Hashtbl.find_opt t.owned owner with
+    | Some objs -> Hashtbl.remove objs obj
+    | None -> ());
+    grant_pass t obj entry
+
+let cancel_wait t owner =
+  match Hashtbl.find_opt t.waiting_on owner with
+  | None -> ()
+  | Some (obj, w) ->
+    w.w_active <- false;
+    Hashtbl.remove t.waiting_on owner;
+    w.w_resume (Error Lock_revoked);
+    (match Hashtbl.find_opt t.entries obj with
+    | Some entry -> grant_pass t obj entry
+    | None -> ())
+
+let release_all t ~owner =
+  cancel_wait t owner;
+  match Hashtbl.find_opt t.owned owner with
+  | None -> ()
+  | Some objs ->
+    Hashtbl.remove t.owned owner;
+    Hashtbl.iter
+      (fun obj () ->
+        match Hashtbl.find_opt t.entries obj with
+        | None -> ()
+        | Some entry ->
+          drop_holder t obj entry owner;
+          grant_pass t obj entry)
+      objs
+
+let reset t =
+  let pending =
+    Hashtbl.fold (fun _ (_, w) acc -> w :: acc) t.waiting_on []
+  in
+  Hashtbl.reset t.entries;
+  Hashtbl.reset t.owned;
+  Hashtbl.reset t.waiting_on;
+  List.iter
+    (fun w ->
+      if w.w_active then begin
+        w.w_active <- false;
+        w.w_resume (Error Lock_revoked)
+      end)
+    pending
+
+let held t ~owner =
+  match Hashtbl.find_opt t.owned owner with
+  | None -> []
+  | Some objs ->
+    Hashtbl.fold
+      (fun obj () acc ->
+        match Hashtbl.find_opt t.entries obj with
+        | None -> acc
+        | Some entry -> (
+          match find_holder entry owner with
+          | Some h -> (obj, h.h_mode) :: acc
+          | None -> acc))
+      objs []
+    |> List.sort compare
+
+let holders t ~obj =
+  match Hashtbl.find_opt t.entries obj with
+  | None -> []
+  | Some entry ->
+    List.map (fun h -> (h.h_owner, h.h_mode)) entry.holders |> List.sort compare
+
+let set_hold_time_hook t f = t.hold_time_hook <- f
+let acquisition_count t = t.acquisitions
+let wait_count t = t.waits
+let deadlock_count t = t.deadlocks
+let timeout_count t = t.timeouts
+let blocked_count t = Hashtbl.length t.waiting_on

@@ -1,0 +1,29 @@
+type t = Shared | Exclusive | Increment
+
+let compatible a b =
+  match (a, b) with
+  | Shared, Shared -> true
+  | Increment, Increment -> true
+  | Shared, (Exclusive | Increment)
+  | Exclusive, (Shared | Exclusive | Increment)
+  | Increment, (Shared | Exclusive) ->
+    false
+
+let combine a b =
+  match (a, b) with
+  | Shared, Shared -> Shared
+  | Increment, Increment -> Increment
+  | Shared, (Exclusive | Increment)
+  | Exclusive, (Shared | Exclusive | Increment)
+  | Increment, (Shared | Exclusive) ->
+    Exclusive
+
+let covers ~held ~want =
+  match (held, want) with
+  | Exclusive, (Shared | Exclusive | Increment) -> true
+  | Shared, Shared -> true
+  | Increment, Increment -> true
+  | Shared, (Exclusive | Increment) | Increment, (Shared | Exclusive) -> false
+
+let to_string = function Shared -> "S" | Exclusive -> "X" | Increment -> "I"
+let pp fmt t = Format.pp_print_string fmt (to_string t)

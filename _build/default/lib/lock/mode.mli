@@ -1,0 +1,30 @@
+(** Record-level lock modes for the local databases.
+
+    Beyond the classical shared/exclusive pair there is an [Increment] mode:
+    increments commute with each other, so concurrent increment locks on the
+    same object are compatible — the key enabler of the paper's Figure 8
+    example at level L1, and usable at L0 by engines that expose an
+    increment primitive. *)
+
+type t = Shared | Exclusive | Increment
+
+(** Compatibility matrix:
+    {v
+                 S      X      I
+         S      yes     no     no
+         X       no     no     no
+         I       no     no    yes
+    v} *)
+val compatible : t -> t -> bool
+
+(** [combine a b] is the weakest mode at least as strong as both — the mode
+    an owner ends up holding after a re-entrant request ([S]+[I] or any mix
+    involving incompatibility collapses to [Exclusive]). *)
+val combine : t -> t -> t
+
+(** [covers ~held ~want]: a holder of [held] may perform actions requiring
+    [want] without a new request. *)
+val covers : held:t -> want:t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

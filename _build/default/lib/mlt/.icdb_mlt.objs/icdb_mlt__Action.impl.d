@@ -1,0 +1,1 @@
+lib/mlt/action.ml: Conflict Format Icdb_localdb Printf

@@ -1,0 +1,1 @@
+lib/mlt/action.mli: Conflict Format Icdb_localdb

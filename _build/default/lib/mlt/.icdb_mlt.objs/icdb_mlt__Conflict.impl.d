@@ -1,0 +1,1 @@
+lib/mlt/conflict.ml: Hashtbl List String

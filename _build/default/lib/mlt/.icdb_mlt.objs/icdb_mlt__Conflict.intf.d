@@ -1,0 +1,1 @@
+lib/mlt/conflict.mli:

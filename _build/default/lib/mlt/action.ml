@@ -1,0 +1,57 @@
+module Program = Icdb_localdb.Program
+
+type t = {
+  name : string;
+  site : string;
+  target : string;
+  clazz : Conflict.clazz;
+  program : Program.t;
+  inverse : Program.t;
+}
+
+let make ~name ~site ~target ~clazz ~program ~inverse =
+  { name; site; target; clazz; program; inverse }
+
+let l1_object t = t.site ^ "/" ^ t.target
+
+let pp fmt t = Format.fprintf fmt "%s@%s[%s:%s]" t.name t.site t.target t.clazz
+
+let increment ~site ~key delta =
+  make
+    ~name:(Printf.sprintf "incr(%s,%+d)" key delta)
+    ~site ~target:key ~clazz:"increment"
+    ~program:[ Program.Increment (key, delta) ]
+    ~inverse:[ Program.Increment (key, -delta) ]
+
+let deposit ~site ~account amount =
+  make
+    ~name:(Printf.sprintf "deposit(%s,%d)" account amount)
+    ~site ~target:account ~clazz:"deposit"
+    ~program:[ Program.Increment (account, amount) ]
+    ~inverse:[ Program.Increment (account, -amount) ]
+
+let withdraw ~site ~account amount =
+  make
+    ~name:(Printf.sprintf "withdraw(%s,%d)" account amount)
+    ~site ~target:account ~clazz:"withdraw"
+    ~program:[ Program.Increment (account, -amount) ]
+    ~inverse:[ Program.Increment (account, amount) ]
+
+let read_balance ~site ~account =
+  make
+    ~name:(Printf.sprintf "read-balance(%s)" account)
+    ~site ~target:account ~clazz:"read-balance"
+    ~program:[ Program.Read account ]
+    ~inverse:[]
+
+let write ~site ~key ~before ~after =
+  let inverse =
+    match before with
+    | Some b -> [ Program.Write (key, b) ]
+    | None -> [ Program.Delete key ]
+  in
+  make
+    ~name:(Printf.sprintf "write(%s,%d)" key after)
+    ~site ~target:key ~clazz:"write"
+    ~program:[ Program.Write (key, after) ]
+    ~inverse

@@ -1,0 +1,53 @@
+(** L1 actions of multi-level transactions (§4).
+
+    An L1 action is one semantic step of a global transaction — "deposit 50
+    into account 7 at site B" — implemented as one L0 transaction at one
+    local system. It carries:
+    - the conflict class used for L1 locking ({!Conflict});
+    - the L0 [program] implementing it;
+    - its [inverse] program, executed as a fresh L0 transaction to undo the
+      action after it has committed (the L1 undo-log stores these).
+
+    The L1 lock object is [site ^ "/" ^ target], so the same account name at
+    different sites never aliases. *)
+
+type t = {
+  name : string;  (** human-readable, for traces ("deposit(acct-7,+50)") *)
+  site : string;  (** the local system executing the action *)
+  target : string;  (** the logical object the L1 lock protects *)
+  clazz : Conflict.clazz;
+  program : Icdb_localdb.Program.t;
+  inverse : Icdb_localdb.Program.t;
+}
+
+val make :
+  name:string ->
+  site:string ->
+  target:string ->
+  clazz:Conflict.clazz ->
+  program:Icdb_localdb.Program.t ->
+  inverse:Icdb_localdb.Program.t ->
+  t
+
+(** The L1 lock object name. *)
+val l1_object : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** {2 Common action constructors} *)
+
+(** [increment ~site ~key delta] — clazz ["increment"], inverse negates. *)
+val increment : site:string -> key:string -> int -> t
+
+(** [deposit ~site ~account amount] / [withdraw ~site ~account amount] —
+    banking classes; inverses are the opposite movement. *)
+val deposit : site:string -> account:string -> int -> t
+
+val withdraw : site:string -> account:string -> int -> t
+
+(** [read_balance ~site ~account] — clazz ["read-balance"], empty inverse. *)
+val read_balance : site:string -> account:string -> t
+
+(** [write ~site ~key ~before ~after] — clazz ["write"]; the inverse
+    restores [before] ([None] deletes the key). Non-commuting. *)
+val write : site:string -> key:string -> before:int option -> after:int -> t

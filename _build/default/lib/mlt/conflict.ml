@@ -1,0 +1,52 @@
+type clazz = string
+
+type t = { commuting : (clazz * clazz, unit) Hashtbl.t }
+
+let of_commuting_pairs pairs =
+  let commuting = Hashtbl.create 32 in
+  List.iter
+    (fun (a, b) ->
+      Hashtbl.replace commuting (a, b) ();
+      Hashtbl.replace commuting (b, a) ())
+    pairs;
+  { commuting }
+
+let commute_base t a b = Hashtbl.mem t.commuting (a, b)
+
+(* Re-entrant L1 requests merge classes into a '+'-joined synthetic class
+   that conflicts like the union of its parts. *)
+let parts c = String.split_on_char '+' c
+
+let commute t c1 c2 =
+  List.for_all (fun a -> List.for_all (fun b -> commute_base t a b) (parts c2)) (parts c1)
+
+let compatible = commute
+
+let combine _t c1 c2 =
+  if c1 = c2 then c1
+  else String.concat "+" (List.sort_uniq compare (parts c1 @ parts c2))
+
+let read_write_increment =
+  of_commuting_pairs
+    [
+      ("read", "read");
+      ("increment", "increment");
+      ("increment", "decrement");
+      ("decrement", "decrement");
+    ]
+
+let banking =
+  of_commuting_pairs
+    [
+      ("deposit", "deposit");
+      ("deposit", "withdraw");
+      ("withdraw", "withdraw");
+      ("deposit", "transfer-in");
+      ("deposit", "transfer-out");
+      ("withdraw", "transfer-in");
+      ("withdraw", "transfer-out");
+      ("transfer-in", "transfer-in");
+      ("transfer-in", "transfer-out");
+      ("transfer-out", "transfer-out");
+      ("read-balance", "read-balance");
+    ]

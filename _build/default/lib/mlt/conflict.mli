@@ -1,0 +1,41 @@
+(** L1 conflict relations from action commutativity (§4.1).
+
+    "Two L1 actions a1 and a2 are in conflict if they do not generally
+    commute." An L1 lock in class [c1] is compatible with one in class [c2]
+    exactly when the classes commute. The relation is given per action
+    {e class} (e.g. every [deposit] commutes with every [withdraw]), which
+    matches the paper's use of method commutativity in VODAK. *)
+
+type clazz = string
+
+type t
+
+(** [of_commuting_pairs pairs] builds a relation in which [c1] and [c2]
+    commute iff [(c1, c2)] or [(c2, c1)] is listed. Note that a class only
+    commutes with itself if [(c, c)] is listed. *)
+val of_commuting_pairs : (clazz * clazz) list -> t
+
+(** [commute t c1 c2]. Unknown classes commute with nothing. *)
+val commute : t -> clazz -> clazz -> bool
+
+(** The relation for read/write/increment actions:
+    - [read] commutes with [read];
+    - [increment] commutes with [increment] (and [decrement], its alias);
+    - [write] commutes with nothing;
+    - everything else conflicts. *)
+val read_write_increment : t
+
+(** The relation for the banking workload: [deposit], [withdraw] and each
+    other commute (both are increments of a balance); [read-balance]
+    commutes only with itself; [transfer-in]/[transfer-out] behave like
+    deposit/withdraw. *)
+val banking : t
+
+(** Combination for re-entrant L1 requests: classes are joined into a
+    synthetic class that conflicts like the union of the two. Exposed for
+    use as the lock table's [combine]. *)
+val combine : t -> clazz -> clazz -> clazz
+
+(** [compatible t] is [commute t] extended to handle {!combine}d classes —
+    pass this to {!Icdb_lock.Lock_table.create}. *)
+val compatible : t -> clazz -> clazz -> bool

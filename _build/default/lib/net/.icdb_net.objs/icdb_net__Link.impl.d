@@ -1,0 +1,1 @@
+lib/net/link.ml: Hashtbl Icdb_sim Icdb_util List Option

@@ -1,0 +1,1 @@
+lib/net/site.ml: Icdb_localdb Icdb_sim Int64 Link List

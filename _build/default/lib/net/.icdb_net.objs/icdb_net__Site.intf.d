@@ -1,0 +1,1 @@
+lib/net/site.mli: Icdb_localdb Icdb_sim Icdb_wal Link

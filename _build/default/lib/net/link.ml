@@ -1,0 +1,107 @@
+module Sim = Icdb_sim.Engine
+module Fiber = Icdb_sim.Fiber
+module Rng = Icdb_util.Rng
+
+type t = {
+  engine : Sim.t;
+  latency : float;
+  loss : float;
+  rng : Rng.t;
+  retry_timeout : float;
+  counts : (string, int) Hashtbl.t;
+  mutable total : int;
+  mutable dropped : int;
+}
+
+let create engine ~latency ?(loss = 0.0) ?(loss_seed = 7L) ?retry_timeout () =
+  if latency < 0.0 then invalid_arg "Link.create: negative latency";
+  if loss < 0.0 || loss >= 1.0 then invalid_arg "Link.create: loss must be in [0,1)";
+  {
+    engine;
+    latency;
+    loss;
+    rng = Rng.create loss_seed;
+    retry_timeout =
+      (match retry_timeout with Some r -> r | None -> (6.0 *. latency) +. 1.0);
+    counts = Hashtbl.create 16;
+    total = 0;
+    dropped = 0;
+  }
+
+let count t label =
+  t.total <- t.total + 1;
+  let current = Option.value ~default:0 (Hashtbl.find_opt t.counts label) in
+  Hashtbl.replace t.counts label (current + 1)
+
+let lost t =
+  t.loss > 0.0
+  &&
+  let drop = Rng.bernoulli t.rng t.loss in
+  if drop then t.dropped <- t.dropped + 1;
+  drop
+
+(* At-least-once request/reply with receiver-side dedup: the handler runs on
+   the first request copy that arrives; later copies replay the memoized
+   reply. Every copy pays a latency and is counted. *)
+let rpc t ~label f =
+  let executed = ref None in
+  let rec attempt () =
+    count t label;
+    if lost t then begin
+      (* request copy dropped: wait out the retransmission timer *)
+      Fiber.sleep t.engine t.retry_timeout;
+      attempt ()
+    end
+    else begin
+      Fiber.sleep t.engine t.latency;
+      let reply_label, value =
+        match !executed with
+        | Some reply -> reply
+        | None ->
+          let reply = f () in
+          executed := Some reply;
+          reply
+      in
+      count t reply_label;
+      if lost t then begin
+        (* reply copy dropped *)
+        Fiber.sleep t.engine t.retry_timeout;
+        attempt ()
+      end
+      else begin
+        Fiber.sleep t.engine t.latency;
+        value
+      end
+    end
+  in
+  attempt ()
+
+(* One-way datagram, retransmitted blindly until a copy gets through; the
+   effect runs once (on the first delivered copy). *)
+let send t ~label f =
+  let rec attempt () =
+    count t label;
+    if lost t then begin
+      Fiber.sleep t.engine t.retry_timeout;
+      attempt ()
+    end
+    else begin
+      Fiber.sleep t.engine t.latency;
+      f ()
+    end
+  in
+  attempt ()
+
+let message_count t = t.total
+
+let messages_by_label t =
+  Hashtbl.fold (fun label n acc -> (label, n) :: acc) t.counts [] |> List.sort compare
+
+let dropped_count t = t.dropped
+
+let reset_counters t =
+  Hashtbl.reset t.counts;
+  t.total <- 0;
+  t.dropped <- 0
+
+let latency t = t.latency

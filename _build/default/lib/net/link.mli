@@ -1,0 +1,58 @@
+(** Point-to-point link between the central system and one local system.
+
+    Figure 1 of the paper: local systems talk only to the central system, so
+    the topology is a star and one link per site suffices. A link delays
+    traffic by a fixed virtual latency per direction and counts every
+    message by label — the raw data of the V5 message-complexity
+    experiment.
+
+    {1 Loss}
+
+    With [?loss] set, each message copy is dropped with that probability.
+    {!rpc} then behaves as an {b at-least-once} request/reply: the sender
+    retransmits after a timeout, and the receiver deduplicates by request
+    id, caching the reply — so the handler [f] runs exactly once no matter
+    how many copies of the request arrive, while the wire carries (and the
+    counters show) every retransmission. This is the regime in which the
+    protocols' database-resident markers earn their keep. One-way
+    {!send}s are retransmitted blindly until one copy gets through (no
+    acknowledgement — the receiver-side effect runs once). *)
+
+type t
+
+(** [create engine ~latency] with [latency >= 0] per direction.
+    [loss] is the per-copy drop probability (default [0.]); [loss_seed]
+    makes drops deterministic. [retry_timeout] is the sender's
+    retransmission deadline (default [6 x latency + 1]). *)
+val create :
+  Icdb_sim.Engine.t ->
+  latency:float ->
+  ?loss:float ->
+  ?loss_seed:int64 ->
+  ?retry_timeout:float ->
+  unit ->
+  t
+
+(** [rpc t ~label f] models "central sends a request labelled [label]; the
+    site processes it with [f]; the site replies". Costs two messages and
+    two latencies on a clean wire (more under loss). The reply is counted
+    with the label returned by [f] (so a "prepare" request can be answered
+    by "ready" or "aborted"). Must run in a fiber. *)
+val rpc : t -> label:string -> (unit -> string * 'a) -> 'a
+
+(** [send t ~label f] is a one-way message; [f] runs once when the first
+    copy arrives. Returns after the effect has happened (retransmissions
+    are simulated inline). *)
+val send : t -> label:string -> (unit -> unit) -> unit
+
+(** Total messages carried (including retransmitted copies), and per-label
+    counts (sorted by label). *)
+val message_count : t -> int
+
+val messages_by_label : t -> (string * int) list
+
+(** Copies dropped by the lossy wire. *)
+val dropped_count : t -> int
+
+val reset_counters : t -> unit
+val latency : t -> float

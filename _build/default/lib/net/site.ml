@@ -1,0 +1,44 @@
+module Sim = Icdb_sim.Engine
+module Fiber = Icdb_sim.Fiber
+module Db = Icdb_localdb.Engine
+
+type t = {
+  engine : Sim.t;
+  db : Db.t;
+  link : Link.t;
+  mutable up_waiters : unit Fiber.resumer list;
+}
+
+let create engine ?(latency = 1.0) ?(loss = 0.0) config =
+  {
+    engine;
+    db = Db.create engine config;
+    link =
+      Link.create engine ~latency ~loss
+        ~loss_seed:(Int64.add config.Db.seed 77L) ();
+    up_waiters = [];
+  }
+
+let name t = Db.name t.db
+let db t = t.db
+let link t = t.link
+let engine t = t.engine
+
+let crash t = Db.crash t.db
+
+let restart t =
+  let outcome = Db.restart t.db in
+  let waiters = List.rev t.up_waiters in
+  t.up_waiters <- [];
+  List.iter (fun resume -> resume (Ok ())) waiters;
+  outcome
+
+let crash_for t ~duration =
+  crash t;
+  ignore (Sim.schedule t.engine ~delay:duration (fun () -> ignore (restart t)))
+
+let await_up t =
+  if not (Db.is_up t.db) then
+    Fiber.await (fun resume -> t.up_waiters <- resume :: t.up_waiters)
+
+let is_up t = Db.is_up t.db

@@ -1,0 +1,41 @@
+(** One local system of the federation: a communication manager's endpoint
+    bundling the local database engine with its link to the central system.
+
+    The communication manager of the paper "listens on the net for global
+    calls and passes them to the existing database system"; here the
+    protocol code in [Icdb_core] runs its per-site logic through
+    {!Link.rpc}, and [Site] supplies the pieces that logic needs — the
+    engine, the link, and crash orchestration ({!crash_for},
+    {!await_up}: the paper's "the global transaction manager has to wait
+    for the local system to come up again"). *)
+
+type t
+
+val create :
+  Icdb_sim.Engine.t ->
+  ?latency:float ->
+  ?loss:float ->
+  Icdb_localdb.Engine.config ->
+  t
+
+val name : t -> string
+val db : t -> Icdb_localdb.Engine.t
+val link : t -> Link.t
+val engine : t -> Icdb_sim.Engine.t
+
+(** [crash t] takes the site down immediately (volatile state lost). *)
+val crash : t -> unit
+
+(** [restart t] runs restart recovery, reopens the site and wakes every
+    fiber blocked in {!await_up}. Returns the recovery report. *)
+val restart : t -> Icdb_wal.Recovery.outcome
+
+(** [crash_for t ~duration] crashes now and schedules the restart [duration]
+    virtual-time units later. Callable from anywhere (no fiber needed). *)
+val crash_for : t -> duration:float -> unit
+
+(** [await_up t] returns immediately when the site is up, otherwise blocks
+    the calling fiber until the next {!restart}. *)
+val await_up : t -> unit
+
+val is_up : t -> bool

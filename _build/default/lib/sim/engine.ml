@@ -1,0 +1,123 @@
+type event = {
+  time : float;
+  seq : int; (* tie-breaker: FIFO among same-time events *)
+  thunk : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type event_id = event
+
+(* Binary min-heap ordered by (time, seq). *)
+type t = {
+  mutable heap : event array;
+  mutable size : int;
+  mutable now : float;
+  mutable next_seq : int;
+  mutable live : int; (* pending minus cancelled *)
+}
+
+let dummy = { time = 0.0; seq = -1; thunk = (fun () -> ()); cancelled = true }
+
+let create () = { heap = Array.make 64 dummy; size = 0; now = 0.0; next_seq = 0; live = 0 }
+
+let now t = t.now
+
+let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if earlier t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && earlier t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && earlier t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t ev =
+  if t.size = Array.length t.heap then begin
+    let bigger = Array.make (2 * t.size) dummy in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end;
+  t.heap.(t.size) <- ev;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  let ev = t.heap.(0) in
+  t.size <- t.size - 1;
+  t.heap.(0) <- t.heap.(t.size);
+  t.heap.(t.size) <- dummy;
+  if t.size > 0 then sift_down t 0;
+  ev
+
+let schedule t ~delay thunk =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  let ev = { time = t.now +. delay; seq = t.next_seq; thunk; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  push t ev;
+  t.live <- t.live + 1;
+  ev
+
+let cancel t ev =
+  if not ev.cancelled then begin
+    ev.cancelled <- true;
+    t.live <- t.live - 1
+  end
+
+(* Pops cancelled events lazily; returns the next live event if any. *)
+let rec next_live t =
+  if t.size = 0 then None
+  else
+    let ev = pop t in
+    if ev.cancelled then next_live t else Some ev
+
+let step t =
+  match next_live t with
+  | None -> false
+  | Some ev ->
+    t.now <- ev.time;
+    t.live <- t.live - 1;
+    ev.thunk ();
+    true
+
+let run t =
+  while step t do
+    ()
+  done
+
+let run_until t horizon =
+  let continue = ref true in
+  while !continue do
+    match next_live t with
+    | None -> continue := false
+    | Some ev ->
+      if ev.time > horizon then begin
+        (* Put it back: not yet due. *)
+        push t ev;
+        continue := false
+      end
+      else begin
+        t.now <- ev.time;
+        t.live <- t.live - 1;
+        ev.thunk ()
+      end
+  done;
+  if t.now < horizon then t.now <- horizon
+
+let pending t = t.live

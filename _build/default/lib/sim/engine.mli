@@ -1,0 +1,43 @@
+(** Deterministic discrete-event simulation core.
+
+    The engine owns a virtual clock and a priority queue of events. Events
+    scheduled for the same instant fire in scheduling order (FIFO), which —
+    together with the explicit {!Icdb_util.Rng} streams — makes every run of
+    the federation bit-for-bit reproducible.
+
+    Time is a dimensionless [float]; the experiments interpret one unit as
+    "one millisecond" but nothing depends on that. *)
+
+type t
+
+(** Handle to a scheduled event, usable with {!cancel}. *)
+type event_id
+
+(** A fresh engine at time [0.]. *)
+val create : unit -> t
+
+(** Current virtual time. *)
+val now : t -> float
+
+(** [schedule t ~delay f] runs [f] at time [now t +. delay]. [delay] must be
+    non-negative; [Invalid_argument] otherwise. Returns a cancellation
+    handle. *)
+val schedule : t -> delay:float -> (unit -> unit) -> event_id
+
+(** [cancel t id] prevents a pending event from firing. Cancelling an event
+    that already fired (or was cancelled) is a no-op. *)
+val cancel : t -> event_id -> unit
+
+(** [step t] fires the single earliest pending event; [false] if none. *)
+val step : t -> bool
+
+(** [run t] fires events until the queue is empty. Exceptions escaping an
+    event callback abort the run and propagate. *)
+val run : t -> unit
+
+(** [run_until t horizon] fires events with time [<= horizon], then advances
+    the clock to [horizon]. Later events stay queued. *)
+val run_until : t -> float -> unit
+
+(** Number of pending (non-cancelled) events. *)
+val pending : t -> int

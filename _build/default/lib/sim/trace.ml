@@ -1,0 +1,43 @@
+type entry = { time : float; actor : string; label : string }
+
+type t = { engine : Engine.t; mutable entries : entry list (* reversed *) }
+
+let create engine = { engine; entries = [] }
+
+let record t ~actor label =
+  t.entries <- { time = Engine.now t.engine; actor; label } :: t.entries
+
+let entries t = List.rev t.entries
+
+let find t ~actor ~label =
+  let rec scan = function
+    | [] -> None
+    | e :: rest ->
+      if e.actor = actor && e.label = label then Some e.time else scan rest
+  in
+  scan (entries t)
+
+let find_all t ~label =
+  List.filter_map
+    (fun e -> if e.label = label then Some (e.time, e.actor) else None)
+    (entries t)
+
+let before t ~first ~then_ =
+  let rec scan seen_first = function
+    | [] -> false
+    | e :: rest ->
+      if e.label = first && not seen_first then scan true rest
+      else if e.label = then_ then seen_first
+      else scan seen_first rest
+  in
+  scan false (entries t)
+
+let length t = List.length t.entries
+let clear t = t.entries <- []
+
+let render t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun e -> Buffer.add_string buf (Printf.sprintf "t=%8.2f  [%-12s] %s\n" e.time e.actor e.label))
+    (entries t);
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+lib/storage/heap.ml: Buffer_pool Disk Format Fun Int64 List Option Page Record

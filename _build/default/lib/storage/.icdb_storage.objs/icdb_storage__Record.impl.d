@@ -1,0 +1,1 @@
+lib/storage/record.ml: Bytes Int64 String

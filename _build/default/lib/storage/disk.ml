@@ -1,0 +1,42 @@
+type page_id = int
+
+type t = {
+  mutable pages : Page.t array;
+  mutable count : int;
+  mutable reads : int;
+  mutable writes : int;
+}
+
+let create () = { pages = Array.make 16 (Page.create ()); count = 0; reads = 0; writes = 0 }
+
+let allocate t =
+  if t.count = Array.length t.pages then begin
+    let bigger = Array.make (2 * t.count) (Page.create ()) in
+    Array.blit t.pages 0 bigger 0 t.count;
+    t.pages <- bigger
+  end;
+  let pid = t.count in
+  t.pages.(pid) <- Page.create ();
+  t.count <- t.count + 1;
+  pid
+
+let check t pid =
+  if pid < 0 || pid >= t.count then invalid_arg "Disk: unallocated page id"
+
+let read t pid =
+  check t pid;
+  t.reads <- t.reads + 1;
+  Page.copy t.pages.(pid)
+
+let write t pid page =
+  check t pid;
+  t.writes <- t.writes + 1;
+  t.pages.(pid) <- Page.copy page
+
+let page_count t = t.count
+let read_count t = t.reads
+let write_count t = t.writes
+
+let reset_counters t =
+  t.reads <- 0;
+  t.writes <- 0

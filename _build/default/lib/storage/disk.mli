@@ -1,0 +1,32 @@
+(** Simulated stable storage.
+
+    A disk is an append-allocated array of page images. Contents written here
+    survive site crashes (the buffer pool and all other in-memory state do
+    not). Reads and writes hand out/store {e copies}, so a cached page being
+    mutated in the buffer pool never changes stable state until it is
+    explicitly written back — this is what makes the crash-window tests of
+    DESIGN.md experiment V6 meaningful. *)
+
+type t
+
+type page_id = int
+
+val create : unit -> t
+
+(** [allocate t] extends the disk by one zeroed page and returns its id. *)
+val allocate : t -> page_id
+
+(** [read t pid] is a private copy of the stable image.
+    Raises [Invalid_argument] on an unallocated id. *)
+val read : t -> page_id -> Page.t
+
+(** [write t pid page] replaces the stable image with a copy of [page]. *)
+val write : t -> page_id -> Page.t -> unit
+
+val page_count : t -> int
+
+(** I/O accounting, reported by the experiment runner. *)
+val read_count : t -> int
+
+val write_count : t -> int
+val reset_counters : t -> unit

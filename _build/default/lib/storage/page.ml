@@ -1,0 +1,158 @@
+type t = bytes
+
+let size = 4096
+let header_bytes = 12
+let dir_entry_bytes = 4
+
+let lsn t = Bytes.get_int64_be t 0
+let set_lsn t v = Bytes.set_int64_be t 0 v
+
+let slot_count t = Bytes.get_uint16_be t 8
+let set_slot_count t n = Bytes.set_uint16_be t 8 n
+
+(* Lowest byte occupied by payload data; free space is
+   [dir_end, data_floor). *)
+let data_floor t = Bytes.get_uint16_be t 10
+let set_data_floor t v = Bytes.set_uint16_be t 10 v
+
+let create () =
+  let t = Bytes.make size '\000' in
+  set_data_floor t size;
+  t
+
+let copy t = Bytes.copy t
+
+let dir_offset slot = header_bytes + (slot * dir_entry_bytes)
+let dir_end t = dir_offset (slot_count t)
+
+let slot_entry t slot =
+  let off = Bytes.get_uint16_be t (dir_offset slot) in
+  let len = Bytes.get_uint16_be t (dir_offset slot + 2) in
+  (off, len)
+
+let set_slot_entry t slot ~off ~len =
+  Bytes.set_uint16_be t (dir_offset slot) off;
+  Bytes.set_uint16_be t (dir_offset slot + 2) len
+
+let is_live t slot =
+  slot >= 0 && slot < slot_count t && fst (slot_entry t slot) <> 0
+
+let read t ~slot =
+  if not (is_live t slot) then None
+  else begin
+    let off, len = slot_entry t slot in
+    Some (Bytes.sub t off len)
+  end
+
+let live_payload_bytes t =
+  let acc = ref 0 in
+  for s = 0 to slot_count t - 1 do
+    let off, len = slot_entry t s in
+    if off <> 0 then acc := !acc + len
+  done;
+  !acc
+
+(* Rewrites all live payloads against the end of the page, eliminating the
+   holes left by deletes and relocating updates. Slot numbers are stable. *)
+let compact t =
+  let records =
+    List.filter_map
+      (fun s ->
+        let off, len = slot_entry t s in
+        if off = 0 then None else Some (s, Bytes.sub t off len))
+      (List.init (slot_count t) Fun.id)
+  in
+  let floor = ref size in
+  List.iter
+    (fun (s, payload) ->
+      let len = Bytes.length payload in
+      floor := !floor - len;
+      Bytes.blit payload 0 t !floor len;
+      set_slot_entry t s ~off:!floor ~len)
+    records;
+  set_data_floor t !floor
+
+let free_space t =
+  size - dir_end t - dir_entry_bytes - live_payload_bytes t
+
+let contiguous_free t = data_floor t - dir_end t
+
+(* Places a payload in [want_slot] (revival by rollback/redo) or in a fresh
+   directory slot. Returns [None] if even compaction cannot make room. *)
+let place t ~payload ~want_slot =
+  let len = Bytes.length payload in
+  if len = 0 || len > size - header_bytes - dir_entry_bytes then
+    invalid_arg "Page.insert: bad payload size";
+  (* Fresh inserts never reuse a dead slot: a tombstoned slot may still be
+     the target of some transaction's rollback or of restart redo
+     ([insert_at]), so it stays reserved forever (ghost-record rule). *)
+  let slot, needs_dir_entry =
+    match want_slot with
+    | Some s -> (s, s >= slot_count t)
+    | None -> (slot_count t, true)
+  in
+  let dir_growth =
+    if needs_dir_entry then dir_entry_bytes * (slot + 1 - slot_count t) else 0
+  in
+  let usable = size - dir_end t - dir_growth - live_payload_bytes t in
+  if usable < len then None
+  else begin
+    if contiguous_free t - dir_growth < len then compact t;
+    if needs_dir_entry then begin
+      (* Zero any intermediate new slots so they read as dead. *)
+      for s = slot_count t to slot do
+        set_slot_entry t s ~off:0 ~len:0
+      done;
+      set_slot_count t (slot + 1)
+    end;
+    let floor = data_floor t - len in
+    Bytes.blit payload 0 t floor len;
+    set_slot_entry t slot ~off:floor ~len;
+    set_data_floor t floor;
+    Some slot
+  end
+
+let insert t ~payload = place t ~payload ~want_slot:None
+
+let insert_at t ~slot ~payload =
+  if slot < 0 then invalid_arg "Page.insert_at: negative slot";
+  if is_live t slot then false
+  else
+    match place t ~payload ~want_slot:(Some slot) with
+    | Some _ -> true
+    | None -> false
+
+let delete t ~slot =
+  if not (is_live t slot) then false
+  else begin
+    set_slot_entry t slot ~off:0 ~len:0;
+    true
+  end
+
+let update t ~slot ~payload =
+  if not (is_live t slot) then false
+  else begin
+    let off, len = slot_entry t slot in
+    let new_len = Bytes.length payload in
+    if new_len = len then begin
+      Bytes.blit payload 0 t off len;
+      true
+    end
+    else begin
+      (* Relocate within the page; roll back the tombstone on failure. *)
+      set_slot_entry t slot ~off:0 ~len:0;
+      match place t ~payload ~want_slot:(Some slot) with
+      | Some _ -> true
+      | None ->
+        set_slot_entry t slot ~off ~len;
+        false
+    end
+  end
+
+let live t =
+  List.filter_map
+    (fun s ->
+      match read t ~slot:s with
+      | Some payload -> Some (s, payload)
+      | None -> None)
+    (List.init (slot_count t) Fun.id)

@@ -1,0 +1,52 @@
+(** In-memory B+-tree with string keys.
+
+    The local database engines use it as their key index: point lookups,
+    ordered iteration (index rebuild after restart, sorted key listings)
+    and range scans. Values live only in the leaves; leaves are linked for
+    cheap in-order traversal. The fanout is fixed at a classic node size;
+    the structure invariants (sortedness, occupancy, balanced height) are
+    checked by [invariant_check] and exercised by property tests. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** [insert t key v] adds or replaces the binding. *)
+val insert : 'a t -> string -> 'a -> unit
+
+val find : 'a t -> string -> 'a option
+val mem : 'a t -> string -> bool
+
+(** [remove t key] deletes the binding; [false] when absent. *)
+val remove : 'a t -> string -> bool
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** Smallest / largest key. *)
+val min_binding : 'a t -> (string * 'a) option
+
+val max_binding : 'a t -> (string * 'a) option
+
+(** In-order iteration over all bindings. *)
+val iter : 'a t -> (string -> 'a -> unit) -> unit
+
+val fold : 'a t -> init:'b -> f:('b -> string -> 'a -> 'b) -> 'b
+
+(** [range t ~lo ~hi f] applies [f] to bindings with [lo <= key <= hi], in
+    order. [None] bounds are open ends. *)
+val range : 'a t -> lo:string option -> hi:string option -> (string -> 'a -> unit) -> unit
+
+(** All bindings in key order. *)
+val to_list : 'a t -> (string * 'a) list
+
+(** Sorted key list. *)
+val keys : 'a t -> string list
+
+(** Tree height (leaf = 1); exposed for balance tests. *)
+val height : 'a t -> int
+
+(** [invariant_check t] raises [Failure] describing the first violated
+    structural invariant (key order, separator correctness, occupancy,
+    uniform leaf depth); returns [()] on a well-formed tree. *)
+val invariant_check : 'a t -> unit

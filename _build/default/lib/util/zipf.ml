@@ -1,0 +1,37 @@
+type t = {
+  n : int;
+  theta : float;
+  cdf : float array; (* cdf.(k) = P(X <= k); binary-searched at sample time *)
+}
+
+let create ~n ~theta =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if theta < 0.0 then invalid_arg "Zipf.create: theta must be non-negative";
+  let weights = Array.init n (fun k -> 1.0 /. ((float_of_int (k + 1)) ** theta)) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for k = 0 to n - 1 do
+    acc := !acc +. (weights.(k) /. total);
+    cdf.(k) <- !acc
+  done;
+  cdf.(n - 1) <- 1.0;
+  { n; theta; cdf }
+
+let n t = t.n
+let theta t = t.theta
+
+let sample t rng =
+  let u = Rng.float rng 1.0 in
+  (* Smallest k with cdf.(k) > u. *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.cdf.(mid) > u then search lo mid else search (mid + 1) hi
+  in
+  search 0 (t.n - 1)
+
+let probability t k =
+  if k < 0 || k >= t.n then invalid_arg "Zipf.probability: out of range";
+  if k = 0 then t.cdf.(0) else t.cdf.(k) -. t.cdf.(k - 1)

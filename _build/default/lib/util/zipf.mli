@@ -1,0 +1,26 @@
+(** Zipf-distributed sampling over [\[0, n)].
+
+    Database workloads exhibit skewed access: a few hot records receive most
+    of the traffic. The experiment runner uses a Zipf sampler to control
+    conflict rates in the V1-V3 sweeps (see DESIGN.md section 4). *)
+
+type t
+
+(** [create ~n ~theta] prepares a sampler over [\[0, n)] with skew parameter
+    [theta >= 0]. [theta = 0] is the uniform distribution; [theta ~ 0.99] is
+    the classical YCSB-style hot-spot skew. Raises [Invalid_argument] if
+    [n <= 0] or [theta < 0]. *)
+val create : n:int -> theta:float -> t
+
+(** [n t] is the size of the sampled domain. *)
+val n : t -> int
+
+(** [theta t] is the skew parameter the sampler was built with. *)
+val theta : t -> float
+
+(** [sample t rng] draws one value; rank 0 is the most popular. *)
+val sample : t -> Rng.t -> int
+
+(** [probability t k] is the exact probability of drawing [k]; handy for
+    tests. Raises [Invalid_argument] if [k] is out of range. *)
+val probability : t -> int -> float

@@ -1,0 +1,1 @@
+lib/wal/log.ml: Array Format Icdb_storage

@@ -1,0 +1,1 @@
+lib/wal/recovery.ml: Hashtbl Icdb_storage Int64 List Log

@@ -1,0 +1,120 @@
+type lsn = int
+
+let null_lsn = 0
+
+type txn_id = int
+
+type op =
+  | Insert of { rid : Icdb_storage.Heap.rid; key : string; value : int }
+  | Delete of { rid : Icdb_storage.Heap.rid; key : string; value : int }
+  | Update of { rid : Icdb_storage.Heap.rid; key : string; before : int; after : int }
+  | Incr of { rid : Icdb_storage.Heap.rid; key : string; delta : int }
+
+type record =
+  | Begin of txn_id
+  | Op of { txn : txn_id; op : op; prev : lsn }
+  | Commit of txn_id
+  | Abort of txn_id
+  | Clr of { txn : txn_id; op : op; next_undo : lsn }
+  | Prepare of { txn : txn_id; last : lsn }
+  | Checkpoint of { active : (txn_id * lsn) list; dirty : Icdb_storage.Disk.page_id list }
+
+let pp_op fmt = function
+  | Insert { rid; key; value } ->
+    Format.fprintf fmt "insert %a %s=%d" Icdb_storage.Heap.pp_rid rid key value
+  | Delete { rid; key; value } ->
+    Format.fprintf fmt "delete %a %s=%d" Icdb_storage.Heap.pp_rid rid key value
+  | Update { rid; key; before; after } ->
+    Format.fprintf fmt "update %a %s: %d->%d" Icdb_storage.Heap.pp_rid rid key before after
+  | Incr { rid; key; delta } ->
+    Format.fprintf fmt "incr %a %s %+d" Icdb_storage.Heap.pp_rid rid key delta
+
+let pp_record fmt = function
+  | Begin txn -> Format.fprintf fmt "BEGIN t%d" txn
+  | Op { txn; op; prev } -> Format.fprintf fmt "OP t%d prev=%d %a" txn prev pp_op op
+  | Commit txn -> Format.fprintf fmt "COMMIT t%d" txn
+  | Abort txn -> Format.fprintf fmt "ABORT t%d" txn
+  | Clr { txn; op; next_undo } ->
+    Format.fprintf fmt "CLR t%d next_undo=%d %a" txn next_undo pp_op op
+  | Prepare { txn; last } -> Format.fprintf fmt "PREPARE t%d last=%d" txn last
+  | Checkpoint { active; dirty } ->
+    Format.fprintf fmt "CHECKPOINT active=[%a] dirty=[%a]"
+      (Format.pp_print_list
+         ~pp_sep:(fun f () -> Format.pp_print_string f "; ")
+         (fun f (t, l) -> Format.fprintf f "t%d@%d" t l))
+      active
+      (Format.pp_print_list
+         ~pp_sep:(fun f () -> Format.pp_print_string f "; ")
+         Format.pp_print_int)
+      dirty
+
+(* [base] records discarded by truncation: the record with LSN [l] lives at
+   index [l - base - 1]; [len] counts retained records. *)
+type t = {
+  mutable records : record array;
+  mutable base : int;
+  mutable len : int;
+  mutable flushed : lsn;
+  mutable forces : int;
+}
+
+let dummy = Begin (-1)
+
+let create () = { records = Array.make 64 dummy; base = 0; len = 0; flushed = 0; forces = 0 }
+
+let last_lsn t = t.base + t.len
+
+let append t r =
+  if t.len = Array.length t.records then begin
+    let bigger = Array.make (2 * max 1 t.len) dummy in
+    Array.blit t.records 0 bigger 0 t.len;
+    t.records <- bigger
+  end;
+  t.records.(t.len) <- r;
+  t.len <- t.len + 1;
+  last_lsn t
+
+let flush t =
+  if t.flushed < last_lsn t then begin
+    t.flushed <- last_lsn t;
+    t.forces <- t.forces + 1
+  end
+
+let flush_to t lsn =
+  if lsn > t.flushed then begin
+    t.flushed <- min lsn (last_lsn t);
+    t.forces <- t.forces + 1
+  end
+
+let flushed_lsn t = t.flushed
+
+let get t lsn =
+  if lsn <= t.base || lsn > last_lsn t then invalid_arg "Log.get: LSN out of range";
+  t.records.(lsn - t.base - 1)
+
+let crash t = t.len <- max 0 (t.flushed - t.base)
+
+let first_lsn t = t.base + 1
+
+let truncate_prefix t ~keep_from =
+  let keep_from = max keep_from (first_lsn t) in
+  let keep_from = min keep_from (last_lsn t + 1) in
+  let drop = keep_from - t.base - 1 in
+  if drop > 0 then begin
+    let remaining = t.len - drop in
+    let fresh = Array.make (max 64 remaining) dummy in
+    Array.blit t.records drop fresh 0 remaining;
+    t.records <- fresh;
+    t.base <- t.base + drop;
+    t.len <- remaining;
+    if t.flushed < t.base then t.flushed <- t.base
+  end
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f (t.base + i + 1) t.records.(i)
+  done
+
+let force_count t = t.forces
+let record_count t = last_lsn t
+let retained_count t = t.len

@@ -1,0 +1,45 @@
+(** Restart recovery (ARIES-style analysis / redo / undo).
+
+    After a site crash the stable state is: the disk pages as last written,
+    plus the durable prefix of the log. [restart] brings the database back to
+    a transaction-consistent state:
+
+    - {b Analysis} scans the log and classifies transactions: finished,
+      in-doubt (a durable [Prepare] but no outcome — only possible on
+      2PC-capable sites), or losers.
+    - {b Redo} replays every physical operation whose effect did not reach
+      the disk, using the page-LSN test — redo is idempotent, so recovering
+      twice (or crashing during recovery) is harmless.
+    - {b Undo} rolls back the losers, logging a compensation record per
+      undone operation so a crash mid-undo never undoes twice.
+
+    In-doubt transactions are {e not} rolled back: they wait for the global
+    decision, exactly the blocking behaviour of 2PC the paper discusses. *)
+
+type outcome = {
+  rolled_back : Log.txn_id list;  (** losers undone by this restart *)
+  in_doubt : (Log.txn_id * Log.lsn) list;
+      (** prepared transactions awaiting a global decision, with the LSN of
+          their last undoable record *)
+  committed : Log.txn_id list;  (** transactions whose commit was durable *)
+  redo_count : int;  (** physical operations re-applied *)
+  undo_count : int;  (** compensation records written *)
+}
+
+(** [inverse op] is the physical operation that cancels [op]; inverses are
+    their own inverses. *)
+val inverse : Log.op -> Log.op
+
+(** [apply_op pool ~lsn op] applies [op] to the buffered page {e iff} the
+    page LSN is older than [lsn], then stamps [lsn] — the idempotent-redo
+    primitive shared by restart and by the engine's forward path. *)
+val apply_op : Icdb_storage.Buffer_pool.t -> lsn:Log.lsn -> Log.op -> unit
+
+(** [undo_chain log pool ~txn ~from] rolls back one transaction from LSN
+    [from] following its [prev] chain, writing CLRs; returns the number of
+    operations undone. Used by restart and by a live engine resolving an
+    in-doubt transaction with a global abort. *)
+val undo_chain : Log.t -> Icdb_storage.Buffer_pool.t -> txn:Log.txn_id -> from:Log.lsn -> int
+
+(** [restart log pool] runs the three passes and forces the log. *)
+val restart : Log.t -> Icdb_storage.Buffer_pool.t -> outcome

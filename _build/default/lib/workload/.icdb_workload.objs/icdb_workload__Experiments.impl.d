@@ -1,0 +1,1 @@
+lib/workload/experiments.ml: Array Buffer Format Icdb_core Icdb_localdb Icdb_mlt Icdb_net Icdb_sim Icdb_util List Option Printf Protocol Runner String

@@ -1,0 +1,1 @@
+lib/workload/protocol.ml: Icdb_core Printf

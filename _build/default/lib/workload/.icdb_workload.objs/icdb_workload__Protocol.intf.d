@@ -1,0 +1,1 @@
+lib/workload/protocol.mli: Icdb_core

@@ -1,0 +1,1 @@
+lib/workload/runner.ml: Array Format Hashtbl Icdb_core Icdb_localdb Icdb_lock Icdb_mlt Icdb_net Icdb_sim Icdb_util Icdb_wal Int64 List Printf Protocol

@@ -1,0 +1,31 @@
+(** Protocol selector used by the runner, the CLI and the benches. *)
+
+type t =
+  | Two_phase  (** §3.1 baseline — needs prepare-capable sites *)
+  | Presumed_abort
+      (** [ML 83] variant of 2PC: presumed abort + read-only optimization *)
+  | After  (** §3.2 local commitment after the global decision *)
+  | Before  (** §3.3 standalone commitment before the decision *)
+  | Before_mlt  (** §4 commitment before, fused with multi-level txns *)
+  | Hybrid
+      (** extension: 2PC legs on prepare-capable sites, commitment-before
+          legs elsewhere *)
+
+val name : t -> string
+
+(** Every protocol, paper ones first. *)
+val all : t list
+
+(** The four protocols the paper discusses (no extensions). *)
+val paper : t list
+
+(** Whether the protocol consumes flat specs ([true]) or MLT specs. *)
+val is_flat : t -> bool
+
+(** [of_string s] accepts ["2pc"], ["2pc-pa"], ["after"], ["before"],
+    ["before-mlt"], ["hybrid"]. *)
+val of_string : string -> (t, string) result
+
+(** Dispatch a flat spec. Raises [Invalid_argument] on [Before_mlt]. *)
+val run_flat :
+  t -> Icdb_core.Federation.t -> Icdb_core.Global.spec -> Icdb_core.Global.outcome

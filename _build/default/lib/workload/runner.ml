@@ -1,0 +1,340 @@
+module Sim = Icdb_sim.Engine
+module Fiber = Icdb_sim.Fiber
+module Rng = Icdb_util.Rng
+module Zipf = Icdb_util.Zipf
+module Db = Icdb_localdb.Engine
+module Program = Icdb_localdb.Program
+module Site = Icdb_net.Site
+module Action = Icdb_mlt.Action
+module Federation = Icdb_core.Federation
+module Global = Icdb_core.Global
+module Metrics = Icdb_core.Metrics
+module Action_log = Icdb_core.Action_log
+module Graph = Icdb_core.Serialization_graph
+module Lock = Icdb_lock.Lock_table
+
+type config = {
+  protocol : Protocol.t;
+  seed : int64;
+  n_sites : int;
+  accounts_per_site : int;
+  initial_balance : int;
+  n_txns : int;
+  concurrency : int;
+  branches_per_txn : int;
+  ops_per_branch : int;
+  zipf_theta : float;
+  use_increments : bool;
+  read_fraction : float;
+  p_intended_abort : float;
+  p_spontaneous : float;
+  spontaneous_window : float * float;
+  crash_rate : float;
+  crash_duration : float;
+  latency : float;
+  op_delay : float;
+  commit_delay : float;
+  lock_wait_timeout : float option;
+  granularity : Db.granularity;
+  prepare_capable : bool;
+  global_cc_enabled : bool;
+  mlt_action_retries : int;
+  mixed_capabilities : bool;
+  group_commit_window : float option;
+  checkpoint_interval : float option;
+  heterogeneous_cc : bool;
+  message_loss : float;
+}
+
+let default =
+  {
+    protocol = Protocol.Before;
+    seed = 42L;
+    n_sites = 4;
+    accounts_per_site = 32;
+    initial_balance = 1000;
+    n_txns = 200;
+    concurrency = 8;
+    branches_per_txn = 2;
+    ops_per_branch = 2;
+    zipf_theta = 0.6;
+    use_increments = true;
+    read_fraction = 0.5;
+    p_intended_abort = 0.0;
+    p_spontaneous = 0.0;
+    spontaneous_window = (2.0, 20.0);
+    crash_rate = 0.0;
+    crash_duration = 30.0;
+    latency = 1.0;
+    op_delay = 1.0;
+    commit_delay = 2.0;
+    lock_wait_timeout = Some 100.0;
+    granularity = Db.Record_level;
+    prepare_capable = true;
+    global_cc_enabled = true;
+    mlt_action_retries = 0;
+    mixed_capabilities = false;
+    group_commit_window = None;
+    checkpoint_interval = None;
+    heterogeneous_cc = false;
+    message_loss = 0.0;
+  }
+
+type report = {
+  elapsed : float;
+  started : int;
+  committed : int;
+  aborted : int;
+  throughput : float;
+  mean_response : float;
+  p95_response : float;
+  mean_hold : float;
+  p95_hold : float;
+  messages : int;
+  messages_per_committed : float;
+  messages_by_label : (string * int) list;
+  repetitions : int;
+  compensations : int;
+  redo_log_writes : int;
+  undo_log_writes : int;
+  mlt_log_writes : int;
+  global_cc_acquisitions : int;
+  l1_acquisitions : int;
+  local_lock_waits : int;
+  local_lock_timeouts : int;
+  local_lock_deadlocks : int;
+  money_before : int;
+  money_after : int;
+  money_conserved : bool;
+  serializable : bool;
+  violations : string list;
+  decision_log_entries : int;
+  log_forces : int;
+  log_forces_per_commit : float;
+  messages_dropped : int;
+}
+
+let site_name i = Printf.sprintf "site-%d" i
+let account_name i = Printf.sprintf "acct-%03d" i
+
+let site_config cfg i =
+  (* A hybrid federation is mixed by construction: alternate sites expose
+     the prepared state. *)
+  (* Heterogeneous CC: every third site runs an optimistic scheduler, the
+     rest lock. Optimistic sites cannot expose a prepared state. *)
+  let optimistic = cfg.heterogeneous_cc && i mod 3 = 2 in
+  let supports_prepare =
+    (not optimistic)
+    &&
+    match cfg.protocol with
+    | Protocol.Hybrid -> i mod 2 = 0
+    | _ when cfg.mixed_capabilities -> i mod 2 = 0
+    | _ -> cfg.prepare_capable
+  in
+  {
+    Db.site_name = site_name i;
+    capabilities =
+      {
+        supports_prepare;
+        supports_increment_locks = true;
+        granularity = cfg.granularity;
+        cc =
+          (if optimistic then Db.Optimistic
+           else Locking { wait_timeout = cfg.lock_wait_timeout });
+      };
+    op_delay = cfg.op_delay;
+    commit_delay = cfg.commit_delay;
+    buffer_capacity = 64;
+    spontaneous =
+      (if cfg.p_spontaneous > 0.0 then
+         Some
+           {
+             probability = cfg.p_spontaneous;
+             min_delay = fst cfg.spontaneous_window;
+             max_delay = snd cfg.spontaneous_window;
+           }
+       else None);
+    seed = Int64.add cfg.seed (Int64.of_int (1000 + i));
+    group_commit_window = cfg.group_commit_window;
+    checkpoint_interval = cfg.checkpoint_interval;
+  }
+
+(* Balanced increment deltas: each op moves a random amount, the last op of
+   the last branch absorbs the slack so the transaction nets to zero. *)
+let balanced_deltas rng ~n =
+  let deltas = Array.init n (fun _ -> Rng.int_in_range rng ~lo:(-20) ~hi:20) in
+  let total = Array.fold_left ( + ) 0 deltas in
+  deltas.(n - 1) <- deltas.(n - 1) - total;
+  deltas
+
+let flat_spec cfg fed rng zipf =
+  let gid = Federation.fresh_gid fed in
+  let branches_n = min cfg.branches_per_txn cfg.n_sites in
+  let sites = Rng.sample_distinct rng ~n:branches_n ~bound:cfg.n_sites in
+  let abort_branch =
+    if Rng.bernoulli rng cfg.p_intended_abort then Some (Rng.int rng branches_n) else None
+  in
+  let n_ops = branches_n * cfg.ops_per_branch in
+  let deltas = if cfg.use_increments then balanced_deltas rng ~n:n_ops else [||] in
+  let branches =
+    List.mapi
+      (fun bi site_idx ->
+        let program =
+          List.init cfg.ops_per_branch (fun oi ->
+              let account = account_name (Zipf.sample zipf rng) in
+              if cfg.use_increments then
+                Program.Increment (account, deltas.((bi * cfg.ops_per_branch) + oi))
+              else if Rng.bernoulli rng cfg.read_fraction then Program.Read account
+              else Program.Write (account, Rng.int rng 10_000))
+        in
+        Global.branch ~vote_commit:(abort_branch <> Some bi) ~site:(site_name site_idx)
+          program)
+      sites
+  in
+  { Global.gid; branches }
+
+let mlt_spec cfg fed rng zipf =
+  let gid = Federation.fresh_gid fed in
+  let branches_n = min cfg.branches_per_txn cfg.n_sites in
+  let sites = Rng.sample_distinct rng ~n:branches_n ~bound:cfg.n_sites in
+  let n_ops = branches_n * cfg.ops_per_branch in
+  let deltas = if cfg.use_increments then balanced_deltas rng ~n:n_ops else [||] in
+  let actions =
+    List.concat
+      (List.mapi
+         (fun bi site_idx ->
+           List.init cfg.ops_per_branch (fun oi ->
+               let site = site_name site_idx in
+               let account = account_name (Zipf.sample zipf rng) in
+               if cfg.use_increments then begin
+                 let delta = deltas.((bi * cfg.ops_per_branch) + oi) in
+                 if delta >= 0 then Action.deposit ~site ~account delta
+                 else Action.withdraw ~site ~account (-delta)
+               end
+               else if Rng.bernoulli rng cfg.read_fraction then
+                 Action.read_balance ~site ~account
+               else
+                 (* A blind overwrite is not invertible without the before
+                    image; MLT models it as a non-commuting write whose
+                    inverse the action itself cannot know, so the generator
+                    uses increments disguised as writes instead. *)
+                 Action.increment ~site ~key:account (Rng.int_in_range rng ~lo:(-10) ~hi:10)))
+         sites)
+  in
+  let abort_after =
+    if Rng.bernoulli rng cfg.p_intended_abort then Some (Rng.int rng (List.length actions))
+    else None
+  in
+  { Global.mlt_gid = gid; actions; abort_after }
+
+let run cfg =
+  if cfg.n_sites <= 0 || cfg.n_txns < 0 || cfg.concurrency <= 0 then
+    invalid_arg "Runner.run: bad configuration";
+  let engine = Sim.create () in
+  let configs = List.init cfg.n_sites (site_config cfg) in
+  let fed = Federation.create engine ~latency:cfg.latency ~loss:cfg.message_loss configs in
+  fed.global_cc_enabled <- cfg.global_cc_enabled;
+  (* Preload accounts. *)
+  let rows = List.init cfg.accounts_per_site (fun i -> (account_name i, cfg.initial_balance)) in
+  List.iter (fun (_, site) -> Db.load (Site.db site) rows) fed.sites;
+  let money_before = cfg.n_sites * cfg.accounts_per_site * cfg.initial_balance in
+  let master_rng = Rng.create cfg.seed in
+  let zipf = Zipf.create ~n:cfg.accounts_per_site ~theta:cfg.zipf_theta in
+  let issued = ref 0 in
+  let finished_at = ref 0.0 in
+  let stop_crashes = ref false in
+  (* Crash injectors, one per site. *)
+  if cfg.crash_rate > 0.0 then
+    List.iter
+      (fun (_, site) ->
+        let rng = Rng.split master_rng in
+        Fiber.spawn engine (fun () ->
+            let rec loop () =
+              Fiber.sleep engine (Rng.exponential rng ~mean:(1000.0 /. cfg.crash_rate));
+              if not !stop_crashes then begin
+                if Site.is_up site then Site.crash_for site ~duration:cfg.crash_duration;
+                loop ()
+              end
+            in
+            loop ()))
+      fed.sites;
+  (* Workers. *)
+  let worker rng () =
+    let rec loop () =
+      if !issued < cfg.n_txns then begin
+        incr issued;
+        (match cfg.protocol with
+        | Protocol.Before_mlt ->
+          ignore
+            (Icdb_core.Commit_before_mlt.run ~action_retries:cfg.mlt_action_retries fed
+               (mlt_spec cfg fed rng zipf))
+        | flat -> ignore (Protocol.run_flat flat fed (flat_spec cfg fed rng zipf)));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  Fiber.spawn engine (fun () ->
+      let workers =
+        List.init cfg.concurrency (fun _ ->
+            let rng = Rng.split master_rng in
+            worker rng)
+      in
+      ignore (Fiber.all engine workers);
+      finished_at := Sim.now engine;
+      stop_crashes := true);
+  Sim.run engine;
+  (* Make sure every site is up so the final snapshot sees recovered state. *)
+  List.iter
+    (fun (_, site) -> if not (Site.is_up site) then ignore (Site.restart site))
+    fed.sites;
+  let elapsed = if !finished_at > 0.0 then !finished_at else Sim.now engine in
+  let m = fed.metrics in
+  let committed = Metrics.committed m in
+  let messages = Federation.total_messages fed in
+  let money_after =
+    List.fold_left (fun acc (_, _, v) -> acc + v) 0 (Federation.snapshot fed)
+  in
+  let violations = Graph.violations fed.graph in
+  let sum f = List.fold_left (fun acc (_, site) -> acc + f (Site.db site)) 0 fed.sites in
+  {
+    elapsed;
+    started = Metrics.started m;
+    committed;
+    aborted = Metrics.aborted m;
+    throughput = (if elapsed > 0.0 then float_of_int committed /. elapsed *. 1000.0 else 0.0);
+    mean_response = Metrics.mean_response_time m;
+    p95_response = Metrics.p95_response_time m;
+    mean_hold = Metrics.mean_hold_time m;
+    p95_hold = Metrics.p95_hold_time m;
+    messages;
+    messages_per_committed =
+      (if committed > 0 then float_of_int messages /. float_of_int committed else 0.0);
+    messages_by_label = Federation.messages_by_label fed;
+    repetitions = Metrics.repetitions m;
+    compensations = Metrics.compensations m;
+    redo_log_writes = Action_log.write_count fed.redo_log;
+    undo_log_writes = Action_log.write_count fed.undo_log;
+    mlt_log_writes = Action_log.write_count fed.mlt_undo_log;
+    global_cc_acquisitions = Metrics.global_lock_acquisitions m;
+    l1_acquisitions = Metrics.l1_lock_acquisitions m;
+    local_lock_waits = sum Db.lock_wait_count;
+    local_lock_timeouts = sum Db.lock_timeout_count;
+    local_lock_deadlocks = sum Db.lock_deadlock_count;
+    money_before;
+    money_after;
+    money_conserved = money_after = money_before;
+    serializable = violations = [];
+    violations = List.map (Format.asprintf "%a" Graph.pp_violation) violations;
+    decision_log_entries = Hashtbl.length fed.decision_log;
+    log_forces = sum (fun db -> Icdb_wal.Log.force_count (Db.wal db));
+    log_forces_per_commit =
+      (if committed > 0 then
+         float_of_int (sum (fun db -> Icdb_wal.Log.force_count (Db.wal db)))
+         /. float_of_int committed
+       else 0.0);
+    messages_dropped =
+      List.fold_left
+        (fun acc (_, site) -> acc + Icdb_net.Link.dropped_count (Site.link site))
+        0 fed.sites;
+  }

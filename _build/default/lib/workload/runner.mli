@@ -1,0 +1,94 @@
+(** Experiment runner: drives a stream of global transactions through one
+    protocol over a freshly built federation and reports every metric the
+    evaluation tables need.
+
+    The default workload is the banking workload the paper's VODAK setting
+    suggests: each global transaction moves money between accounts spread
+    over several sites using commuting increments, so the federation-wide
+    {b total balance is an atomicity invariant} — any protocol bug (lost
+    repetition, double undo, partial commit across a crash) shows up as
+    non-conserved money. Setting [use_increments = false] switches to a
+    read/write mix instead. *)
+
+type config = {
+  protocol : Protocol.t;
+  seed : int64;
+  n_sites : int;
+  accounts_per_site : int;
+  initial_balance : int;
+  n_txns : int;  (** global transactions to run *)
+  concurrency : int;  (** worker fibers (multiprogramming level) *)
+  branches_per_txn : int;  (** distinct sites each global transaction touches *)
+  ops_per_branch : int;
+  zipf_theta : float;  (** account-access skew *)
+  use_increments : bool;
+  read_fraction : float;  (** read/write mix when [use_increments] is off *)
+  p_intended_abort : float;  (** probability a transaction decides to abort *)
+  p_spontaneous : float;  (** per-local-transaction autonomous kill probability *)
+  spontaneous_window : float * float;  (** kill delay range after local begin *)
+  crash_rate : float;  (** expected site crashes per 1000 time units *)
+  crash_duration : float;
+  latency : float;  (** link latency per direction *)
+  op_delay : float;
+  commit_delay : float;
+  lock_wait_timeout : float option;  (** local lock wait bound *)
+  granularity : Icdb_localdb.Engine.granularity;
+  prepare_capable : bool;
+      (** sites expose a ready state (2PC needs it); ignored for [Hybrid],
+          which alternates capable and incapable sites by construction *)
+  global_cc_enabled : bool;  (** V7 switches the additional CC module off *)
+  mlt_action_retries : int;  (** L0 action retries for [Before_mlt] (A3) *)
+  mixed_capabilities : bool;
+      (** alternate prepare-capable / incapable sites regardless of protocol
+          (A2 compares protocols on such a federation) *)
+  group_commit_window : float option;  (** batched log forces (A5) *)
+  checkpoint_interval : float option;  (** periodic sharp checkpoints *)
+  heterogeneous_cc : bool;
+      (** every third site runs an optimistic scheduler (no prepared state)
+          — the paper's "aborted by an optimistic scheduler" systems *)
+  message_loss : float;
+      (** per-message-copy drop probability; links switch to at-least-once
+          delivery with receiver-side dedup (A6) *)
+}
+
+val default : config
+
+type report = {
+  elapsed : float;  (** virtual time until the last worker finished *)
+  started : int;
+  committed : int;
+  aborted : int;
+  throughput : float;  (** committed globals per 1000 virtual time units *)
+  mean_response : float;
+  p95_response : float;
+  mean_hold : float;  (** mean local lock hold time *)
+  p95_hold : float;
+  messages : int;
+  messages_per_committed : float;
+  messages_by_label : (string * int) list;
+  repetitions : int;
+  compensations : int;
+  redo_log_writes : int;
+  undo_log_writes : int;  (** the additional component's log (standalone) *)
+  mlt_log_writes : int;  (** the L1 manager's inherent log *)
+  global_cc_acquisitions : int;  (** additional CC module work *)
+  l1_acquisitions : int;  (** inherent L1 lock work *)
+  local_lock_waits : int;
+  local_lock_timeouts : int;
+  local_lock_deadlocks : int;
+  money_before : int;
+  money_after : int;
+  money_conserved : bool;  (** meaningful only with [use_increments] *)
+  serializable : bool;
+  violations : string list;
+  decision_log_entries : int;
+      (** stable decision records at the central system; presumed-abort
+          writes none for aborts (A1) *)
+  log_forces : int;  (** log force operations across all sites *)
+  log_forces_per_commit : float;
+  messages_dropped : int;  (** copies the lossy wire discarded *)
+}
+
+(** [run config] builds the federation, runs the workload to completion and
+    returns the report. Deterministic in [config.seed]. *)
+val run : config -> report

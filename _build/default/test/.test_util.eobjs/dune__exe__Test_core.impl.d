@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Float Gen Hashtbl Icdb_core Icdb_localdb Icdb_mlt Icdb_net Icdb_sim List Option Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Icdb_core Icdb_localdb Icdb_mlt Icdb_net Icdb_sim List Option

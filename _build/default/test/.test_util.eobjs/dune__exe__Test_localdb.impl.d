@@ -1,0 +1,1 @@
+test/test_localdb.ml: Alcotest Icdb_localdb Icdb_sim Icdb_wal List Option Printf QCheck2 QCheck_alcotest

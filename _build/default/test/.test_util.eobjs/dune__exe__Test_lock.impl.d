@@ -1,0 +1,1 @@
+test/test_lock.ml: Alcotest Format Icdb_lock Icdb_sim List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_mlt.ml: Alcotest Hashtbl Icdb_localdb Icdb_mlt Icdb_sim List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Icdb_localdb Icdb_net Icdb_sim List

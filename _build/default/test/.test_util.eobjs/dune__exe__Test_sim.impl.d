@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Icdb_sim List Option Printexc

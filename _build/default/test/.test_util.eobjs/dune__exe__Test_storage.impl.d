@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Bytes Format Hashtbl Icdb_storage Int64 List Map Option Printf QCheck2 QCheck_alcotest String

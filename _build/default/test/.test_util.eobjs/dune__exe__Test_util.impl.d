@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Fun Icdb_util Int64 List Map Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Icdb_storage Icdb_wal Int64 List Option

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Icdb_workload Int64 List QCheck2 QCheck_alcotest Result

@@ -1,0 +1,928 @@
+(* Tests for Icdb_core: the three atomic-commitment protocols, the
+   MLT-fused variant, the serialization-graph checker and the central
+   logs. These tests reproduce, deterministically, every failure scenario
+   §3 and §4 of the paper argue about. *)
+
+module Sim = Icdb_sim.Engine
+module Fiber = Icdb_sim.Fiber
+module Trace = Icdb_sim.Trace
+module Db = Icdb_localdb.Engine
+module Program = Icdb_localdb.Program
+module Site = Icdb_net.Site
+module Action = Icdb_mlt.Action
+module Federation = Icdb_core.Federation
+module Global = Icdb_core.Global
+module Graph = Icdb_core.Serialization_graph
+module Action_log = Icdb_core.Action_log
+module Metrics = Icdb_core.Metrics
+module Tpc = Icdb_core.Two_phase_commit
+module After = Icdb_core.Commit_after
+module Before = Icdb_core.Commit_before
+module Mlt = Icdb_core.Commit_before_mlt
+
+let outcome_testable = Alcotest.testable Global.pp_outcome ( = )
+
+let site_cfg ?(prepare = true) ?(granularity = Db.Record_level) name =
+  {
+    (Db.default_config ~site_name:name) with
+    capabilities =
+      {
+        supports_prepare = prepare;
+        supports_increment_locks = true;
+        granularity;
+        cc = Locking { wait_timeout = Some 100.0 };
+      };
+  }
+
+let make_fed ?(n = 2) ?(prepare = true) ?granularity eng =
+  let configs = List.init n (fun i -> site_cfg ~prepare ?granularity (Printf.sprintf "s%d" i)) in
+  Federation.create eng configs
+
+let load_accounts fed rows =
+  List.iter (fun (_, site) -> Db.load (Site.db site) rows) fed.Federation.sites
+
+let value fed site key = Db.committed_value (Site.db (Federation.site fed site)) key
+
+(* Run [f] in a fiber, drain the simulation, return the result. *)
+let in_sim eng f =
+  let result = ref None in
+  let failure = ref None in
+  Fiber.spawn eng ~on_error:(fun e -> failure := Some e) (fun () -> result := Some (f ()));
+  Sim.run eng;
+  match !failure with
+  | Some e -> raise e
+  | None -> Option.get !result
+
+let kill_running_at eng fed ~site ~at =
+  ignore
+    (Sim.schedule eng ~delay:at (fun () ->
+         let db = Site.db (Federation.site fed site) in
+         List.iter (Db.kill db) (Db.running_transactions db)))
+
+(* A two-site transfer: +amount at s0/key, -amount at s1/key. *)
+let transfer_spec fed ?(vote0 = true) ?(vote1 = true) ?(amount = 5) key =
+  {
+    Global.gid = Federation.fresh_gid fed;
+    branches =
+      [
+        Global.branch ~vote_commit:vote0 ~site:"s0" [ Program.Increment (key, amount) ];
+        Global.branch ~vote_commit:vote1 ~site:"s1" [ Program.Increment (key, -amount) ];
+      ];
+  }
+
+(* --- two-phase commit --- *)
+
+let test_2pc_commit () =
+  let eng = Sim.create () in
+  let fed = make_fed eng in
+  load_accounts fed [ ("x", 100) ];
+  let outcome = in_sim eng (fun () -> Tpc.run fed (transfer_spec fed "x")) in
+  Alcotest.check outcome_testable "committed" Global.Committed outcome;
+  Alcotest.(check (option int)) "s0 credited" (Some 105) (value fed "s0" "x");
+  Alcotest.(check (option int)) "s1 debited" (Some 95) (value fed "s1" "x")
+
+let test_2pc_commit_points_fig3 () =
+  (* Figure 3: the global decision falls strictly between every site's
+     ready point and its final commit. *)
+  let eng = Sim.create () in
+  let fed = make_fed eng in
+  load_accounts fed [ ("x", 100) ];
+  ignore (in_sim eng (fun () -> Tpc.run fed (transfer_spec fed "x")));
+  let t label actor = Option.get (Trace.find fed.trace ~actor ~label) in
+  let decision = t "g1:decision:commit" "central" in
+  List.iter
+    (fun site ->
+      let ready = t "g1:ready" site in
+      let committed = t "g1:committed" site in
+      Alcotest.(check bool) (site ^ " ready before decision") true (ready < decision);
+      Alcotest.(check bool) (site ^ " decision before commit") true (decision < committed))
+    [ "s0"; "s1" ]
+
+let test_2pc_unsupported_site () =
+  let eng = Sim.create () in
+  let fed = make_fed ~prepare:false eng in
+  load_accounts fed [ ("x", 100) ];
+  let outcome = in_sim eng (fun () -> Tpc.run fed (transfer_spec fed "x")) in
+  Alcotest.check outcome_testable "refused" (Global.Aborted (Unsupported_site "s0")) outcome;
+  Alcotest.(check (option int)) "nothing happened" (Some 100) (value fed "s0" "x")
+
+let test_2pc_vote_abort () =
+  let eng = Sim.create () in
+  let fed = make_fed eng in
+  load_accounts fed [ ("x", 100) ];
+  let outcome = in_sim eng (fun () -> Tpc.run fed (transfer_spec fed ~vote1:false "x")) in
+  Alcotest.check outcome_testable "aborted" (Global.Aborted (Voted_abort "s1")) outcome;
+  Alcotest.(check (option int)) "s0 unchanged" (Some 100) (value fed "s0" "x");
+  Alcotest.(check (option int)) "s1 unchanged" (Some 100) (value fed "s1" "x")
+
+let test_2pc_execution_failure_aborts_all () =
+  let eng = Sim.create () in
+  let fed = make_fed eng in
+  load_accounts fed [ ("x", 100) ];
+  (* s1 is down: its branch cannot even begin. *)
+  Site.crash (Federation.site fed "s1");
+  let outcome = in_sim eng (fun () -> Tpc.run fed (transfer_spec fed "x")) in
+  (match outcome with
+  | Global.Aborted (Local_abort { site = "s1"; reason = Db.Site_crashed }) -> ()
+  | o -> Alcotest.failf "unexpected outcome %s" (Global.outcome_to_string o));
+  Alcotest.(check (option int)) "s0 rolled back" (Some 100) (value fed "s0" "x")
+
+let test_2pc_crash_matrix_atomicity () =
+  (* V6, 2PC column: crash site s0 at every instant of the protocol; the
+     outcome may differ but atomicity must never break: either both sites
+     show the transfer or neither does. *)
+  let crash_times = List.init 22 (fun i -> 0.5 +. (float_of_int i *. 1.0)) in
+  List.iter
+    (fun crash_at ->
+      let eng = Sim.create () in
+      let fed = make_fed eng in
+      load_accounts fed [ ("x", 100) ];
+      ignore
+        (Sim.schedule eng ~delay:crash_at (fun () ->
+             Site.crash_for (Federation.site fed "s0") ~duration:30.0));
+      let outcome = in_sim eng (fun () -> Tpc.run fed (transfer_spec fed "x")) in
+      List.iter
+        (fun (_, site) -> if not (Site.is_up site) then ignore (Site.restart site))
+        fed.sites;
+      let v0 = value fed "s0" "x" and v1 = value fed "s1" "x" in
+      let consistent =
+        match outcome with
+        | Global.Committed -> v0 = Some 105 && v1 = Some 95
+        | Global.Aborted _ -> v0 = Some 100 && v1 = Some 100
+      in
+      if not consistent then
+        Alcotest.failf "crash at %.1f: outcome %s but s0=%s s1=%s" crash_at
+          (Global.outcome_to_string outcome)
+          (Option.fold ~none:"-" ~some:string_of_int v0)
+          (Option.fold ~none:"-" ~some:string_of_int v1))
+    crash_times
+
+(* --- commitment after the global decision --- *)
+
+let test_after_commit () =
+  let eng = Sim.create () in
+  let fed = make_fed ~prepare:false eng in
+  load_accounts fed [ ("x", 100) ];
+  let outcome = in_sim eng (fun () -> After.run fed (transfer_spec fed "x")) in
+  Alcotest.check outcome_testable "committed" Global.Committed outcome;
+  Alcotest.(check (option int)) "s0 credited" (Some 105) (value fed "s0" "x");
+  Alcotest.(check (option int)) "s1 debited" (Some 95) (value fed "s1" "x");
+  Alcotest.(check int) "no repetitions needed" 0 (Metrics.repetitions fed.metrics);
+  Alcotest.(check int) "redo log cleaned" 0 (Action_log.pending fed.redo_log)
+
+let test_after_commit_points_fig5 () =
+  (* Figure 5: the decision precedes every local commitment. *)
+  let eng = Sim.create () in
+  let fed = make_fed ~prepare:false eng in
+  load_accounts fed [ ("x", 100) ];
+  ignore (in_sim eng (fun () -> After.run fed (transfer_spec fed "x")));
+  let decision = Option.get (Trace.find fed.trace ~actor:"central" ~label:"g1:decision:commit") in
+  List.iter
+    (fun site ->
+      let ready = Option.get (Trace.find fed.trace ~actor:site ~label:"g1:ready") in
+      let committed = Option.get (Trace.find fed.trace ~actor:site ~label:"g1:committed") in
+      Alcotest.(check bool) "ready before decision" true (ready < decision);
+      Alcotest.(check bool) "decision before local commit" true (decision < committed))
+    [ "s0"; "s1" ]
+
+let test_after_erroneous_abort_triggers_repetition () =
+  (* The §3.2 scenario: a local is killed after answering ready; the
+     protocol repeats it until it commits. Atomicity holds. *)
+  let eng = Sim.create () in
+  let fed = make_fed ~prepare:false eng in
+  load_accounts fed [ ("x", 100) ];
+  (* Timeline: execute ends ~3-4, prepare round ~4-6, decision ~6, commit
+     request arrives ~7 and takes commit_delay 2. Killing s0's local at 6.5
+     lands after ready, before local commit. *)
+  kill_running_at eng fed ~site:"s0" ~at:6.5;
+  let outcome = in_sim eng (fun () -> After.run fed (transfer_spec fed "x")) in
+  Alcotest.check outcome_testable "committed despite kill" Global.Committed outcome;
+  Alcotest.(check bool) "at least one repetition" true (Metrics.repetitions fed.metrics >= 1);
+  Alcotest.(check (option int)) "applied exactly once" (Some 105) (value fed "s0" "x");
+  Alcotest.(check (option int)) "peer applied once" (Some 95) (value fed "s1" "x")
+
+let test_after_kill_before_ready_aborts_globally () =
+  (* Killed during execution: the prepare answer is an abort vote and the
+     whole global transaction aborts cleanly. *)
+  let eng = Sim.create () in
+  let fed = make_fed ~prepare:false eng in
+  load_accounts fed [ ("x", 100) ];
+  kill_running_at eng fed ~site:"s0" ~at:2.0;
+  let outcome = in_sim eng (fun () -> After.run fed (transfer_spec fed "x")) in
+  (match outcome with
+  | Global.Aborted (Local_abort { site = "s0"; _ }) -> ()
+  | o -> Alcotest.failf "unexpected outcome %s" (Global.outcome_to_string o));
+  Alcotest.(check (option int)) "s0 unchanged" (Some 100) (value fed "s0" "x");
+  Alcotest.(check (option int)) "s1 unchanged" (Some 100) (value fed "s1" "x")
+
+let test_after_crash_matrix_atomicity () =
+  (* V6, commitment-after column, including the crash windows around the
+     local commit and the repetition. *)
+  let crash_times = List.init 24 (fun i -> 0.5 +. float_of_int i) in
+  List.iter
+    (fun crash_at ->
+      let eng = Sim.create () in
+      let fed = make_fed ~prepare:false eng in
+      load_accounts fed [ ("x", 100) ];
+      ignore
+        (Sim.schedule eng ~delay:crash_at (fun () ->
+             Site.crash_for (Federation.site fed "s0") ~duration:30.0));
+      let outcome = in_sim eng (fun () -> After.run fed (transfer_spec fed "x")) in
+      List.iter
+        (fun (_, site) -> if not (Site.is_up site) then ignore (Site.restart site))
+        fed.sites;
+      let v0 = value fed "s0" "x" and v1 = value fed "s1" "x" in
+      let consistent =
+        match outcome with
+        | Global.Committed -> v0 = Some 105 && v1 = Some 95
+        | Global.Aborted _ -> v0 = Some 100 && v1 = Some 100
+      in
+      if not consistent then
+        Alcotest.failf "crash at %.1f: outcome %s but s0=%s s1=%s" crash_at
+          (Global.outcome_to_string outcome)
+          (Option.fold ~none:"-" ~some:string_of_int v0)
+          (Option.fold ~none:"-" ~some:string_of_int v1))
+    crash_times
+
+let test_after_global_cc_blocks_conflicting_submission () =
+  (* The additional CC module: a second global transaction on the same keys
+     waits for the first to finish (its locks are held to the global end),
+     so its response time reflects the wait. *)
+  let eng = Sim.create () in
+  let fed = make_fed ~prepare:false eng in
+  load_accounts fed [ ("x", 100) ];
+  let finish1 = ref 0.0 and finish2 = ref 0.0 in
+  let results = ref [] in
+  Fiber.spawn eng (fun () ->
+      let o = After.run fed (transfer_spec fed "x") in
+      finish1 := Sim.now eng;
+      results := o :: !results);
+  Fiber.spawn eng (fun () ->
+      Fiber.sleep eng 0.1;
+      let o = After.run fed (transfer_spec fed "x") in
+      finish2 := Sim.now eng;
+      results := o :: !results);
+  Sim.run eng;
+  List.iter
+    (fun o -> Alcotest.check outcome_testable "both commit" Global.Committed o)
+    !results;
+  Alcotest.(check bool) "second serialized after first" true (!finish2 > !finish1);
+  Alcotest.(check (option int)) "both applied at s0" (Some 110) (value fed "s0" "x")
+
+let test_after_occ_validation_failure_repeats () =
+  (* A heterogeneous federation: s0 runs an optimistic scheduler. G1's
+     local at s0 passes its "ready" answer while still unvalidated; G2's
+     conflicting write then commits first, so G1's local fails validation
+     at commit time — an erroneous abort after ready, repaired by
+     repetition (§3.2 names exactly this case). *)
+  let eng = Sim.create () in
+  let occ_cfg =
+    {
+      (Db.default_config ~site_name:"s0") with
+      capabilities =
+        {
+          supports_prepare = false;
+          supports_increment_locks = false;
+          granularity = Db.Record_level;
+          cc = Db.Optimistic;
+        };
+    }
+  in
+  let fed = Federation.create eng [ occ_cfg; site_cfg ~prepare:false "s1" ] in
+  fed.global_cc_enabled <- false;
+  load_accounts fed [ ("x", 1); ("y", 0); ("z", 0) ];
+  let outcome = ref None in
+  Fiber.spawn eng (fun () ->
+      let g1 =
+        {
+          Global.gid = Federation.fresh_gid fed;
+          branches =
+            [
+              Global.branch ~site:"s0" [ Program.Read "x"; Program.Write ("y", 5) ];
+              Global.branch ~site:"s1" [ Program.Increment ("z", 1) ];
+            ];
+        }
+      in
+      outcome := Some (After.run fed g1));
+  Fiber.spawn eng (fun () ->
+      Fiber.sleep eng 2.5;
+      let g2 =
+        {
+          Global.gid = Federation.fresh_gid fed;
+          branches = [ Global.branch ~site:"s0" [ Program.Write ("x", 99) ] ];
+        }
+      in
+      ignore (Before.run fed g2));
+  Sim.run eng;
+  Alcotest.check outcome_testable "G1 committed despite validation failure"
+    Global.Committed (Option.get !outcome);
+  Alcotest.(check bool) "repetition happened" true (Metrics.repetitions fed.metrics >= 1);
+  Alcotest.(check (option int)) "G1's write applied once" (Some 5) (value fed "s0" "y");
+  Alcotest.(check (option int)) "G2's write stands" (Some 99) (value fed "s0" "x");
+  Alcotest.(check (option int)) "s1 applied once" (Some 1) (value fed "s1" "z")
+
+(* --- commitment before the global decision --- *)
+
+let test_before_commit () =
+  let eng = Sim.create () in
+  let fed = make_fed ~prepare:false eng in
+  load_accounts fed [ ("x", 100) ];
+  let outcome = in_sim eng (fun () -> Before.run fed (transfer_spec fed "x")) in
+  Alcotest.check outcome_testable "committed" Global.Committed outcome;
+  Alcotest.(check (option int)) "s0 credited" (Some 105) (value fed "s0" "x");
+  Alcotest.(check (option int)) "s1 debited" (Some 95) (value fed "s1" "x");
+  Alcotest.(check int) "no compensations" 0 (Metrics.compensations fed.metrics);
+  Alcotest.(check int) "undo log cleaned" 0 (Action_log.pending fed.undo_log)
+
+let test_before_commit_points_fig7 () =
+  (* Figure 7: every local commit precedes the global decision. *)
+  let eng = Sim.create () in
+  let fed = make_fed ~prepare:false eng in
+  load_accounts fed [ ("x", 100) ];
+  ignore (in_sim eng (fun () -> Before.run fed (transfer_spec fed "x")));
+  let decision = Option.get (Trace.find fed.trace ~actor:"central" ~label:"g1:decision:commit") in
+  List.iter
+    (fun site ->
+      let local = Option.get (Trace.find fed.trace ~actor:site ~label:"g1:locally-committed") in
+      Alcotest.(check bool) "local commit before decision" true (local < decision))
+    [ "s0"; "s1" ]
+
+let test_before_mixed_outcome_compensates () =
+  let eng = Sim.create () in
+  let fed = make_fed ~prepare:false eng in
+  load_accounts fed [ ("x", 100) ];
+  let outcome = in_sim eng (fun () -> Before.run fed (transfer_spec fed ~vote1:false "x")) in
+  Alcotest.check outcome_testable "aborted" (Global.Aborted (Voted_abort "s1")) outcome;
+  Alcotest.(check bool) "compensation ran" true (Metrics.compensations fed.metrics >= 1);
+  Alcotest.(check (option int)) "s0 restored" (Some 100) (value fed "s0" "x");
+  Alcotest.(check (option int)) "s1 unchanged" (Some 100) (value fed "s1" "x")
+
+let test_before_crash_before_answer_waits_for_recovery () =
+  (* §3.3: "the global transaction manager has to wait for the local system
+     to come up again". Crash s1 during execution; its local is rolled back
+     by restart recovery, the answer is abort, and s0 gets compensated. *)
+  let eng = Sim.create () in
+  let fed = make_fed ~prepare:false eng in
+  load_accounts fed [ ("x", 100) ];
+  ignore
+    (Sim.schedule eng ~delay:2.0 (fun () ->
+         Site.crash_for (Federation.site fed "s1") ~duration:50.0));
+  let finished_at = ref 0.0 in
+  let outcome =
+    in_sim eng (fun () ->
+        let o = Before.run fed (transfer_spec fed "x") in
+        finished_at := Sim.now eng;
+        o)
+  in
+  (match outcome with
+  | Global.Aborted (Local_abort { site = "s1"; reason = Db.Site_crashed }) -> ()
+  | o -> Alcotest.failf "unexpected outcome %s" (Global.outcome_to_string o));
+  Alcotest.(check bool) "waited for recovery" true (!finished_at >= 52.0);
+  Alcotest.(check (option int)) "s0 compensated" (Some 100) (value fed "s0" "x");
+  Alcotest.(check (option int)) "s1 rolled back by recovery" (Some 100) (value fed "s1" "x")
+
+let test_before_crash_matrix_atomicity () =
+  (* V6, commitment-before column: crash s0 at every instant, including the
+     undo window. Aborted runs must net to zero, committed runs must apply
+     both branches. Intended abort at s1 forces the undo path. *)
+  let crash_times = List.init 30 (fun i -> 0.5 +. float_of_int i) in
+  List.iter
+    (fun crash_at ->
+      let eng = Sim.create () in
+      let fed = make_fed ~prepare:false eng in
+      load_accounts fed [ ("x", 100) ];
+      ignore
+        (Sim.schedule eng ~delay:crash_at (fun () ->
+             Site.crash_for (Federation.site fed "s0") ~duration:20.0));
+      let outcome = in_sim eng (fun () -> Before.run fed (transfer_spec fed ~vote1:false "x")) in
+      List.iter
+        (fun (_, site) -> if not (Site.is_up site) then ignore (Site.restart site))
+        fed.sites;
+      (match outcome with
+      | Global.Aborted _ -> ()
+      | Global.Committed -> Alcotest.fail "must abort: s1 votes no");
+      let v0 = value fed "s0" "x" in
+      if v0 <> Some 100 then
+        Alcotest.failf "crash at %.1f: s0 not restored (%s)" crash_at
+          (Option.fold ~none:"-" ~some:string_of_int v0))
+    crash_times
+
+(* --- serializability requirements (V7) --- *)
+
+let test_before_dirty_read_without_global_cc () =
+  (* §3.3's requirement violated on purpose: with the additional CC module
+     disabled, a second global transaction reads s0/x between G1's local
+     commit and its compensation. The checker must flag it. *)
+  let eng = Sim.create () in
+  let fed = make_fed ~prepare:false eng in
+  fed.global_cc_enabled <- false;
+  load_accounts fed [ ("x", 100) ];
+  Fiber.spawn eng (fun () ->
+      ignore (Before.run fed (transfer_spec fed ~vote1:false "x")));
+  let g2_saw = ref None in
+  Fiber.spawn eng (fun () ->
+      (* Lands after G1's local commit at s0 (~5) and before its undo. *)
+      Fiber.sleep eng 6.0;
+      let spec =
+        {
+          Global.gid = Federation.fresh_gid fed;
+          branches = [ Global.branch ~site:"s0" [ Program.Read "x" ] ];
+        }
+      in
+      ignore (Before.run fed spec);
+      g2_saw := value fed "s0" "x");
+  Sim.run eng;
+  let violations = Graph.violations fed.graph in
+  Alcotest.(check bool) "dirty read flagged" true
+    (List.exists (function Graph.Dirty_read _ -> true | Graph.Cycle _ -> false) violations)
+
+let test_before_global_cc_prevents_dirty_read () =
+  (* Same schedule with the additional CC module enabled: G2 is delayed
+     until G1 is fully compensated; no violation. *)
+  let eng = Sim.create () in
+  let fed = make_fed ~prepare:false eng in
+  load_accounts fed [ ("x", 100) ];
+  Fiber.spawn eng (fun () ->
+      ignore (Before.run fed (transfer_spec fed ~vote1:false "x")));
+  Fiber.spawn eng (fun () ->
+      Fiber.sleep eng 6.0;
+      let spec =
+        {
+          Global.gid = Federation.fresh_gid fed;
+          branches = [ Global.branch ~site:"s0" [ Program.Read "x" ] ];
+        }
+      in
+      ignore (Before.run fed spec));
+  Sim.run eng;
+  Alcotest.(check bool) "serializable" true (Graph.serializable fed.graph)
+
+let test_after_order_flip_without_global_cc () =
+  (* §3.2's requirement violated on purpose: G1's local at s0 is killed
+     after ready; with the additional CC module off, G2 slips in between
+     the first execution and the repetition, flipping the serialization
+     order at s0 while the order at s1 is the opposite — a global cycle. *)
+  let eng = Sim.create () in
+  let fed = make_fed ~prepare:false eng in
+  fed.global_cc_enabled <- false;
+  load_accounts fed [ ("x", 100); ("y", 100) ];
+  let g1 =
+    {
+      Global.gid = Federation.fresh_gid fed;
+      branches =
+        [
+          Global.branch ~site:"s0" [ Program.Read "x" ];
+          Global.branch ~site:"s1" [ Program.Increment ("y", 1) ];
+        ];
+    }
+  in
+  Fiber.spawn eng (fun () -> ignore (After.run fed g1));
+  (* Kill G1's local at s0 after its ready answer (~5.5). *)
+  kill_running_at eng fed ~site:"s0" ~at:5.5;
+  (* G2 starts so that its write request reaches s0 right after the kill
+     (t=5.6) and before the repetition re-locks x (t=6). *)
+  Fiber.spawn eng (fun () ->
+      Fiber.sleep eng 4.6;
+      let g2 =
+        {
+          Global.gid = Federation.fresh_gid fed;
+          branches =
+            [
+              Global.branch ~site:"s0" [ Program.Write ("x", 999) ];
+              Global.branch ~site:"s1" [ Program.Read "y" ];
+            ];
+        }
+      in
+      ignore (Before.run fed g2));
+  Sim.run eng;
+  let violations = Graph.violations fed.graph in
+  Alcotest.(check bool) "cycle flagged" true
+    (List.exists (function Graph.Cycle _ -> true | Graph.Dirty_read _ -> false) violations)
+
+let test_after_global_cc_prevents_order_flip () =
+  let eng = Sim.create () in
+  let fed = make_fed ~prepare:false eng in
+  load_accounts fed [ ("x", 100); ("y", 100) ];
+  let g1 =
+    {
+      Global.gid = Federation.fresh_gid fed;
+      branches =
+        [
+          Global.branch ~site:"s0" [ Program.Read "x" ];
+          Global.branch ~site:"s1" [ Program.Increment ("y", 1) ];
+        ];
+    }
+  in
+  Fiber.spawn eng (fun () -> ignore (After.run fed g1));
+  kill_running_at eng fed ~site:"s0" ~at:5.5;
+  (* G2 starts so that its write request reaches s0 right after the kill
+     (t=5.6) and before the repetition re-locks x (t=6). *)
+  Fiber.spawn eng (fun () ->
+      Fiber.sleep eng 4.6;
+      let g2 =
+        {
+          Global.gid = Federation.fresh_gid fed;
+          branches =
+            [
+              Global.branch ~site:"s0" [ Program.Write ("x", 999) ];
+              Global.branch ~site:"s1" [ Program.Read "y" ];
+            ];
+        }
+      in
+      ignore (Before.run fed g2));
+  Sim.run eng;
+  Alcotest.(check bool) "serializable with CC" true (Graph.serializable fed.graph)
+
+(* --- commitment before + multi-level transactions --- *)
+
+let mlt_transfer fed ?(abort_after = None) amount =
+  {
+    Global.mlt_gid = Federation.fresh_gid fed;
+    actions =
+      [
+        Action.withdraw ~site:"s0" ~account:"x" amount;
+        Action.deposit ~site:"s1" ~account:"x" amount;
+      ];
+    abort_after;
+  }
+
+let test_mlt_commit () =
+  let eng = Sim.create () in
+  let fed = make_fed ~prepare:false eng in
+  load_accounts fed [ ("x", 100) ];
+  let outcome = in_sim eng (fun () -> Mlt.run fed (mlt_transfer fed 30)) in
+  Alcotest.check outcome_testable "committed" Global.Committed outcome;
+  Alcotest.(check (option int)) "withdrawn" (Some 70) (value fed "s0" "x");
+  Alcotest.(check (option int)) "deposited" (Some 130) (value fed "s1" "x");
+  Alcotest.(check int) "no additional CC" 0 (Metrics.global_lock_acquisitions fed.metrics);
+  Alcotest.(check int) "no additional undo-log writes" 0
+    (Action_log.write_count fed.undo_log);
+  Alcotest.(check bool) "L1 locks used" true (Metrics.l1_lock_acquisitions fed.metrics >= 2)
+
+let test_mlt_intended_abort_compensates () =
+  let eng = Sim.create () in
+  let fed = make_fed ~prepare:false eng in
+  load_accounts fed [ ("x", 100) ];
+  let outcome =
+    in_sim eng (fun () -> Mlt.run fed (mlt_transfer fed ~abort_after:(Some 1) 30))
+  in
+  Alcotest.check outcome_testable "aborted" (Global.Aborted Intended_abort) outcome;
+  Alcotest.(check bool) "inverse ran" true (Metrics.compensations fed.metrics >= 1);
+  Alcotest.(check (option int)) "s0 restored" (Some 100) (value fed "s0" "x");
+  Alcotest.(check (option int)) "s1 untouched" (Some 100) (value fed "s1" "x")
+
+let test_mlt_local_failure_compensates () =
+  let eng = Sim.create () in
+  let fed = make_fed ~prepare:false eng in
+  load_accounts fed [ ("x", 100) ];
+  (* s1 down: the second action fails; the first is undone by inverse. *)
+  Site.crash (Federation.site fed "s1");
+  let outcome = in_sim eng (fun () -> Mlt.run fed (mlt_transfer fed 30)) in
+  (match outcome with
+  | Global.Aborted (Local_abort { site = "s1"; _ }) -> ()
+  | o -> Alcotest.failf "unexpected outcome %s" (Global.outcome_to_string o));
+  Alcotest.(check (option int)) "s0 restored" (Some 100) (value fed "s0" "x")
+
+let test_mlt_commuting_actions_concurrent () =
+  (* Deposits commute at L1: two global transactions depositing to the same
+     account proceed in parallel. A read-balance conflicts and waits. *)
+  let eng = Sim.create () in
+  let fed = make_fed ~prepare:false eng in
+  load_accounts fed [ ("x", 100) ];
+  let finished = Hashtbl.create 4 in
+  let spawn_deposit name =
+    Fiber.spawn eng (fun () ->
+        let spec =
+          {
+            Global.mlt_gid = Federation.fresh_gid fed;
+            actions = [ Action.deposit ~site:"s0" ~account:"x" 10 ];
+            abort_after = None;
+          }
+        in
+        ignore (Mlt.run fed spec);
+        Hashtbl.replace finished name (Sim.now eng))
+  in
+  spawn_deposit "d1";
+  spawn_deposit "d2";
+  Fiber.spawn eng (fun () ->
+      Fiber.sleep eng 0.5;
+      let spec =
+        {
+          Global.mlt_gid = Federation.fresh_gid fed;
+          actions = [ Action.read_balance ~site:"s0" ~account:"x" ];
+          abort_after = None;
+        }
+      in
+      ignore (Mlt.run fed spec);
+      Hashtbl.replace finished "reader" (Sim.now eng));
+  Sim.run eng;
+  let t name = Hashtbl.find finished name in
+  Alcotest.(check bool) "deposits concurrent" true (Float.abs (t "d1" -. t "d2") < 0.001);
+  Alcotest.(check bool) "reader waits for both deposits" true
+    (t "reader" > t "d1" && t "reader" > t "d2");
+  Alcotest.(check (option int)) "both deposits applied" (Some 120) (value fed "s0" "x")
+
+let test_fig8_page_level_vs_mlt () =
+  (* Figure 8: two records on the same page. Single-level transactions
+     (here: flat commit-after on page-level sites) serialize on the page
+     lock held to the global end; the two-level variant releases the page
+     lock at the end of each short L0 transaction and relies on commuting
+     L1 increment locks. *)
+  let run_pair make_txn =
+    let eng = Sim.create () in
+    let fed = make_fed ~n:1 ~prepare:false ~granularity:Db.Page_level eng in
+    (* x and y are loaded together: same page. *)
+    load_accounts fed [ ("x", 0); ("y", 0) ];
+    let finish = ref [] in
+    for i = 0 to 1 do
+      Fiber.spawn eng (fun () ->
+          make_txn fed i;
+          finish := Sim.now eng :: !finish)
+    done;
+    Sim.run eng;
+    (fed, List.fold_left Float.max 0.0 !finish)
+  in
+  (* Single-level: one flat transaction doing both increments. *)
+  let _, flat_makespan =
+    run_pair (fun fed _ ->
+        let spec =
+          {
+            Global.gid = Federation.fresh_gid fed;
+            branches =
+              [
+                Global.branch ~site:"s0"
+                  [ Program.Increment ("x", 1); Program.Increment ("y", 1) ];
+              ];
+          }
+        in
+        ignore (After.run fed spec))
+  in
+  (* Two-level: each increment is its own L0 transaction. *)
+  let mlt_fed, mlt_makespan =
+    run_pair (fun fed _ ->
+        let spec =
+          {
+            Global.mlt_gid = Federation.fresh_gid fed;
+            actions =
+              [
+                Action.increment ~site:"s0" ~key:"x" 1;
+                Action.increment ~site:"s0" ~key:"y" 1;
+              ];
+            abort_after = None;
+          }
+        in
+        ignore (Mlt.run fed spec))
+  in
+  Alcotest.(check (option int)) "mlt: both x increments" (Some 2) (value mlt_fed "s0" "x");
+  Alcotest.(check (option int)) "mlt: both y increments" (Some 2) (value mlt_fed "s0" "y");
+  Alcotest.(check bool)
+    (Printf.sprintf "two-level faster under page conflicts (%.1f < %.1f)" mlt_makespan
+       flat_makespan)
+    true (mlt_makespan < flat_makespan)
+
+(* --- message complexity (V5) --- *)
+
+let test_message_counts () =
+  let count protocol expected =
+    let eng = Sim.create () in
+    let fed = make_fed eng in
+    load_accounts fed [ ("x", 100) ];
+    (match protocol with
+    | `Tpc -> ignore (in_sim eng (fun () -> Tpc.run fed (transfer_spec fed "x")))
+    | `After -> ignore (in_sim eng (fun () -> After.run fed (transfer_spec fed "x")))
+    | `Before -> ignore (in_sim eng (fun () -> Before.run fed (transfer_spec fed "x"))));
+    Alcotest.(check int)
+      (Printf.sprintf "total messages (%d expected)" expected)
+      expected (Federation.total_messages fed)
+  in
+  (* n = 2 sites. Execution phase: 2 messages per site = 4. 2PC and
+     commit-after add prepare/ready + decision/finished = 8; commit-before
+     adds only the inquiry round = 4. *)
+  count `Tpc 12;
+  count `After 12;
+  count `Before 8
+
+(* --- serialization graph unit tests --- *)
+
+let test_graph_conflict_classification () =
+  let open Db in
+  let read k = Read { key = k; value = None } in
+  let write k = Wrote { key = k; before = None; after = Some 1 } in
+  let incr k = Incremented { key = k; delta = 1 } in
+  Alcotest.(check bool) "r/r no" false (Graph.conflict [ read "a" ] [ read "a" ]);
+  Alcotest.(check bool) "i/i no" false (Graph.conflict [ incr "a" ] [ incr "a" ]);
+  Alcotest.(check bool) "r/w yes" true (Graph.conflict [ read "a" ] [ write "a" ]);
+  Alcotest.(check bool) "i/w yes" true (Graph.conflict [ incr "a" ] [ write "a" ]);
+  Alcotest.(check bool) "r/i yes" true (Graph.conflict [ read "a" ] [ incr "a" ]);
+  Alcotest.(check bool) "disjoint keys no" false (Graph.conflict [ write "a" ] [ write "b" ]);
+  Alcotest.(check bool) "markers ignored" false
+    (Graph.conflict [ write "__cm:1" ] [ write "__cm:1" ])
+
+let test_graph_detects_cycle () =
+  let g = Graph.create () in
+  let w k = [ Db.Wrote { key = k; before = None; after = Some 1 } ] in
+  (* site A: 1 before 2; site B: 2 before 1 — classic global cycle. *)
+  Graph.record_local g ~gid:1 ~site:"A" ~compensation:false (w "x");
+  Graph.record_local g ~gid:2 ~site:"A" ~compensation:false (w "x");
+  Graph.record_local g ~gid:2 ~site:"B" ~compensation:false (w "y");
+  Graph.record_local g ~gid:1 ~site:"B" ~compensation:false (w "y");
+  Graph.record_outcome g ~gid:1 ~committed:true;
+  Graph.record_outcome g ~gid:2 ~committed:true;
+  Alcotest.(check bool) "cycle found" true
+    (List.exists (function Graph.Cycle _ -> true | _ -> false) (Graph.violations g))
+
+let test_graph_serial_order_ok () =
+  let g = Graph.create () in
+  let w k = [ Db.Wrote { key = k; before = None; after = Some 1 } ] in
+  Graph.record_local g ~gid:1 ~site:"A" ~compensation:false (w "x");
+  Graph.record_local g ~gid:2 ~site:"A" ~compensation:false (w "x");
+  Graph.record_local g ~gid:1 ~site:"B" ~compensation:false (w "y");
+  Graph.record_local g ~gid:2 ~site:"B" ~compensation:false (w "y");
+  Graph.record_outcome g ~gid:1 ~committed:true;
+  Graph.record_outcome g ~gid:2 ~committed:true;
+  Alcotest.(check bool) "serializable" true (Graph.serializable g)
+
+let test_graph_dirty_read_window () =
+  let g = Graph.create () in
+  let w k = [ Db.Wrote { key = k; before = None; after = Some 1 } ] in
+  let r k = [ Db.Read { key = k; value = None } ] in
+  Graph.record_local g ~gid:1 ~site:"A" ~compensation:false (w "x");
+  Graph.record_local g ~gid:2 ~site:"A" ~compensation:false (r "x");
+  Graph.record_local g ~gid:1 ~site:"A" ~compensation:true (w "x");
+  Graph.record_outcome g ~gid:1 ~committed:false;
+  Graph.record_outcome g ~gid:2 ~committed:true;
+  (match Graph.violations g with
+  | [ Graph.Dirty_read { reader = 2; aborted_writer = 1; site = "A" } ] -> ()
+  | v -> Alcotest.failf "unexpected violations (%d)" (List.length v));
+  (* Reader after the compensation: fine. *)
+  let g2 = Graph.create () in
+  Graph.record_local g2 ~gid:1 ~site:"A" ~compensation:false (w "x");
+  Graph.record_local g2 ~gid:1 ~site:"A" ~compensation:true (w "x");
+  Graph.record_local g2 ~gid:2 ~site:"A" ~compensation:false (r "x");
+  Graph.record_outcome g2 ~gid:1 ~committed:false;
+  Graph.record_outcome g2 ~gid:2 ~committed:true;
+  Alcotest.(check bool) "after compensation ok" true (Graph.serializable g2)
+
+(* Property: the graph checker's cycle detection agrees with brute force —
+   a committed history is serializable iff some total order of the global
+   transactions is consistent with every site's conflicting commit order. *)
+let prop_graph_matches_bruteforce =
+  let open QCheck2 in
+  let gen =
+    (* per site: a permutation of gids given by ranks; per gid+site: an
+       access (key, kind). n gids in 2..4. *)
+    Gen.(
+      int_range 2 4 >>= fun n ->
+      let perm = list_repeat n (int_range 0 1000) in
+      let accesses = list_repeat n (pair (int_range 0 1) (int_range 0 2)) in
+      tup5 (pure n) perm perm accesses accesses)
+  in
+  QCheck2.Test.make ~name:"graph cycle detection matches brute force" ~count:300 gen
+    (fun (n, rank_a, rank_b, acc_a, acc_b) ->
+      let order ranks =
+        List.mapi (fun gid rank -> (rank, gid + 1)) ranks
+        |> List.sort compare |> List.map snd
+      in
+      let access_of (key_i, kind_i) =
+        let key = Printf.sprintf "k%d" key_i in
+        match kind_i with
+        | 0 -> Db.Read { key; value = None }
+        | 1 -> Db.Wrote { key; before = None; after = Some 1 }
+        | _ -> Db.Incremented { key; delta = 1 }
+      in
+      let site_history ranks accs =
+        List.map (fun gid -> (gid, [ access_of (List.nth accs (gid - 1)) ])) (order ranks)
+      in
+      let hist_a = site_history rank_a acc_a and hist_b = site_history rank_b acc_b in
+      let g = Graph.create () in
+      List.iter
+        (fun (site, hist) ->
+          List.iter
+            (fun (gid, accesses) ->
+              Graph.record_local g ~gid ~site ~compensation:false accesses)
+            hist)
+        [ ("A", hist_a); ("B", hist_b) ];
+      for gid = 1 to n do
+        Graph.record_outcome g ~gid ~committed:true
+      done;
+      let cycle_found =
+        List.exists (function Graph.Cycle _ -> true | _ -> false) (Graph.violations g)
+      in
+      (* brute force: try every permutation of [1..n] *)
+      let rec permutations = function
+        | [] -> [ [] ]
+        | l ->
+          List.concat_map
+            (fun x -> List.map (fun p -> x :: p) (permutations (List.filter (( <> ) x) l)))
+            l
+      in
+      let consistent perm =
+        let pos gid = Option.get (List.find_index (( = ) gid) perm) in
+        List.for_all
+          (fun (_, hist) ->
+            let rec pairs = function
+              | [] -> true
+              | (g1, a1) :: rest ->
+                List.for_all
+                  (fun (g2, a2) ->
+                    (not (Graph.conflict a1 a2)) || pos g1 < pos g2)
+                  rest
+                && pairs rest
+            in
+            pairs hist)
+          [ ("A", hist_a); ("B", hist_b) ]
+      in
+      let serializable_bf =
+        List.exists consistent (permutations (List.init n (fun i -> i + 1)))
+      in
+      cycle_found = not serializable_bf)
+
+(* --- action log --- *)
+
+let test_action_log () =
+  let log = Action_log.create () in
+  Action_log.append log ~gid:1 { site = "a"; program = [ Program.Read "x" ]; tag = "t1" };
+  Action_log.append log ~gid:1 { site = "b"; program = []; tag = "t2" };
+  Action_log.append log ~gid:2 { site = "a"; program = []; tag = "t3" };
+  Alcotest.(check int) "writes counted" 3 (Action_log.write_count log);
+  Alcotest.(check int) "two pending" 2 (Action_log.pending log);
+  (match Action_log.entries log ~gid:1 with
+  | [ { tag = "t1"; _ }; { tag = "t2"; _ } ] -> ()
+  | _ -> Alcotest.fail "order lost");
+  Action_log.remove log ~gid:1;
+  Alcotest.(check int) "one pending" 1 (Action_log.pending log);
+  Alcotest.(check (list string)) "gone" []
+    (List.map (fun (e : Action_log.entry) -> e.tag) (Action_log.entries log ~gid:1));
+  Alcotest.(check int) "write count keeps history" 3 (Action_log.write_count log)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "2pc",
+        [
+          Alcotest.test_case "commit" `Quick test_2pc_commit;
+          Alcotest.test_case "fig3 commit points" `Quick test_2pc_commit_points_fig3;
+          Alcotest.test_case "unsupported site" `Quick test_2pc_unsupported_site;
+          Alcotest.test_case "vote abort" `Quick test_2pc_vote_abort;
+          Alcotest.test_case "execution failure" `Quick test_2pc_execution_failure_aborts_all;
+          Alcotest.test_case "crash matrix atomicity" `Quick test_2pc_crash_matrix_atomicity;
+        ] );
+      ( "commit-after",
+        [
+          Alcotest.test_case "commit" `Quick test_after_commit;
+          Alcotest.test_case "fig5 commit points" `Quick test_after_commit_points_fig5;
+          Alcotest.test_case "repetition after erroneous abort" `Quick
+            test_after_erroneous_abort_triggers_repetition;
+          Alcotest.test_case "kill before ready" `Quick
+            test_after_kill_before_ready_aborts_globally;
+          Alcotest.test_case "crash matrix atomicity" `Quick test_after_crash_matrix_atomicity;
+          Alcotest.test_case "global CC serializes" `Quick
+            test_after_global_cc_blocks_conflicting_submission;
+          Alcotest.test_case "occ validation failure repeats" `Quick
+            test_after_occ_validation_failure_repeats;
+        ] );
+      ( "commit-before",
+        [
+          Alcotest.test_case "commit" `Quick test_before_commit;
+          Alcotest.test_case "fig7 commit points" `Quick test_before_commit_points_fig7;
+          Alcotest.test_case "mixed outcome compensates" `Quick
+            test_before_mixed_outcome_compensates;
+          Alcotest.test_case "waits for crashed site" `Quick
+            test_before_crash_before_answer_waits_for_recovery;
+          Alcotest.test_case "crash matrix atomicity" `Quick test_before_crash_matrix_atomicity;
+        ] );
+      ( "serializability-requirements",
+        [
+          Alcotest.test_case "before: dirty read without CC" `Quick
+            test_before_dirty_read_without_global_cc;
+          Alcotest.test_case "before: CC prevents dirty read" `Quick
+            test_before_global_cc_prevents_dirty_read;
+          Alcotest.test_case "after: order flip without CC" `Quick
+            test_after_order_flip_without_global_cc;
+          Alcotest.test_case "after: CC prevents order flip" `Quick
+            test_after_global_cc_prevents_order_flip;
+        ] );
+      ( "mlt",
+        [
+          Alcotest.test_case "commit" `Quick test_mlt_commit;
+          Alcotest.test_case "intended abort compensates" `Quick
+            test_mlt_intended_abort_compensates;
+          Alcotest.test_case "local failure compensates" `Quick
+            test_mlt_local_failure_compensates;
+          Alcotest.test_case "commuting actions concurrent" `Quick
+            test_mlt_commuting_actions_concurrent;
+          Alcotest.test_case "fig8 page-level vs mlt" `Quick test_fig8_page_level_vs_mlt;
+        ] );
+      ( "messages",
+        [ Alcotest.test_case "per-protocol counts" `Quick test_message_counts ] );
+      ( "graph",
+        [
+          Alcotest.test_case "conflict classification" `Quick
+            test_graph_conflict_classification;
+          Alcotest.test_case "cycle detection" `Quick test_graph_detects_cycle;
+          Alcotest.test_case "serial order ok" `Quick test_graph_serial_order_ok;
+          Alcotest.test_case "dirty read window" `Quick test_graph_dirty_read_window;
+        ] );
+      ( "action-log",
+        [ Alcotest.test_case "append/entries/remove" `Quick test_action_log ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_graph_matches_bruteforce ]);
+    ]

@@ -1,0 +1,189 @@
+(* Tests for Icdb_net: links (latency + message accounting) and sites
+   (communication-manager endpoints with crash orchestration). *)
+
+module Sim = Icdb_sim.Engine
+module Fiber = Icdb_sim.Fiber
+module Link = Icdb_net.Link
+module Site = Icdb_net.Site
+module Db = Icdb_localdb.Engine
+
+let test_link_rpc_latency_and_counts () =
+  let eng = Sim.create () in
+  let link = Link.create eng ~latency:3.0 () in
+  let remote_time = ref 0.0 and done_time = ref 0.0 and result = ref 0 in
+  Fiber.spawn eng (fun () ->
+      result :=
+        Link.rpc link ~label:"ping" (fun () ->
+            remote_time := Sim.now eng;
+            ("pong", 41 + 1));
+      done_time := Sim.now eng);
+  Sim.run eng;
+  Alcotest.(check int) "result" 42 !result;
+  Alcotest.(check (float 1e-9)) "request latency" 3.0 !remote_time;
+  Alcotest.(check (float 1e-9)) "round trip" 6.0 !done_time;
+  Alcotest.(check int) "two messages" 2 (Link.message_count link);
+  Alcotest.(check (list (pair string int))) "labels" [ ("ping", 1); ("pong", 1) ]
+    (Link.messages_by_label link)
+
+let test_link_reply_label_varies () =
+  let eng = Sim.create () in
+  let link = Link.create eng ~latency:1.0 () in
+  Fiber.spawn eng (fun () ->
+      ignore (Link.rpc link ~label:"prepare" (fun () -> ("ready", ())));
+      ignore (Link.rpc link ~label:"prepare" (fun () -> ("abort-vote", ()))));
+  Sim.run eng;
+  Alcotest.(check (list (pair string int)))
+    "vote labels distinguished"
+    [ ("abort-vote", 1); ("prepare", 2); ("ready", 1) ]
+    (Link.messages_by_label link)
+
+let test_link_send_one_way () =
+  let eng = Sim.create () in
+  let link = Link.create eng ~latency:2.0 () in
+  let hit = ref 0.0 in
+  Fiber.spawn eng (fun () -> Link.send link ~label:"notify" (fun () -> hit := Sim.now eng));
+  Sim.run eng;
+  Alcotest.(check (float 1e-9)) "one latency" 2.0 !hit;
+  Alcotest.(check int) "one message" 1 (Link.message_count link)
+
+let test_link_reset () =
+  let eng = Sim.create () in
+  let link = Link.create eng ~latency:0.5 () in
+  Fiber.spawn eng (fun () -> ignore (Link.rpc link ~label:"x" (fun () -> ("y", ()))));
+  Sim.run eng;
+  Link.reset_counters link;
+  Alcotest.(check int) "reset" 0 (Link.message_count link)
+
+let test_link_negative_latency () =
+  let eng = Sim.create () in
+  Alcotest.check_raises "negative latency" (Invalid_argument "Link.create: negative latency")
+    (fun () -> ignore (Link.create eng ~latency:(-1.0) ()))
+
+(* --- Site --- *)
+
+let test_site_basics () =
+  let eng = Sim.create () in
+  let site = Site.create eng ~latency:1.0 (Db.default_config ~site_name:"s1") in
+  Alcotest.(check string) "name" "s1" (Site.name site);
+  Alcotest.(check bool) "up" true (Site.is_up site);
+  Alcotest.(check (float 1e-9)) "latency" 1.0 (Link.latency (Site.link site))
+
+let test_site_crash_for_and_await_up () =
+  let eng = Sim.create () in
+  let site = Site.create eng (Db.default_config ~site_name:"s1") in
+  let woke_at = ref 0.0 in
+  Fiber.spawn eng (fun () ->
+      Fiber.sleep eng 1.0;
+      (* Site is down at this point; await recovery. *)
+      Site.await_up site;
+      woke_at := Sim.now eng);
+  ignore (Sim.schedule eng ~delay:0.5 (fun () -> Site.crash_for site ~duration:10.0));
+  Sim.run eng;
+  Alcotest.(check (float 1e-9)) "woken at restart" 10.5 !woke_at;
+  Alcotest.(check bool) "up again" true (Site.is_up site)
+
+let test_site_await_up_immediate () =
+  let eng = Sim.create () in
+  let site = Site.create eng (Db.default_config ~site_name:"s1") in
+  let passed = ref false in
+  Fiber.spawn eng (fun () ->
+      Site.await_up site;
+      passed := true);
+  Sim.run eng;
+  Alcotest.(check bool) "no blocking when up" true !passed
+
+let test_site_crash_preserves_committed () =
+  let eng = Sim.create () in
+  let site = Site.create eng (Db.default_config ~site_name:"s1") in
+  Db.load (Site.db site) [ ("k", 7) ];
+  Site.crash site;
+  Alcotest.(check bool) "down" false (Site.is_up site);
+  ignore (Site.restart site);
+  Alcotest.(check (option int)) "durable" (Some 7) (Db.committed_value (Site.db site) "k")
+
+let test_site_multiple_waiters () =
+  let eng = Sim.create () in
+  let site = Site.create eng (Db.default_config ~site_name:"s1") in
+  Site.crash site;
+  let woken = ref 0 in
+  for _ = 1 to 3 do
+    Fiber.spawn eng (fun () ->
+        Site.await_up site;
+        incr woken)
+  done;
+  ignore (Sim.schedule eng ~delay:5.0 (fun () -> ignore (Site.restart site)));
+  Sim.run eng;
+  Alcotest.(check int) "all waiters woken" 3 !woken
+
+(* --- lossy links --- *)
+
+let test_link_lossy_rpc_exactly_once_effect () =
+  let eng = Sim.create () in
+  (* 40% loss: plenty of retransmissions. *)
+  let link = Link.create eng ~latency:1.0 ~loss:0.4 ~loss_seed:3L () in
+  let executions = ref 0 in
+  let results = ref [] in
+  Fiber.spawn eng (fun () ->
+      for i = 1 to 20 do
+        let r =
+          Link.rpc link ~label:"req" (fun () ->
+              incr executions;
+              ("rep", i * 10))
+        in
+        results := r :: !results
+      done);
+  Sim.run eng;
+  Alcotest.(check int) "every call returned" 20 (List.length !results);
+  Alcotest.(check (list int)) "correct values in order"
+    (List.init 20 (fun i -> (20 - i) * 10))
+    !results;
+  (* Dedup: the handler ran exactly once per logical request. *)
+  Alcotest.(check int) "handler ran once per request" 20 !executions;
+  Alcotest.(check bool) "wire carried retransmissions" true
+    (Link.message_count link > 40);
+  Alcotest.(check bool) "drops counted" true (Link.dropped_count link > 0)
+
+let test_link_lossy_send_effect_once () =
+  let eng = Sim.create () in
+  let link = Link.create eng ~latency:1.0 ~loss:0.5 ~loss_seed:9L () in
+  let effects = ref 0 in
+  Fiber.spawn eng (fun () ->
+      for _ = 1 to 10 do
+        Link.send link ~label:"notify" (fun () -> incr effects)
+      done);
+  Sim.run eng;
+  Alcotest.(check int) "each datagram delivered once" 10 !effects
+
+let test_link_loss_validation () =
+  let eng = Sim.create () in
+  Alcotest.check_raises "loss = 1 rejected"
+    (Invalid_argument "Link.create: loss must be in [0,1)") (fun () ->
+      ignore (Link.create eng ~latency:1.0 ~loss:1.0 ()))
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "link",
+        [
+          Alcotest.test_case "rpc latency and counts" `Quick test_link_rpc_latency_and_counts;
+          Alcotest.test_case "reply labels" `Quick test_link_reply_label_varies;
+          Alcotest.test_case "one-way send" `Quick test_link_send_one_way;
+          Alcotest.test_case "reset" `Quick test_link_reset;
+          Alcotest.test_case "negative latency" `Quick test_link_negative_latency;
+        ] );
+      ( "loss",
+        [
+          Alcotest.test_case "rpc dedup under loss" `Quick
+            test_link_lossy_rpc_exactly_once_effect;
+          Alcotest.test_case "send delivered once" `Quick test_link_lossy_send_effect_once;
+          Alcotest.test_case "validation" `Quick test_link_loss_validation;
+        ] );
+      ( "site",
+        [
+          Alcotest.test_case "basics" `Quick test_site_basics;
+          Alcotest.test_case "crash_for / await_up" `Quick test_site_crash_for_and_await_up;
+          Alcotest.test_case "await_up immediate" `Quick test_site_await_up_immediate;
+          Alcotest.test_case "crash durability" `Quick test_site_crash_preserves_committed;
+          Alcotest.test_case "multiple waiters" `Quick test_site_multiple_waiters;
+        ] );
+    ]

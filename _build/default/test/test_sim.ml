@@ -1,0 +1,311 @@
+(* Tests for Icdb_sim: event engine, fibers, ivars, mailboxes, traces. *)
+
+module Engine = Icdb_sim.Engine
+module Fiber = Icdb_sim.Fiber
+module Trace = Icdb_sim.Trace
+
+(* --- Engine --- *)
+
+let test_engine_time_order () =
+  let eng = Engine.create () in
+  let seen = ref [] in
+  ignore (Engine.schedule eng ~delay:5.0 (fun () -> seen := 5 :: !seen));
+  ignore (Engine.schedule eng ~delay:1.0 (fun () -> seen := 1 :: !seen));
+  ignore (Engine.schedule eng ~delay:3.0 (fun () -> seen := 3 :: !seen));
+  Engine.run eng;
+  Alcotest.(check (list int)) "time order" [ 1; 3; 5 ] (List.rev !seen);
+  Alcotest.(check (float 1e-9)) "clock at last event" 5.0 (Engine.now eng)
+
+let test_engine_fifo_same_time () =
+  let eng = Engine.create () in
+  let seen = ref [] in
+  for i = 1 to 5 do
+    ignore (Engine.schedule eng ~delay:2.0 (fun () -> seen := i :: !seen))
+  done;
+  Engine.run eng;
+  Alcotest.(check (list int)) "FIFO among equal times" [ 1; 2; 3; 4; 5 ] (List.rev !seen)
+
+let test_engine_nested_schedule () =
+  let eng = Engine.create () in
+  let times = ref [] in
+  ignore
+    (Engine.schedule eng ~delay:1.0 (fun () ->
+         times := Engine.now eng :: !times;
+         ignore (Engine.schedule eng ~delay:2.0 (fun () -> times := Engine.now eng :: !times))));
+  Engine.run eng;
+  Alcotest.(check (list (float 1e-9))) "relative delays" [ 1.0; 3.0 ] (List.rev !times)
+
+let test_engine_cancel () =
+  let eng = Engine.create () in
+  let fired = ref false in
+  let id = Engine.schedule eng ~delay:1.0 (fun () -> fired := true) in
+  Engine.cancel eng id;
+  Alcotest.(check int) "pending drops" 0 (Engine.pending eng);
+  Engine.run eng;
+  Alcotest.(check bool) "cancelled event did not fire" false !fired
+
+let test_engine_negative_delay () =
+  let eng = Engine.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule: negative delay") (fun () ->
+      ignore (Engine.schedule eng ~delay:(-1.0) (fun () -> ())))
+
+let test_engine_run_until () =
+  let eng = Engine.create () in
+  let seen = ref [] in
+  ignore (Engine.schedule eng ~delay:1.0 (fun () -> seen := 1 :: !seen));
+  ignore (Engine.schedule eng ~delay:10.0 (fun () -> seen := 10 :: !seen));
+  Engine.run_until eng 5.0;
+  Alcotest.(check (list int)) "only due events" [ 1 ] (List.rev !seen);
+  Alcotest.(check (float 1e-9)) "clock advanced to horizon" 5.0 (Engine.now eng);
+  Alcotest.(check int) "late event still pending" 1 (Engine.pending eng);
+  Engine.run eng;
+  Alcotest.(check (list int)) "late event eventually fires" [ 1; 10 ] (List.rev !seen)
+
+let test_engine_step () =
+  let eng = Engine.create () in
+  let count = ref 0 in
+  ignore (Engine.schedule eng ~delay:1.0 (fun () -> incr count));
+  ignore (Engine.schedule eng ~delay:2.0 (fun () -> incr count));
+  Alcotest.(check bool) "step fires one" true (Engine.step eng);
+  Alcotest.(check int) "one fired" 1 !count;
+  Alcotest.(check bool) "second step" true (Engine.step eng);
+  Alcotest.(check bool) "exhausted" false (Engine.step eng)
+
+(* --- Fibers --- *)
+
+let test_fiber_sleep_interleaving () =
+  let eng = Engine.create () in
+  let order = ref [] in
+  Fiber.spawn eng (fun () ->
+      order := "a0" :: !order;
+      Fiber.sleep eng 3.0;
+      order := "a1" :: !order);
+  Fiber.spawn eng (fun () ->
+      order := "b0" :: !order;
+      Fiber.sleep eng 1.0;
+      order := "b1" :: !order);
+  Engine.run eng;
+  Alcotest.(check (list string)) "interleaving" [ "a0"; "b0"; "b1"; "a1" ] (List.rev !order)
+
+let test_fiber_yield () =
+  let eng = Engine.create () in
+  let order = ref [] in
+  Fiber.spawn eng (fun () ->
+      order := 1 :: !order;
+      Fiber.yield eng;
+      order := 3 :: !order);
+  Fiber.spawn eng (fun () -> order := 2 :: !order);
+  Engine.run eng;
+  Alcotest.(check (list int)) "yield lets others run" [ 1; 2; 3 ] (List.rev !order)
+
+let test_fiber_on_error () =
+  let eng = Engine.create () in
+  let caught = ref "" in
+  Fiber.spawn eng
+    ~on_error:(fun e -> caught := Printexc.to_string e)
+    (fun () -> failwith "boom");
+  Engine.run eng;
+  Alcotest.(check bool) "error handler ran" true (!caught <> "")
+
+let test_fiber_error_after_suspension () =
+  let eng = Engine.create () in
+  let caught = ref false in
+  Fiber.spawn eng
+    ~on_error:(fun _ -> caught := true)
+    (fun () ->
+      Fiber.sleep eng 1.0;
+      failwith "late boom");
+  Engine.run eng;
+  Alcotest.(check bool) "handler catches post-suspend raise" true !caught
+
+let test_fiber_await_resume_once () =
+  let eng = Engine.create () in
+  let stash = ref None in
+  let resumed = ref 0 in
+  Fiber.spawn eng (fun () ->
+      let v = Fiber.await (fun resume -> stash := Some resume) in
+      resumed := v);
+  ignore
+    (Engine.schedule eng ~delay:1.0 (fun () ->
+         let resume = Option.get !stash in
+         resume (Ok 7);
+         resume (Ok 99) (* must be ignored *)));
+  Engine.run eng;
+  Alcotest.(check int) "first resume wins" 7 !resumed
+
+let test_fiber_await_error () =
+  let eng = Engine.create () in
+  let result = ref "no" in
+  Fiber.spawn eng (fun () ->
+      match Fiber.await (fun resume -> resume (Error Exit)) with
+      | () -> result := "returned"
+      | exception Exit -> result := "raised");
+  Engine.run eng;
+  Alcotest.(check string) "error resumes as exception" "raised" !result
+
+(* --- Ivar --- *)
+
+let test_ivar_fill_then_read () =
+  let eng = Engine.create () in
+  let iv = Fiber.Ivar.create eng in
+  Fiber.Ivar.fill iv 42;
+  let got = ref 0 in
+  Fiber.spawn eng (fun () -> got := Fiber.Ivar.read iv);
+  Engine.run eng;
+  Alcotest.(check int) "read filled" 42 !got
+
+let test_ivar_read_blocks_until_fill () =
+  let eng = Engine.create () in
+  let iv = Fiber.Ivar.create eng in
+  let got = ref [] in
+  Fiber.spawn eng (fun () ->
+      let v = Fiber.Ivar.read iv in
+      got := ("r1", v) :: !got);
+  Fiber.spawn eng (fun () ->
+      let v = Fiber.Ivar.read iv in
+      got := ("r2", v) :: !got);
+  Fiber.spawn eng (fun () ->
+      Fiber.sleep eng 5.0;
+      Fiber.Ivar.fill iv 9);
+  Engine.run eng;
+  Alcotest.(check int) "both woken" 2 (List.length !got);
+  List.iter (fun (_, v) -> Alcotest.(check int) "value" 9 v) !got
+
+let test_ivar_double_fill () =
+  let eng = Engine.create () in
+  let iv = Fiber.Ivar.create eng in
+  Fiber.Ivar.fill iv 1;
+  Alcotest.check_raises "double fill" (Invalid_argument "Fiber.Ivar.fill: already filled")
+    (fun () -> Fiber.Ivar.fill iv 2);
+  Alcotest.(check bool) "is_filled" true (Fiber.Ivar.is_filled iv);
+  Alcotest.(check (option int)) "peek" (Some 1) (Fiber.Ivar.peek iv)
+
+(* --- Mailbox --- *)
+
+let test_mailbox_send_recv () =
+  let eng = Engine.create () in
+  let mb = Fiber.Mailbox.create eng in
+  let got = ref [] in
+  Fiber.spawn eng (fun () ->
+      got := Fiber.Mailbox.recv mb :: !got;
+      got := Fiber.Mailbox.recv mb :: !got);
+  Fiber.spawn eng (fun () ->
+      Fiber.Mailbox.send mb "x";
+      Fiber.sleep eng 1.0;
+      Fiber.Mailbox.send mb "y");
+  Engine.run eng;
+  Alcotest.(check (list string)) "fifo delivery" [ "x"; "y" ] (List.rev !got)
+
+let test_mailbox_buffered () =
+  let eng = Engine.create () in
+  let mb = Fiber.Mailbox.create eng in
+  Fiber.Mailbox.send mb 1;
+  Fiber.Mailbox.send mb 2;
+  Alcotest.(check int) "length" 2 (Fiber.Mailbox.length mb);
+  Alcotest.(check (option int)) "try_recv" (Some 1) (Fiber.Mailbox.try_recv mb);
+  Alcotest.(check (option int)) "try_recv again" (Some 2) (Fiber.Mailbox.try_recv mb);
+  Alcotest.(check (option int)) "empty" None (Fiber.Mailbox.try_recv mb)
+
+let test_mailbox_recv_timeout_expires () =
+  let eng = Engine.create () in
+  let mb : int Fiber.Mailbox.t = Fiber.Mailbox.create eng in
+  let got = ref (Some 0) in
+  Fiber.spawn eng (fun () -> got := Fiber.Mailbox.recv_timeout mb 5.0);
+  Engine.run eng;
+  Alcotest.(check (option int)) "timed out" None !got;
+  Alcotest.(check (float 1e-9)) "waited full timeout" 5.0 (Engine.now eng)
+
+let test_mailbox_recv_timeout_delivers () =
+  let eng = Engine.create () in
+  let mb = Fiber.Mailbox.create eng in
+  let got = ref None in
+  Fiber.spawn eng (fun () -> got := Fiber.Mailbox.recv_timeout mb 5.0);
+  ignore (Engine.schedule eng ~delay:1.0 (fun () -> Fiber.Mailbox.send mb 3));
+  Engine.run eng;
+  Alcotest.(check (option int)) "delivered" (Some 3) !got
+
+let test_mailbox_message_not_lost_after_timeout () =
+  let eng = Engine.create () in
+  let mb = Fiber.Mailbox.create eng in
+  let first = ref (Some 0) and second = ref None in
+  Fiber.spawn eng (fun () ->
+      first := Fiber.Mailbox.recv_timeout mb 2.0;
+      (* message arrives after our timeout; a later recv must still get it *)
+      Fiber.sleep eng 10.0;
+      second := Fiber.Mailbox.recv_timeout mb 1.0);
+  ignore (Engine.schedule eng ~delay:5.0 (fun () -> Fiber.Mailbox.send mb 8));
+  Engine.run eng;
+  Alcotest.(check (option int)) "first timed out" None !first;
+  Alcotest.(check (option int)) "second received buffered msg" (Some 8) !second
+
+(* --- Trace --- *)
+
+let test_trace_basic () =
+  let eng = Engine.create () in
+  let tr = Trace.create eng in
+  Fiber.spawn eng (fun () ->
+      Trace.record tr ~actor:"a" "start";
+      Fiber.sleep eng 2.0;
+      Trace.record tr ~actor:"a" "done");
+  Engine.run eng;
+  Alcotest.(check int) "two entries" 2 (Trace.length tr);
+  Alcotest.(check (option (float 1e-9))) "find start" (Some 0.0)
+    (Trace.find tr ~actor:"a" ~label:"start");
+  Alcotest.(check (option (float 1e-9))) "find done" (Some 2.0)
+    (Trace.find tr ~actor:"a" ~label:"done");
+  Alcotest.(check bool) "ordering" true (Trace.before tr ~first:"start" ~then_:"done");
+  Alcotest.(check bool) "no reverse ordering" false (Trace.before tr ~first:"done" ~then_:"start")
+
+let test_trace_find_all_and_clear () =
+  let eng = Engine.create () in
+  let tr = Trace.create eng in
+  Trace.record tr ~actor:"x" "m";
+  Trace.record tr ~actor:"y" "m";
+  Alcotest.(check int) "find_all" 2 (List.length (Trace.find_all tr ~label:"m"));
+  Trace.clear tr;
+  Alcotest.(check int) "cleared" 0 (Trace.length tr)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "time order" `Quick test_engine_time_order;
+          Alcotest.test_case "fifo same time" `Quick test_engine_fifo_same_time;
+          Alcotest.test_case "nested schedule" `Quick test_engine_nested_schedule;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "negative delay" `Quick test_engine_negative_delay;
+          Alcotest.test_case "run_until" `Quick test_engine_run_until;
+          Alcotest.test_case "step" `Quick test_engine_step;
+        ] );
+      ( "fiber",
+        [
+          Alcotest.test_case "sleep interleaving" `Quick test_fiber_sleep_interleaving;
+          Alcotest.test_case "yield" `Quick test_fiber_yield;
+          Alcotest.test_case "on_error" `Quick test_fiber_on_error;
+          Alcotest.test_case "error after suspension" `Quick test_fiber_error_after_suspension;
+          Alcotest.test_case "resume once" `Quick test_fiber_await_resume_once;
+          Alcotest.test_case "await error" `Quick test_fiber_await_error;
+        ] );
+      ( "ivar",
+        [
+          Alcotest.test_case "fill then read" `Quick test_ivar_fill_then_read;
+          Alcotest.test_case "read blocks until fill" `Quick test_ivar_read_blocks_until_fill;
+          Alcotest.test_case "double fill" `Quick test_ivar_double_fill;
+        ] );
+      ( "mailbox",
+        [
+          Alcotest.test_case "send/recv" `Quick test_mailbox_send_recv;
+          Alcotest.test_case "buffered" `Quick test_mailbox_buffered;
+          Alcotest.test_case "timeout expires" `Quick test_mailbox_recv_timeout_expires;
+          Alcotest.test_case "timeout delivers" `Quick test_mailbox_recv_timeout_delivers;
+          Alcotest.test_case "no message loss after timeout" `Quick
+            test_mailbox_message_not_lost_after_timeout;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "basic" `Quick test_trace_basic;
+          Alcotest.test_case "find_all and clear" `Quick test_trace_find_all_and_clear;
+        ] );
+    ]

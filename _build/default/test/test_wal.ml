@@ -1,0 +1,335 @@
+(* Tests for Icdb_wal: log durability semantics and restart recovery. *)
+
+module Disk = Icdb_storage.Disk
+module Bp = Icdb_storage.Buffer_pool
+module Heap = Icdb_storage.Heap
+module Log = Icdb_wal.Log
+module Recovery = Icdb_wal.Recovery
+
+(* --- Log --- *)
+
+let test_log_append_get () =
+  let log = Log.create () in
+  let l1 = Log.append log (Begin 1) in
+  let l2 = Log.append log (Commit 1) in
+  Alcotest.(check int) "dense lsns" 1 l1;
+  Alcotest.(check int) "dense lsns" 2 l2;
+  (match Log.get log l1 with
+  | Begin 1 -> ()
+  | _ -> Alcotest.fail "wrong record");
+  Alcotest.check_raises "lsn 0" (Invalid_argument "Log.get: LSN out of range") (fun () ->
+      ignore (Log.get log 0))
+
+let test_log_crash_truncates_unflushed () =
+  let log = Log.create () in
+  ignore (Log.append log (Begin 1));
+  Log.flush log;
+  ignore (Log.append log (Commit 1));
+  Alcotest.(check int) "two appended" 2 (Log.last_lsn log);
+  Alcotest.(check int) "one durable" 1 (Log.flushed_lsn log);
+  Log.crash log;
+  Alcotest.(check int) "tail lost" 1 (Log.last_lsn log);
+  let n = ref 0 in
+  Log.iter log (fun _ _ -> incr n);
+  Alcotest.(check int) "iter sees only durable" 1 !n
+
+let test_log_flush_to () =
+  let log = Log.create () in
+  ignore (Log.append log (Begin 1));
+  ignore (Log.append log (Begin 2));
+  ignore (Log.append log (Begin 3));
+  Log.flush_to log 2;
+  Alcotest.(check int) "partial durability" 2 (Log.flushed_lsn log);
+  Log.flush_to log 1;
+  Alcotest.(check int) "no regress" 2 (Log.flushed_lsn log);
+  Alcotest.(check int) "force counted once" 1 (Log.force_count log)
+
+let test_log_grows () =
+  let log = Log.create () in
+  for i = 1 to 1000 do
+    ignore (Log.append log (Begin i))
+  done;
+  Alcotest.(check int) "1000 records" 1000 (Log.record_count log)
+
+(* --- truncation --- *)
+
+let test_log_truncate_prefix () =
+  let log = Log.create () in
+  for i = 1 to 10 do
+    ignore (Log.append log (Begin i))
+  done;
+  Log.flush log;
+  Log.truncate_prefix log ~keep_from:6;
+  Alcotest.(check int) "first retained" 6 (Log.first_lsn log);
+  Alcotest.(check int) "last unchanged" 10 (Log.last_lsn log);
+  Alcotest.(check int) "retained" 5 (Log.retained_count log);
+  Alcotest.(check int) "record_count keeps history" 10 (Log.record_count log);
+  (match Log.get log 6 with
+  | Begin 6 -> ()
+  | _ -> Alcotest.fail "wrong record at 6");
+  Alcotest.check_raises "purged lsn" (Invalid_argument "Log.get: LSN out of range")
+    (fun () -> ignore (Log.get log 5));
+  (* LSNs keep flowing after truncation. *)
+  Alcotest.(check int) "append continues" 11 (Log.append log (Begin 11));
+  let seen = ref [] in
+  Log.iter log (fun lsn _ -> seen := lsn :: !seen);
+  Alcotest.(check (list int)) "iter over retained" [ 6; 7; 8; 9; 10; 11 ] (List.rev !seen)
+
+let test_log_truncate_clamps () =
+  let log = Log.create () in
+  ignore (Log.append log (Begin 1));
+  Log.flush log;
+  Log.truncate_prefix log ~keep_from:100;
+  Alcotest.(check int) "clamped to end" 2 (Log.first_lsn log);
+  Alcotest.(check int) "nothing retained" 0 (Log.retained_count log);
+  ignore (Log.append log (Begin 2));
+  Alcotest.(check int) "append after full truncation" 2 (Log.last_lsn log);
+  Log.truncate_prefix log ~keep_from:1;
+  Alcotest.(check int) "cannot un-truncate" 2 (Log.first_lsn log)
+
+let test_log_crash_after_truncate () =
+  let log = Log.create () in
+  for i = 1 to 5 do
+    ignore (Log.append log (Begin i))
+  done;
+  Log.flush log;
+  Log.truncate_prefix log ~keep_from:3;
+  ignore (Log.append log (Begin 6));
+  Log.crash log;
+  Alcotest.(check int) "unflushed tail lost" 5 (Log.last_lsn log);
+  Alcotest.(check int) "retained prefix intact" 3 (Log.retained_count log)
+
+(* --- inverse --- *)
+
+let rid : Heap.rid = { page = 0; slot = 0 }
+
+let test_inverse_involutive () =
+  let ops =
+    [
+      Log.Insert { rid; key = "k"; value = 5 };
+      Log.Delete { rid; key = "k"; value = 5 };
+      Log.Update { rid; key = "k"; before = 1; after = 2 };
+      Log.Incr { rid; key = "k"; delta = 7 };
+    ]
+  in
+  List.iter
+    (fun op ->
+      Alcotest.(check bool) "inverse . inverse = id" true
+        (Recovery.inverse (Recovery.inverse op) = op))
+    ops
+
+let test_inverse_incr_negates () =
+  match Recovery.inverse (Log.Incr { rid; key = "k"; delta = 7 }) with
+  | Log.Incr { delta = -7; _ } -> ()
+  | _ -> Alcotest.fail "incr inverse should negate delta"
+
+(* --- recovery scenarios ---------------------------------------------------
+
+   Each scenario builds a small database, simulates a crash by dropping the
+   buffer pool and truncating the unflushed log, then runs restart and checks
+   the surviving state. *)
+
+type db = {
+  disk : Disk.t;
+  mutable pool : Bp.t;
+  mutable heap : Heap.t;
+  log : Log.t;
+}
+
+let make_db () =
+  let disk = Disk.create () in
+  let pool = Bp.create ~capacity:8 disk in
+  let heap = Heap.create disk pool in
+  let log = Log.create () in
+  Bp.set_wal_hook pool (fun ~lsn -> Log.flush_to log (Int64.to_int lsn));
+  { disk; pool; heap; log }
+
+let crash_and_restart db =
+  Log.crash db.log;
+  Bp.drop_all db.pool;
+  db.pool <- Bp.create ~capacity:8 db.disk;
+  Bp.set_wal_hook db.pool (fun ~lsn -> Log.flush_to db.log (Int64.to_int lsn));
+  db.heap <- Heap.recover db.disk db.pool;
+  Recovery.restart db.log db.pool
+
+(* Run one insert as txn [id], returning the rid. *)
+let logged_insert db ~txn ~prev ~key ~value =
+  let lsn = Log.last_lsn db.log + 1 in
+  let rid = Heap.insert db.heap ~lsn:(Int64.of_int lsn) ~key ~value in
+  let lsn' = Log.append db.log (Op { txn; op = Insert { rid; key; value }; prev }) in
+  assert (lsn = lsn');
+  (rid, lsn)
+
+let logged_update db ~txn ~prev rid ~key ~before ~after =
+  let lsn = Log.append db.log (Op { txn; op = Update { rid; key; before; after }; prev }) in
+  Recovery.apply_op db.pool ~lsn (Update { rid; key; before; after });
+  lsn
+
+let value_of db rid = Option.map snd (Heap.read db.heap rid)
+
+let test_committed_txn_survives_crash () =
+  let db = make_db () in
+  ignore (Log.append db.log (Begin 1));
+  let rid, l1 = logged_insert db ~txn:1 ~prev:0 ~key:"a" ~value:10 in
+  ignore (logged_update db ~txn:1 ~prev:l1 rid ~key:"a" ~before:10 ~after:20);
+  ignore (Log.append db.log (Commit 1));
+  Log.flush db.log;
+  (* Pages were never flushed: redo must reconstruct them. *)
+  let outcome = crash_and_restart db in
+  Alcotest.(check (list int)) "committed" [ 1 ] outcome.committed;
+  Alcotest.(check (list int)) "no losers" [] outcome.rolled_back;
+  Alcotest.(check bool) "redo happened" true (outcome.redo_count > 0);
+  Alcotest.(check (option int)) "value restored" (Some 20) (value_of db rid)
+
+let test_uncommitted_txn_rolled_back () =
+  let db = make_db () in
+  ignore (Log.append db.log (Begin 1));
+  let rid, _ = logged_insert db ~txn:1 ~prev:0 ~key:"a" ~value:10 in
+  (* The dirty page reaches disk (steal!) but the txn never commits. *)
+  Bp.flush_all db.pool;
+  let outcome = crash_and_restart db in
+  Alcotest.(check (list int)) "loser rolled back" [ 1 ] outcome.rolled_back;
+  Alcotest.(check bool) "undo happened" true (outcome.undo_count > 0);
+  Alcotest.(check (option int)) "insert undone" None (value_of db rid)
+
+let test_unflushed_uncommitted_txn_vanishes () =
+  let db = make_db () in
+  ignore (Log.append db.log (Begin 1));
+  Log.flush db.log;
+  let rid, _ = logged_insert db ~txn:1 ~prev:0 ~key:"a" ~value:10 in
+  (* Neither the op record nor the page reached stable storage. *)
+  let outcome = crash_and_restart db in
+  Alcotest.(check (list int)) "loser (begin only)" [ 1 ] outcome.rolled_back;
+  Alcotest.(check int) "nothing to undo" 0 outcome.undo_count;
+  Alcotest.(check (option int)) "no trace" None (value_of db rid)
+
+let test_update_undo_restores_before_image () =
+  let db = make_db () in
+  (* Committed base value. *)
+  ignore (Log.append db.log (Begin 1));
+  let rid, _ = logged_insert db ~txn:1 ~prev:0 ~key:"a" ~value:100 in
+  ignore (Log.append db.log (Commit 1));
+  Log.flush db.log;
+  (* Loser updates it. *)
+  ignore (Log.append db.log (Begin 2));
+  ignore (logged_update db ~txn:2 ~prev:0 rid ~key:"a" ~before:100 ~after:999);
+  Bp.flush_all db.pool;
+  let outcome = crash_and_restart db in
+  Alcotest.(check (list int)) "loser" [ 2 ] outcome.rolled_back;
+  Alcotest.(check (option int)) "before image restored" (Some 100) (value_of db rid)
+
+let test_logical_incr_undo_preserves_concurrent_increment () =
+  (* The Figure-8 recovery anomaly: T1 and T2 both increment x; T1 is a
+     loser. Undoing T1 must not wipe out T2's committed increment. *)
+  let db = make_db () in
+  ignore (Log.append db.log (Begin 1));
+  let rid, _ = logged_insert db ~txn:1 ~prev:0 ~key:"x" ~value:0 in
+  ignore (Log.append db.log (Commit 1));
+  (* T2 (loser) increments by 5; T3 (committed) increments by 3. *)
+  ignore (Log.append db.log (Begin 2));
+  let l2 = Log.append db.log (Op { txn = 2; op = Incr { rid; key = "x"; delta = 5 }; prev = 0 }) in
+  Recovery.apply_op db.pool ~lsn:l2 (Incr { rid; key = "x"; delta = 5 });
+  ignore (Log.append db.log (Begin 3));
+  let l3 = Log.append db.log (Op { txn = 3; op = Incr { rid; key = "x"; delta = 3 }; prev = 0 }) in
+  Recovery.apply_op db.pool ~lsn:l3 (Incr { rid; key = "x"; delta = 3 });
+  ignore (Log.append db.log (Commit 3));
+  Log.flush db.log;
+  Bp.flush_all db.pool;
+  let outcome = crash_and_restart db in
+  Alcotest.(check (list int)) "T2 rolled back" [ 2 ] outcome.rolled_back;
+  Alcotest.(check (option int)) "T3's increment preserved" (Some 3) (value_of db rid)
+
+let test_prepared_txn_left_in_doubt () =
+  let db = make_db () in
+  ignore (Log.append db.log (Begin 1));
+  let rid, l1 = logged_insert db ~txn:1 ~prev:0 ~key:"a" ~value:7 in
+  ignore (Log.append db.log (Prepare { txn = 1; last = l1 }));
+  Log.flush db.log;
+  let outcome = crash_and_restart db in
+  Alcotest.(check (list (pair int int))) "in doubt with last lsn" [ (1, l1) ] outcome.in_doubt;
+  Alcotest.(check (list int)) "not rolled back" [] outcome.rolled_back;
+  Alcotest.(check (option int)) "writes redone and kept" (Some 7) (value_of db rid);
+  (* Global decision arrives: abort. *)
+  ignore (Recovery.undo_chain db.log db.pool ~txn:1 ~from:l1);
+  Alcotest.(check (option int)) "undone after decision" None (value_of db rid)
+
+let test_recovery_idempotent () =
+  let db = make_db () in
+  ignore (Log.append db.log (Begin 1));
+  let rid, _ = logged_insert db ~txn:1 ~prev:0 ~key:"a" ~value:10 in
+  Bp.flush_all db.pool;
+  let o1 = crash_and_restart db in
+  Alcotest.(check (list int)) "first restart undoes" [ 1 ] o1.rolled_back;
+  (* Crash again immediately: the CLRs are replayed, nothing is undone twice. *)
+  let o2 = crash_and_restart db in
+  Alcotest.(check (list int)) "second restart finds no losers" [] o2.rolled_back;
+  Alcotest.(check int) "no double undo" 0 o2.undo_count;
+  Alcotest.(check (option int)) "still absent" None (value_of db rid)
+
+let test_crash_during_undo_resumes () =
+  let db = make_db () in
+  ignore (Log.append db.log (Begin 1));
+  let rid_a, l1 = logged_insert db ~txn:1 ~prev:0 ~key:"a" ~value:1 in
+  let rid_b, _l2 = logged_insert db ~txn:1 ~prev:l1 ~key:"b" ~value:2 in
+  Bp.flush_all db.pool;
+  (* Simulate a partial rollback: one CLR written and applied, then crash. *)
+  let comp = Recovery.inverse (Log.Delete { rid = rid_b; key = "b"; value = 2 }) in
+  ignore comp;
+  let clr_lsn = Log.append db.log (Clr { txn = 1; op = Delete { rid = rid_b; key = "b"; value = 2 }; next_undo = l1 }) in
+  Recovery.apply_op db.pool ~lsn:clr_lsn (Delete { rid = rid_b; key = "b"; value = 2 });
+  Log.flush db.log;
+  Bp.flush_all db.pool;
+  let outcome = crash_and_restart db in
+  Alcotest.(check (list int)) "rollback resumed" [ 1 ] outcome.rolled_back;
+  Alcotest.(check int) "only the remaining op undone" 1 outcome.undo_count;
+  Alcotest.(check (option int)) "a undone" None (value_of db rid_a);
+  Alcotest.(check (option int)) "b stays undone" None (value_of db rid_b)
+
+let test_wal_rule_protects_steal () =
+  (* A dirty page evicted before commit must force the log first, otherwise
+     the on-disk page would contain changes recovery cannot undo. *)
+  let db = make_db () in
+  ignore (Log.append db.log (Begin 1));
+  let rid, _ = logged_insert db ~txn:1 ~prev:0 ~key:"a" ~value:10 in
+  (* Eviction via explicit flush (same code path as replacement). *)
+  Bp.flush_all db.pool;
+  Alcotest.(check bool) "log forced up to page lsn" true (Log.flushed_lsn db.log >= 2);
+  let outcome = crash_and_restart db in
+  Alcotest.(check (list int)) "undoable" [ 1 ] outcome.rolled_back;
+  Alcotest.(check (option int)) "clean state" None (value_of db rid)
+
+let () =
+  Alcotest.run "wal"
+    [
+      ( "log",
+        [
+          Alcotest.test_case "append/get" `Quick test_log_append_get;
+          Alcotest.test_case "crash truncates" `Quick test_log_crash_truncates_unflushed;
+          Alcotest.test_case "flush_to" `Quick test_log_flush_to;
+          Alcotest.test_case "grows" `Quick test_log_grows;
+        ] );
+      ( "truncation",
+        [
+          Alcotest.test_case "truncate_prefix" `Quick test_log_truncate_prefix;
+          Alcotest.test_case "clamping" `Quick test_log_truncate_clamps;
+          Alcotest.test_case "crash after truncate" `Quick test_log_crash_after_truncate;
+        ] );
+      ( "inverse",
+        [
+          Alcotest.test_case "involutive" `Quick test_inverse_involutive;
+          Alcotest.test_case "incr negates" `Quick test_inverse_incr_negates;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "committed survives" `Quick test_committed_txn_survives_crash;
+          Alcotest.test_case "uncommitted rolled back" `Quick test_uncommitted_txn_rolled_back;
+          Alcotest.test_case "unflushed vanishes" `Quick test_unflushed_uncommitted_txn_vanishes;
+          Alcotest.test_case "update before-image" `Quick test_update_undo_restores_before_image;
+          Alcotest.test_case "logical incr undo" `Quick
+            test_logical_incr_undo_preserves_concurrent_increment;
+          Alcotest.test_case "prepared in doubt" `Quick test_prepared_txn_left_in_doubt;
+          Alcotest.test_case "idempotent restart" `Quick test_recovery_idempotent;
+          Alcotest.test_case "crash during undo" `Quick test_crash_during_undo_resumes;
+          Alcotest.test_case "wal rule on steal" `Quick test_wal_rule_protects_steal;
+        ] );
+    ]

@@ -1,0 +1,250 @@
+(* Tests for Icdb_workload: protocol selection and the experiment runner,
+   including the whole-system property: atomicity (money conservation) and
+   global serializability hold for every protocol under randomized load and
+   failures. *)
+
+module Runner = Icdb_workload.Runner
+module Protocol = Icdb_workload.Protocol
+
+let test_protocol_parse () =
+  Alcotest.(check bool) "2pc" true (Protocol.of_string "2pc" = Ok Protocol.Two_phase);
+  Alcotest.(check bool) "after" true (Protocol.of_string "after" = Ok Protocol.After);
+  Alcotest.(check bool) "before" true (Protocol.of_string "before" = Ok Protocol.Before);
+  Alcotest.(check bool) "mlt" true (Protocol.of_string "before-mlt" = Ok Protocol.Before_mlt);
+  Alcotest.(check bool) "unknown" true (Result.is_error (Protocol.of_string "paxos"))
+
+let test_protocol_names_unique () =
+  let names = List.map Protocol.name Protocol.all in
+  Alcotest.(check int) "unique" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let small protocol =
+  { Runner.default with protocol; n_txns = 40; concurrency = 4; accounts_per_site = 8 }
+
+let test_runner_happy_path_all_protocols () =
+  List.iter
+    (fun protocol ->
+      let r = Runner.run (small protocol) in
+      Alcotest.(check int) (Protocol.name protocol ^ " all committed") 40 r.committed;
+      Alcotest.(check bool) "money conserved" true r.money_conserved;
+      Alcotest.(check bool) "serializable" true r.serializable;
+      Alcotest.(check bool) "throughput positive" true (r.throughput > 0.0))
+    Protocol.all
+
+let test_runner_deterministic () =
+  let r1 = Runner.run (small Protocol.Before) in
+  let r2 = Runner.run (small Protocol.Before) in
+  Alcotest.(check (float 1e-9)) "same elapsed" r1.elapsed r2.elapsed;
+  Alcotest.(check int) "same messages" r1.messages r2.messages;
+  Alcotest.(check int) "same committed" r1.committed r2.committed
+
+let test_runner_seed_changes_schedule () =
+  (* Under failures, seeds produce visibly different histories. (A failure-
+     free run can legitimately produce identical timing for any seed: every
+     transaction has the same shape.) *)
+  let chaos seed =
+    let r =
+      Runner.run
+        {
+          (small Protocol.Before) with
+          seed;
+          p_intended_abort = 0.3;
+          p_spontaneous = 0.2;
+          n_txns = 60;
+        }
+    in
+    (r.committed, r.aborted, r.elapsed, r.messages, r.compensations)
+  in
+  Alcotest.(check bool) "different schedule" true (chaos 42L <> chaos 43L)
+
+let test_runner_2pc_needs_prepare () =
+  let r = Runner.run { (small Protocol.Two_phase) with prepare_capable = false } in
+  Alcotest.(check int) "nothing commits" 0 r.committed;
+  Alcotest.(check int) "all aborted" 40 r.aborted
+
+let test_runner_intended_aborts_compensate () =
+  let r =
+    Runner.run { (small Protocol.Before) with p_intended_abort = 0.3; n_txns = 60 }
+  in
+  Alcotest.(check bool) "some aborts" true (r.aborted > 0);
+  Alcotest.(check bool) "compensations happened" true (r.compensations > 0);
+  Alcotest.(check bool) "money conserved" true r.money_conserved
+
+let test_runner_spontaneous_aborts_repetitions () =
+  let r =
+    Runner.run
+      { (small Protocol.After) with p_spontaneous = 0.25; n_txns = 80; concurrency = 8 }
+  in
+  Alcotest.(check bool) "some repetitions" true (r.repetitions > 0);
+  Alcotest.(check bool) "money conserved" true r.money_conserved;
+  Alcotest.(check bool) "serializable" true r.serializable
+
+let test_runner_crashes_survive () =
+  List.iter
+    (fun protocol ->
+      let r =
+        Runner.run
+          {
+            (small protocol) with
+            crash_rate = 8.0;
+            crash_duration = 20.0;
+            n_txns = 60;
+            concurrency = 8;
+          }
+      in
+      Alcotest.(check bool)
+        (Protocol.name protocol ^ " money conserved under crashes")
+        true r.money_conserved;
+      Alcotest.(check bool) "serializable" true r.serializable)
+    Protocol.all
+
+let test_runner_message_complexity () =
+  (* V5's shape: commit-before uses 8 messages per committed transaction at
+     2 branches; 2PC and commit-after use 12. *)
+  let msgs protocol =
+    (Runner.run (small protocol)).messages_per_committed
+  in
+  Alcotest.(check (float 0.01)) "2pc" 12.0 (msgs Protocol.Two_phase);
+  Alcotest.(check (float 0.01)) "after" 12.0 (msgs Protocol.After);
+  Alcotest.(check (float 0.01)) "before" 8.0 (msgs Protocol.Before);
+  Alcotest.(check (float 0.01)) "before-mlt" 8.0 (msgs Protocol.Before_mlt)
+
+let test_runner_mlt_no_additional_components () =
+  (* V4: the MLT-fused protocol performs no additional-CC work and writes no
+     additional undo-log; the standalone form does both. *)
+  let mlt = Runner.run (small Protocol.Before_mlt) in
+  Alcotest.(check int) "no additional CC" 0 mlt.global_cc_acquisitions;
+  Alcotest.(check int) "no additional undo-log writes" 0 mlt.undo_log_writes;
+  Alcotest.(check bool) "inherent L1 work instead" true (mlt.l1_acquisitions > 0);
+  Alcotest.(check bool) "inherent L1 log instead" true (mlt.mlt_log_writes > 0);
+  let standalone = Runner.run (small Protocol.Before) in
+  Alcotest.(check bool) "standalone uses additional CC" true
+    (standalone.global_cc_acquisitions > 0);
+  Alcotest.(check bool) "standalone writes undo-log" true (standalone.undo_log_writes > 0)
+
+let test_runner_heterogeneous_cc () =
+  (* Every third site optimistic: validation failures become spontaneous
+     local aborts; atomicity must still hold for the before/after/hybrid
+     protocols (2PC cannot prepare an optimistic site). *)
+  List.iter
+    (fun protocol ->
+      let r =
+        Runner.run
+          {
+            (small protocol) with
+            heterogeneous_cc = true;
+            n_sites = 3;
+            n_txns = 80;
+            concurrency = 8;
+            zipf_theta = 1.0;
+          }
+      in
+      Alcotest.(check bool)
+        (Protocol.name protocol ^ " commits on heterogeneous CC")
+        true (r.committed > 0);
+      Alcotest.(check bool) "money conserved" true r.money_conserved;
+      Alcotest.(check bool) "serializable" true r.serializable)
+    [ Protocol.After; Protocol.Before; Protocol.Before_mlt; Protocol.Hybrid ]
+
+let test_runner_2pc_refuses_optimistic_site () =
+  let r =
+    Runner.run
+      { (small Protocol.Two_phase) with heterogeneous_cc = true; n_sites = 3; n_txns = 30 }
+  in
+  (* Any transaction drawing the optimistic site aborts with
+     Unsupported_site; money must still be conserved. *)
+  Alcotest.(check bool) "some aborts" true (r.aborted > 0);
+  Alcotest.(check bool) "money conserved" true r.money_conserved
+
+let test_runner_message_loss_invariants () =
+  (* A lossy wire (at-least-once delivery with dedup) plus kills and
+     intended aborts: atomicity and serializability must be untouched. *)
+  List.iter
+    (fun protocol ->
+      let r =
+        Runner.run
+          {
+            (small protocol) with
+            message_loss = 0.15;
+            p_spontaneous = 0.1;
+            p_intended_abort = 0.1;
+            n_txns = 60;
+          }
+      in
+      Alcotest.(check bool)
+        (Protocol.name protocol ^ " drops happened")
+        true (r.messages_dropped > 0);
+      Alcotest.(check bool) "money conserved" true r.money_conserved;
+      Alcotest.(check bool) "serializable" true r.serializable)
+    Protocol.all
+
+let test_runner_read_write_mix () =
+  let r =
+    Runner.run
+      { (small Protocol.Before) with use_increments = false; read_fraction = 0.7 }
+  in
+  Alcotest.(check int) "all committed" 40 r.committed;
+  Alcotest.(check bool) "serializable" true r.serializable
+
+(* The whole-system property test: random configurations with failures keep
+   atomicity and serializability for every protocol. *)
+let prop_invariants_under_chaos =
+  QCheck2.Test.make ~name:"atomicity + serializability under randomized chaos" ~count:25
+    QCheck2.Gen.(
+      tup7 (int_range 0 5) (int_range 1 4) (int_range 1 4)
+        (float_bound_inclusive 0.3) (float_bound_inclusive 0.2)
+        (float_bound_inclusive 6.0) int)
+    (fun (proto_idx, n_sites, concurrency, p_intended, p_spont, crash_rate, seed) ->
+      let protocol = List.nth Protocol.all proto_idx in
+      let r =
+        Runner.run
+          {
+            Runner.default with
+            protocol;
+            seed = Int64.of_int seed;
+            n_sites;
+            branches_per_txn = min 2 n_sites;
+            accounts_per_site = 6;
+            n_txns = 25;
+            concurrency;
+            p_intended_abort = p_intended;
+            p_spontaneous = p_spont;
+            crash_rate;
+            crash_duration = 15.0;
+            zipf_theta = 0.9;
+          }
+      in
+      r.money_conserved && r.serializable)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "parse" `Quick test_protocol_parse;
+          Alcotest.test_case "names unique" `Quick test_protocol_names_unique;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "happy path, all protocols" `Quick
+            test_runner_happy_path_all_protocols;
+          Alcotest.test_case "deterministic" `Quick test_runner_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_runner_seed_changes_schedule;
+          Alcotest.test_case "2pc needs prepare" `Quick test_runner_2pc_needs_prepare;
+          Alcotest.test_case "intended aborts compensate" `Quick
+            test_runner_intended_aborts_compensate;
+          Alcotest.test_case "spontaneous aborts cause repetitions" `Quick
+            test_runner_spontaneous_aborts_repetitions;
+          Alcotest.test_case "crashes survive" `Slow test_runner_crashes_survive;
+          Alcotest.test_case "message complexity" `Quick test_runner_message_complexity;
+          Alcotest.test_case "mlt needs no additional components" `Quick
+            test_runner_mlt_no_additional_components;
+          Alcotest.test_case "heterogeneous CC" `Quick test_runner_heterogeneous_cc;
+          Alcotest.test_case "message loss invariants" `Quick
+            test_runner_message_loss_invariants;
+          Alcotest.test_case "2pc refuses optimistic site" `Quick
+            test_runner_2pc_refuses_optimistic_site;
+          Alcotest.test_case "read/write mix" `Quick test_runner_read_write_mix;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_invariants_under_chaos ]);
+    ]
