@@ -72,24 +72,57 @@ let benchmark () =
   let raw = Benchmark.all cfg instances tests in
   Analyze.all ols Instance.monotonic_clock raw
 
-let print_benchmark results =
+let rows_of results =
+  Hashtbl.fold
+    (fun name ols acc ->
+      let ns =
+        match Analyze.OLS.estimates ols with Some (t :: _) -> t | _ -> Float.nan
+      in
+      (name, ns) :: acc)
+    results []
+  |> List.sort compare
+
+let print_benchmark rows =
   print_endline "Bechamel micro-benchmarks (one kernel per experiment, wall clock per run)";
   print_endline "--------------------------------------------------------------------------";
-  let rows =
-    Hashtbl.fold
-      (fun name ols acc ->
-        let ns =
-          match Analyze.OLS.estimates ols with Some (t :: _) -> t | _ -> Float.nan
-        in
-        (name, ns) :: acc)
-      results []
-    |> List.sort compare
-  in
   List.iter
     (fun (name, ns) -> Printf.printf "%-12s %10.3f ms/run\n" name (ns /. 1e6))
     rows;
   print_newline ()
 
+(* Machine-readable companion to the human table: kernel name -> ms/run, so
+   future changes have a perf trajectory to compare against. *)
+let write_bench_json path rows =
+  let oc = open_out path in
+  output_string oc "{\n";
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i (name, ns) ->
+      let value =
+        if Float.is_nan ns then "null" else Printf.sprintf "%.6f" (ns /. 1e6)
+      in
+      Printf.fprintf oc "  %S: %s%s\n" name value (if i < last then "," else ""))
+    rows;
+  output_string oc "}\n";
+  close_out oc
+
+(* Sweep parallelism: `-j N` on the command line, ICDB_JOBS in the
+   environment as the fallback. *)
+let jobs () =
+  let parse s = match int_of_string_opt s with Some n when n >= 1 -> Some n | _ -> None in
+  let rec from_argv i =
+    if i >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "-j" && i + 1 < Array.length Sys.argv then
+      parse Sys.argv.(i + 1)
+    else from_argv (i + 1)
+  in
+  match from_argv 1 with
+  | Some n -> n
+  | None -> (
+    match Option.bind (Sys.getenv_opt "ICDB_JOBS") parse with Some n -> n | None -> 1)
+
 let () =
-  print_benchmark (benchmark ());
-  print_string (Experiments.run_all ())
+  let rows = rows_of (benchmark ()) in
+  print_benchmark rows;
+  write_bench_json "BENCH.json" rows;
+  print_string (Experiments.run_all ~jobs:(jobs ()) ())

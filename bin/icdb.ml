@@ -25,8 +25,17 @@ let list_cmd =
 let exp_cmd =
   let doc = "Run one experiment by id (or $(b,all))." in
   let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
-  let run id =
-    if id = "all" then print_string (Experiments.run_all ())
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "With $(b,all), run the experiments on $(docv) parallel domains. Every \
+             experiment is an independent deterministically seeded simulation, so the \
+             output is byte-identical for any $(docv).")
+  in
+  let run id jobs =
+    if id = "all" then print_string (Experiments.run_all ~jobs ())
     else
       match Experiments.run id with
       | report -> print_string report
@@ -34,7 +43,7 @@ let exp_cmd =
         Printf.eprintf "unknown experiment %S; try `icdb list`\n" id;
         exit 1
   in
-  Cmd.v (Cmd.info "exp" ~doc) Term.(const run $ id)
+  Cmd.v (Cmd.info "exp" ~doc) Term.(const run $ id $ jobs)
 
 let report_to_string (r : Runner.report) =
   let b = Buffer.create 512 in

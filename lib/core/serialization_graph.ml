@@ -1,6 +1,13 @@
 module Db = Icdb_localdb.Engine
 
-type local = { gid : int; compensation : bool; accesses : Db.access list }
+(* Access classification on one key: the strongest kind decides conflicts. *)
+type kind = KRead | KIncr | KWrite
+
+type local = {
+  gid : int;
+  compensation : bool;
+  kinds : (string, kind) Hashtbl.t; (* key -> strongest kind, memoized at record time *)
+}
 
 type t = {
   histories : (string, local list ref) Hashtbl.t; (* site -> reversed commit order *)
@@ -25,31 +32,28 @@ let pp_violation fmt = function
 
 let create () = { histories = Hashtbl.create 16; outcomes = Hashtbl.create 64; locals = 0 }
 
-let record_local t ~gid ~site ~compensation accesses =
-  let hist =
-    match Hashtbl.find_opt t.histories site with
-    | Some h -> h
-    | None ->
-      let h = ref [] in
-      Hashtbl.replace t.histories site h;
-      h
-  in
-  hist := { gid; compensation; accesses } :: !hist;
-  t.locals <- t.locals + 1
+let internal_key key = String.length key >= 2 && key.[0] = '_' && key.[1] = '_'
 
-let record_outcome t ~gid ~committed = Hashtbl.replace t.outcomes gid committed
-
-(* Access classification on one key: the strongest kind decides conflicts. *)
-type kind = KRead | KIncr | KWrite
+(* Conflict-equivalent join of two kinds on the same key: a read and an
+   increment by the same local conflict with everything a write does, so the
+   mixed case collapses to write strength. *)
+let join k1 k2 =
+  match (k1, k2) with
+  | KWrite, _ | _, KWrite -> KWrite
+  | KRead, KIncr | KIncr, KRead -> KWrite
+  | KRead, KRead -> KRead
+  | KIncr, KIncr -> KIncr
 
 let kinds_of accesses =
   let tbl = Hashtbl.create 8 in
   let strengthen key kind =
-    if String.length key >= 2 && String.sub key 0 2 = "__" then ()
+    if internal_key key then ()
     else
       match Hashtbl.find_opt tbl key with
-      | None -> Hashtbl.replace tbl key [ kind ]
-      | Some kinds -> if not (List.mem kind kinds) then Hashtbl.replace tbl key (kind :: kinds)
+      | None -> Hashtbl.replace tbl key kind
+      | Some k ->
+        let j = join k kind in
+        if j <> k then Hashtbl.replace tbl key j
   in
   List.iter
     (function
@@ -69,44 +73,78 @@ let kinds_conflict k1 k2 =
     true
 
 let conflict_kinds a b =
+  let small, big = if Hashtbl.length a <= Hashtbl.length b then (a, b) else (b, a) in
   Hashtbl.fold
-    (fun key kinds_a hit ->
+    (fun key ka hit ->
       hit
       ||
-      match Hashtbl.find_opt b key with
+      match Hashtbl.find_opt big key with
       | None -> false
-      | Some kinds_b ->
-        List.exists (fun ka -> List.exists (fun kb -> kinds_conflict ka kb) kinds_b) kinds_a)
-    a false
+      | Some kb -> kinds_conflict ka kb)
+    small false
 
 let conflict a b = conflict_kinds (kinds_of a) (kinds_of b)
 
+let record_local t ~gid ~site ~compensation accesses =
+  let hist =
+    match Hashtbl.find_opt t.histories site with
+    | Some h -> h
+    | None ->
+      let h = ref [] in
+      Hashtbl.replace t.histories site h;
+      h
+  in
+  hist := { gid; compensation; kinds = kinds_of accesses } :: !hist;
+  t.locals <- t.locals + 1
+
+let record_outcome t ~gid ~committed = Hashtbl.replace t.outcomes gid committed
+
 let committed_of t gid = Option.value ~default:false (Hashtbl.find_opt t.outcomes gid)
 
-(* Build edges among committed globals from per-site commit order. *)
+(* Build edges among committed globals from per-site commit order.
+
+   Per site, a per-key index replaces the all-pairs local scan: each key maps
+   to the committed accessors seen so far, bucketed by kind. A new accessor
+   emits one edge per earlier accessor in a conflicting bucket, so the cost is
+   O(total accesses + conflicting pairs) instead of O(locals^2). *)
 let edges t =
   let edges = Hashtbl.create 256 in
   Hashtbl.iter
     (fun _site hist ->
-      let ordered = List.rev !hist in
-      let with_kinds =
-        List.filter_map
-          (fun l ->
-            if committed_of t l.gid && not l.compensation then
-              Some (l.gid, kinds_of l.accesses)
-            else None)
-          ordered
+      let index : (string, int list ref * int list ref * int list ref) Hashtbl.t =
+        Hashtbl.create 64
       in
-      let rec pairs = function
-        | [] -> ()
-        | (g1, k1) :: rest ->
-          List.iter
-            (fun (g2, k2) ->
-              if g1 <> g2 && conflict_kinds k1 k2 then Hashtbl.replace edges (g1, g2) ())
-            rest;
-          pairs rest
-      in
-      pairs with_kinds)
+      let emit_from g2 g1 = if g1 <> g2 then Hashtbl.replace edges (g1, g2) () in
+      List.iter
+        (fun l ->
+          if committed_of t l.gid && not l.compensation then
+            Hashtbl.iter
+              (fun key kind ->
+                let reads, incrs, writes =
+                  match Hashtbl.find_opt index key with
+                  | Some buckets -> buckets
+                  | None ->
+                    let buckets = (ref [], ref [], ref []) in
+                    Hashtbl.replace index key buckets;
+                    buckets
+                in
+                let from = List.iter (emit_from l.gid) in
+                (match kind with
+                | KRead ->
+                  from !incrs;
+                  from !writes;
+                  reads := l.gid :: !reads
+                | KIncr ->
+                  from !reads;
+                  from !writes;
+                  incrs := l.gid :: !incrs
+                | KWrite ->
+                  from !reads;
+                  from !incrs;
+                  from !writes;
+                  writes := l.gid :: !writes))
+              l.kinds)
+        (List.rev !hist))
     t.histories;
   edges
 
@@ -143,41 +181,63 @@ let find_cycle t =
 
 (* A committed local conflicting with an aborted global's original local,
    positioned after it and before its compensation, read or overwrote data
-   that was later compensated away. *)
+   that was later compensated away.
+
+   One forward pass per site over a per-key index: aborted locals open a
+   "dirty window" on every key they changed (pure reads are harmless — the
+   read-only optimization); committed locals scan the still-open windows on
+   the keys they touched. Windows close at the aborted global's compensation,
+   and closed entries are pruned as they are encountered, so the cost is
+   O(total accesses + reported pairs) instead of the former O(locals^2)
+   all-pairs window scan. *)
 let dirty_reads t =
   let found = ref [] in
   Hashtbl.iter
     (fun site hist ->
       let ordered = Array.of_list (List.rev !hist) in
       let n = Array.length ordered in
-      for i = 0 to n - 1 do
+      (* window_end.(i): index of gid's first compensation after i, or n. *)
+      let window_end = Array.make n n in
+      let next_comp = Hashtbl.create 16 in
+      for i = n - 1 downto 0 do
         let l = ordered.(i) in
-        if (not l.compensation) && not (committed_of t l.gid) then begin
-          (* window end: this gid's compensation at this site, if any *)
-          let window_end = ref n in
-          (try
-             for j = i + 1 to n - 1 do
-               if ordered.(j).gid = l.gid && ordered.(j).compensation then begin
-                 window_end := j;
-                 raise Exit
-               end
-             done
-           with Exit -> ());
-          (* Only data the aborted local *changed* can be dirty; its pure
-             reads are harmless (read-only optimization). *)
-          let k1 = kinds_of l.accesses in
+        window_end.(i) <- Option.value ~default:n (Hashtbl.find_opt next_comp l.gid);
+        if l.compensation then Hashtbl.replace next_comp l.gid i
+      done;
+      (* key -> open dirty windows (writer position, gid, kind, window end) *)
+      let open_windows : (string, (int * int * kind * int) list ref) Hashtbl.t =
+        Hashtbl.create 64
+      in
+      let pairs = Hashtbl.create 16 in
+      for p = 0 to n - 1 do
+        let l = ordered.(p) in
+        if not l.compensation then begin
+          let committed = committed_of t l.gid in
           Hashtbl.iter
-            (fun key kinds ->
-              if List.for_all (( = ) KRead) kinds then Hashtbl.remove k1 key)
-            (Hashtbl.copy k1);
-          for j = i + 1 to !window_end - 1 do
-            let m = ordered.(j) in
-            if m.gid <> l.gid && committed_of t m.gid && not m.compensation then
-              if conflict_kinds k1 (kinds_of m.accesses) then
-                found := Dirty_read { reader = m.gid; aborted_writer = l.gid; site } :: !found
-          done
+            (fun key kind ->
+              match Hashtbl.find_opt open_windows key with
+              | None ->
+                if (not committed) && kind <> KRead then
+                  Hashtbl.replace open_windows key (ref [ (p, l.gid, kind, window_end.(p)) ])
+              | Some cell ->
+                cell := List.filter (fun (_, _, _, wend) -> wend > p) !cell;
+                if committed then
+                  List.iter
+                    (fun (i, wgid, wkind, _) ->
+                      if wgid <> l.gid && kinds_conflict wkind kind then
+                        Hashtbl.replace pairs (i, p) ())
+                    !cell
+                else if kind <> KRead then cell := (p, l.gid, kind, window_end.(p)) :: !cell)
+            l.kinds
         end
-      done)
+      done;
+      let site_pairs = List.sort compare (Hashtbl.fold (fun ij () acc -> ij :: acc) pairs []) in
+      List.iter
+        (fun (i, j) ->
+          found :=
+            Dirty_read { reader = ordered.(j).gid; aborted_writer = ordered.(i).gid; site }
+            :: !found)
+        site_pairs)
     t.histories;
   List.rev !found
 

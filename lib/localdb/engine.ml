@@ -145,7 +145,7 @@ exception Local_abort of abort_reason
    locks even on page-granularity sites and are not charged an operation
    delay — otherwise marker traffic would distort the very concurrency
    behaviour the experiments measure. *)
-let internal_key key = String.length key >= 2 && String.sub key 0 2 = "__"
+let internal_key key = String.length key >= 2 && key.[0] = '_' && key.[1] = '_'
 
 (* Forward reference: [checkpoint] is defined after the transaction
    machinery but the periodic scheduler in [create] needs it. *)

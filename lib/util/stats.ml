@@ -37,9 +37,13 @@ module Summary = struct
 end
 
 module Sample = struct
-  type t = { mutable values : float array; mutable len : int }
+  type t = {
+    mutable values : float array;
+    mutable len : int;
+    mutable sorted : float array option; (* cache, invalidated by [add] *)
+  }
 
-  let create () = { values = Array.make 16 0.0; len = 0 }
+  let create () = { values = Array.make 16 0.0; len = 0; sorted = None }
 
   let add t x =
     if t.len = Array.length t.values then begin
@@ -48,7 +52,8 @@ module Sample = struct
       t.values <- bigger
     end;
     t.values.(t.len) <- x;
-    t.len <- t.len + 1
+    t.len <- t.len + 1;
+    t.sorted <- None
 
   let count t = t.len
 
@@ -64,11 +69,19 @@ module Sample = struct
 
   let values t = Array.sub t.values 0 t.len
 
+  let sorted_values t =
+    match t.sorted with
+    | Some s -> s
+    | None ->
+      let s = Array.sub t.values 0 t.len in
+      Array.sort Float.compare s;
+      t.sorted <- Some s;
+      s
+
   let percentile t p =
     if t.len = 0 then invalid_arg "Stats.Sample.percentile: empty";
     if p < 0.0 || p > 100.0 then invalid_arg "Stats.Sample.percentile: p out of range";
-    let sorted = values t in
-    Array.sort compare sorted;
+    let sorted = sorted_values t in
     let rank = p /. 100.0 *. float_of_int (t.len - 1) in
     let lo = int_of_float (Float.floor rank) in
     let hi = int_of_float (Float.ceil rank) in

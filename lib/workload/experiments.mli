@@ -13,5 +13,8 @@ val all : (string * string) list
     Raises [Not_found] for unknown ids. *)
 val run : string -> string
 
-(** Runs every experiment in order and concatenates the reports. *)
-val run_all : unit -> string
+(** Runs every experiment and concatenates the reports in registry order.
+    [jobs] (default 1) spreads the experiments over that many OCaml domains;
+    every experiment is an independent deterministically seeded simulation,
+    so the output is byte-identical for any [jobs]. *)
+val run_all : ?jobs:int -> unit -> string

@@ -836,6 +836,172 @@ let prop_graph_matches_bruteforce =
       in
       cycle_found = not serializable_bf)
 
+(* Property: the indexed checker agrees with a straightforward O(n^2)
+   reference oracle — the seed's all-pairs formulation, reimplemented here
+   from scratch — on randomized histories mixing committed, aborted and
+   compensation locals over all three access kinds (plus "__" marker keys,
+   which both sides must ignore). Both the cycle verdict and the exact
+   dirty-read reports must match. *)
+let prop_graph_matches_reference_oracle =
+  let open QCheck2 in
+  let gen =
+    (* 1-2 sites; per site up to 10 locals of (gid, compensation, accesses);
+       key 3 is an internal "__" marker key. *)
+    Gen.(
+      int_range 2 4 >>= fun n_gids ->
+      let access = pair (int_range 0 3) (int_range 0 2) in
+      let local =
+        tup3 (int_range 1 n_gids)
+          (frequency [ (4, pure false); (1, pure true) ])
+          (list_size (int_range 1 2) access)
+      in
+      let site_hist = list_size (int_range 0 10) local in
+      tup3 (pure n_gids) (list_size (int_range 1 2) site_hist) (list_repeat n_gids bool))
+  in
+  QCheck2.Test.make ~name:"indexed graph matches O(n^2) reference oracle" ~count:500 gen
+    (fun (n_gids, raw_sites, outcomes) ->
+      let access_of (key_i, kind_i) =
+        let key = if key_i = 3 then "__marker" else Printf.sprintf "k%d" key_i in
+        match kind_i with
+        | 0 -> Db.Read { key; value = None }
+        | 1 -> Db.Wrote { key; before = None; after = Some 1 }
+        | _ -> Db.Incremented { key; delta = 1 }
+      in
+      let sites =
+        List.mapi
+          (fun i hist ->
+            ( Printf.sprintf "S%d" i,
+              List.map
+                (fun (gid, comp, accs) -> (gid, comp, List.map access_of accs))
+                hist ))
+          raw_sites
+      in
+      let committed gid = List.nth outcomes (gid - 1) in
+      (* system under test *)
+      let g = Graph.create () in
+      List.iter
+        (fun (site, hist) ->
+          List.iter
+            (fun (gid, compensation, accesses) ->
+              Graph.record_local g ~gid ~site ~compensation accesses)
+            hist)
+        sites;
+      List.iteri (fun i c -> Graph.record_outcome g ~gid:(i + 1) ~committed:c) outcomes;
+      let vs = Graph.violations g in
+      let cycle_found = List.exists (function Graph.Cycle _ -> true | _ -> false) vs in
+      let dirty =
+        List.filter_map
+          (function
+            | Graph.Dirty_read { reader; aborted_writer; site } ->
+              Some (site, aborted_writer, reader)
+            | Graph.Cycle _ -> None)
+          vs
+        |> List.sort compare
+      in
+      (* reference oracle, sharing no code with the checker *)
+      let key_of = function
+        | Db.Read { key; _ } | Db.Wrote { key; _ } | Db.Incremented { key; _ } -> key
+      in
+      let internal a =
+        let k = key_of a in
+        String.length k >= 2 && String.sub k 0 2 = "__"
+      in
+      let kind_of = function Db.Read _ -> `R | Db.Wrote _ -> `W | Db.Incremented _ -> `I in
+      let access_conflict a b =
+        (not (internal a))
+        && key_of a = key_of b
+        &&
+        match (kind_of a, kind_of b) with `R, `R | `I, `I -> false | _ -> true
+      in
+      let conflict_ref la lb =
+        List.exists (fun a -> List.exists (access_conflict a) lb) la
+      in
+      (* cycle verdict: serializable iff some total order of the gids is
+         consistent with every site's conflicting committed commit order *)
+      let rec permutations = function
+        | [] -> [ [] ]
+        | l ->
+          List.concat_map
+            (fun x -> List.map (fun p -> x :: p) (permutations (List.filter (( <> ) x) l)))
+            l
+      in
+      let consistent perm =
+        let pos gid = Option.get (List.find_index (( = ) gid) perm) in
+        List.for_all
+          (fun (_, hist) ->
+            let commits =
+              List.filter_map
+                (fun (gid, comp, accs) ->
+                  if committed gid && not comp then Some (gid, accs) else None)
+                hist
+            in
+            let rec pairs = function
+              | [] -> true
+              | (g1, a1) :: rest ->
+                List.for_all
+                  (fun (g2, a2) ->
+                    g1 = g2 || (not (conflict_ref a1 a2)) || pos g1 < pos g2)
+                  rest
+                && pairs rest
+            in
+            pairs commits)
+          sites
+      in
+      let serializable_ref =
+        List.exists consistent (permutations (List.init n_gids (fun i -> i + 1)))
+      in
+      (* dirty reads: the seed's all-pairs window scan *)
+      let dirty_ref =
+        List.concat_map
+          (fun (site, hist) ->
+            let arr = Array.of_list hist in
+            let n = Array.length arr in
+            let out = ref [] in
+            for i = 0 to n - 1 do
+              let gid_i, comp_i, acc_i = arr.(i) in
+              if (not comp_i) && not (committed gid_i) then begin
+                let wend = ref n in
+                (try
+                   for j = i + 1 to n - 1 do
+                     let gid_j, comp_j, _ = arr.(j) in
+                     if gid_j = gid_i && comp_j then begin
+                       wend := j;
+                       raise Exit
+                     end
+                   done
+                 with Exit -> ());
+                (* pure reads of the aborted local are harmless *)
+                let written =
+                  List.filter_map
+                    (fun a ->
+                      match a with
+                      | Db.Wrote _ | Db.Incremented _ when not (internal a) ->
+                        Some (key_of a)
+                      | _ -> None)
+                    acc_i
+                in
+                let changed =
+                  List.filter
+                    (fun a ->
+                      match a with
+                      | Db.Read _ -> List.mem (key_of a) written
+                      | Db.Wrote _ | Db.Incremented _ -> not (internal a))
+                    acc_i
+                in
+                for j = i + 1 to !wend - 1 do
+                  let gid_j, comp_j, acc_j = arr.(j) in
+                  if gid_j <> gid_i && committed gid_j && (not comp_j)
+                     && conflict_ref changed acc_j
+                  then out := (site, gid_i, gid_j) :: !out
+                done
+              end
+            done;
+            List.rev !out)
+          sites
+        |> List.sort compare
+      in
+      cycle_found = not serializable_ref && dirty = dirty_ref)
+
 (* --- action log --- *)
 
 let test_action_log () =
@@ -924,5 +1090,9 @@ let () =
         ] );
       ( "action-log",
         [ Alcotest.test_case "append/entries/remove" `Quick test_action_log ] );
-      ("properties", [ QCheck_alcotest.to_alcotest prop_graph_matches_bruteforce ]);
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_graph_matches_bruteforce;
+          QCheck_alcotest.to_alcotest prop_graph_matches_reference_oracle;
+        ] );
     ]

@@ -5,6 +5,7 @@ module Btree = Icdb_util.Btree
 module Zipf = Icdb_util.Zipf
 module Stats = Icdb_util.Stats
 module Table = Icdb_util.Table
+module Pool = Icdb_util.Pool
 
 let check_float = Alcotest.(check (float 1e-9))
 
@@ -361,6 +362,60 @@ let prop_zipf_sample_in_range =
       let k = Zipf.sample z rng in
       k >= 0 && k < n)
 
+(* --- Pool --- *)
+
+let test_pool_preserves_order () =
+  List.iter
+    (fun jobs ->
+      let tasks = List.init 50 (fun i () -> i * i) in
+      Alcotest.(check (list int))
+        (Printf.sprintf "results in task order (jobs=%d)" jobs)
+        (List.init 50 (fun i -> i * i))
+        (Pool.run ~jobs tasks))
+    [ 1; 2; 4; 64 ]
+
+let test_pool_jobs_one_inline () =
+  (* jobs <= 1 must run on the calling domain, in order: observable through
+     sequenced side effects. *)
+  let log = ref [] in
+  let tasks = List.init 5 (fun i () -> log := i :: !log; i) in
+  Alcotest.(check (list int)) "results" [ 0; 1; 2; 3; 4 ] (Pool.run ~jobs:1 tasks);
+  Alcotest.(check (list int)) "sequential effects" [ 4; 3; 2; 1; 0 ] !log;
+  Alcotest.(check (list int)) "empty task list" [] (Pool.run ~jobs:1 [])
+
+let test_pool_propagates_exception () =
+  List.iter
+    (fun jobs ->
+      let tasks =
+        List.init 8 (fun i () -> if i = 3 then failwith "task 3 failed" else i)
+      in
+      Alcotest.check_raises
+        (Printf.sprintf "first failure re-raised (jobs=%d)" jobs)
+        (Failure "task 3 failed")
+        (fun () -> ignore (Pool.run ~jobs tasks)))
+    [ 1; 4 ];
+  (* With several failures, the lowest-indexed one wins deterministically. *)
+  let tasks = List.init 8 (fun i () -> if i >= 2 then failwith (string_of_int i) else i) in
+  Alcotest.check_raises "lowest index wins" (Failure "2") (fun () ->
+      ignore (Pool.run ~jobs:4 tasks))
+
+let test_pool_more_jobs_than_tasks () =
+  Alcotest.(check (list int)) "jobs > tasks" [ 7 ] (Pool.run ~jobs:16 [ (fun () -> 7) ])
+
+(* --- Sample sort cache --- *)
+
+let test_sample_percentile_cache_invalidation () =
+  let s = Stats.Sample.create () in
+  List.iter (Stats.Sample.add s) [ 3.0; 1.0; 2.0 ];
+  check_float "median before add" 2.0 (Stats.Sample.median s);
+  check_float "median cached" 2.0 (Stats.Sample.median s);
+  Stats.Sample.add s 10.0;
+  check_float "p100 sees new value" 10.0 (Stats.Sample.percentile s 100.0);
+  check_float "median after add" 2.5 (Stats.Sample.median s);
+  (* The cache must not disturb insertion order. *)
+  Alcotest.(check (array (float 1e-9)))
+    "values keep insertion order" [| 3.0; 1.0; 2.0; 10.0 |] (Stats.Sample.values s)
+
 let () =
   let qc = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "util"
@@ -395,7 +450,16 @@ let () =
           Alcotest.test_case "summary empty" `Quick test_summary_empty;
           Alcotest.test_case "sample percentiles" `Quick test_sample_percentiles;
           Alcotest.test_case "sample grows" `Quick test_sample_grows;
+          Alcotest.test_case "percentile cache invalidation" `Quick
+            test_sample_percentile_cache_invalidation;
           Alcotest.test_case "histogram" `Quick test_histogram;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "preserves order" `Quick test_pool_preserves_order;
+          Alcotest.test_case "jobs=1 runs inline" `Quick test_pool_jobs_one_inline;
+          Alcotest.test_case "exception propagation" `Quick test_pool_propagates_exception;
+          Alcotest.test_case "more jobs than tasks" `Quick test_pool_more_jobs_than_tasks;
         ] );
       ( "table",
         [

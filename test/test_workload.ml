@@ -5,6 +5,7 @@
 
 module Runner = Icdb_workload.Runner
 module Protocol = Icdb_workload.Protocol
+module Experiments = Icdb_workload.Experiments
 
 let test_protocol_parse () =
   Alcotest.(check bool) "2pc" true (Protocol.of_string "2pc" = Ok Protocol.Two_phase);
@@ -186,6 +187,15 @@ let test_runner_read_write_mix () =
   Alcotest.(check int) "all committed" 40 r.committed;
   Alcotest.(check bool) "serializable" true r.serializable
 
+let test_experiments_parallel_equals_sequential () =
+  (* The full sweep farmed out to 4 domains must concatenate to exactly the
+     sequential report: every experiment is an independent deterministically
+     seeded simulation, and the pool preserves registry order. *)
+  let sequential = Experiments.run_all ~jobs:1 () in
+  let parallel = Experiments.run_all ~jobs:4 () in
+  Alcotest.(check bool) "non-trivial output" true (String.length sequential > 1000);
+  Alcotest.(check string) "byte-identical" sequential parallel
+
 (* The whole-system property test: random configurations with failures keep
    atomicity and serializability for every protocol. *)
 let prop_invariants_under_chaos =
@@ -245,6 +255,11 @@ let () =
           Alcotest.test_case "2pc refuses optimistic site" `Quick
             test_runner_2pc_refuses_optimistic_site;
           Alcotest.test_case "read/write mix" `Quick test_runner_read_write_mix;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "parallel sweep equals sequential" `Slow
+            test_experiments_parallel_equals_sequential;
         ] );
       ("property", [ QCheck_alcotest.to_alcotest prop_invariants_under_chaos ]);
     ]
