@@ -90,20 +90,58 @@ let print_benchmark rows =
     rows;
   print_newline ()
 
-(* Machine-readable companion to the human table: kernel name -> ms/run, so
-   future changes have a perf trajectory to compare against. *)
-let write_bench_json path rows =
+(* Per-protocol phase-latency snapshot for BENCH.json: one fixed-seed
+   workload per protocol on a shared metrics registry. *)
+let phase_snapshot () =
+  let registry = Icdb_obs.Registry.create () in
+  List.iter
+    (fun protocol ->
+      ignore
+        (Runner.run ~registry
+           {
+             Runner.default with
+             protocol;
+             n_txns = 60;
+             concurrency = 6;
+             accounts_per_site = 8;
+             p_intended_abort = 0.1;
+           }))
+    Protocol.all;
+  Icdb_obs.Registry.histograms_named registry "icdb_phase_time"
+  |> List.filter_map (fun (key, h) ->
+         match
+           ( Icdb_obs.Registry.label key "protocol",
+             Icdb_obs.Registry.label key "phase" )
+         with
+         | Some protocol, Some phase ->
+           Some (protocol, phase, Icdb_obs.Registry.hist_snapshot h)
+         | _ -> None)
+
+(* Machine-readable companion to the human table: kernel name -> ms/run plus
+   the virtual-time phase-latency breakdown, so future changes have both a
+   perf and a behavior trajectory to compare against. *)
+let write_bench_json path rows phases =
+  let esc = Icdb_obs.Export.json_escape in
   let oc = open_out path in
-  output_string oc "{\n";
+  output_string oc "{\n  \"kernels\": {\n";
   let last = List.length rows - 1 in
   List.iteri
     (fun i (name, ns) ->
       let value =
         if Float.is_nan ns then "null" else Printf.sprintf "%.6f" (ns /. 1e6)
       in
-      Printf.fprintf oc "  %S: %s%s\n" name value (if i < last then "," else ""))
+      Printf.fprintf oc "    \"%s\": %s%s\n" (esc name) value (if i < last then "," else ""))
     rows;
-  output_string oc "}\n";
+  output_string oc "  },\n  \"phase_time\": [\n";
+  let last = List.length phases - 1 in
+  List.iteri
+    (fun i (protocol, phase, (h : Icdb_obs.Registry.hsnap)) ->
+      Printf.fprintf oc
+        "    {\"protocol\":\"%s\",\"phase\":\"%s\",\"count\":%d,\"mean\":%.3f,\"p50\":%.3f,\"p95\":%.3f,\"max\":%.3f}%s\n"
+        (esc protocol) (esc phase) h.h_count h.h_mean h.h_p50 h.h_p95 h.h_max
+        (if i < last then "," else ""))
+    phases;
+  output_string oc "  ]\n}\n";
   close_out oc
 
 (* Sweep parallelism: `-j N` on the command line, ICDB_JOBS in the
@@ -124,5 +162,5 @@ let jobs () =
 let () =
   let rows = rows_of (benchmark ()) in
   print_benchmark rows;
-  write_bench_json "BENCH.json" rows;
+  write_bench_json "BENCH.json" rows (phase_snapshot ());
   print_string (Experiments.run_all ~jobs:(jobs ()) ())

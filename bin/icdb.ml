@@ -10,6 +10,14 @@ open Cmdliner
 module Runner = Icdb_workload.Runner
 module Protocol = Icdb_workload.Protocol
 module Experiments = Icdb_workload.Experiments
+module Registry = Icdb_obs.Registry
+module Tracer = Icdb_obs.Tracer
+module Export = Icdb_obs.Export
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
 
 let protocol_conv =
   let parse s = Result.map_error (fun e -> `Msg e) (Protocol.of_string s) in
@@ -66,6 +74,14 @@ let report_to_string (r : Runner.report) =
     r.money_after;
   line "globally serializable           %b" r.serializable;
   List.iter (fun v -> line "  violation: %s" v) r.violations;
+  if r.phase_breakdown <> [] then begin
+    line "phase latency (count / mean / p50 / p95 / max):";
+    List.iter
+      (fun (phase, (h : Registry.hsnap)) ->
+        line "  %-13s %5d / %6.2f / %6.2f / %6.2f / %6.2f" phase h.h_count h.h_mean
+          h.h_p50 h.h_p95 h.h_max)
+      r.phase_breakdown
+  end;
   Buffer.contents b
 
 let run_cmd =
@@ -86,10 +102,41 @@ let run_cmd =
     Arg.(value & opt (some float) None & info [ "group-commit" ] ~doc:"group-commit window")
   in
   let retries = Arg.(value & opt int 0 & info [ "action-retries" ] ~doc:"MLT L0 action retries") in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Record a full span trace and write it as Chrome trace-event JSON to \
+             $(docv) (open at https://ui.perfetto.dev). Tracing is off otherwise.")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Write a JSON snapshot of the metrics registry to $(docv).")
+  in
+  let prom_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prom-out" ] ~docv:"FILE"
+          ~doc:"Write the metrics registry in Prometheus text exposition to $(docv).")
+  in
   let run protocol n_txns n_sites concurrency seed p_intended_abort p_spontaneous crash_rate
-      zipf_theta message_loss group_commit_window mlt_action_retries =
+      zipf_theta message_loss group_commit_window mlt_action_retries trace_out metrics_out
+      prom_out =
+    let registry = Registry.create () in
+    let tracer =
+      (* Clock re-wired onto the run's engine by [Runner.run]. *)
+      Option.map
+        (fun _ -> Tracer.create ~enabled:true ~clock:(fun () -> 0.0) ())
+        trace_out
+    in
     let r =
-      Runner.run
+      Runner.run ~registry ?tracer
         {
           Runner.default with
           protocol;
@@ -106,27 +153,121 @@ let run_cmd =
           mlt_action_retries;
         }
     in
-    Printf.printf "protocol: %s\n%s" (Protocol.name protocol) (report_to_string r)
+    Printf.printf "protocol: %s\n%s" (Protocol.name protocol) (report_to_string r);
+    (match (trace_out, tracer) with
+    | Some path, Some tr ->
+      write_file path (Export.chrome_trace tr);
+      Printf.printf "wrote Chrome trace (%d events): %s\n" (Tracer.length tr) path
+    | _ -> ());
+    Option.iter
+      (fun path ->
+        write_file path (Export.metrics_json registry);
+        Printf.printf "wrote metrics snapshot: %s\n" path)
+      metrics_out;
+    Option.iter
+      (fun path ->
+        write_file path (Export.prometheus registry);
+        Printf.printf "wrote Prometheus dump: %s\n" path)
+      prom_out
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ protocol $ txns $ sites $ concurrency $ seed $ p_intended $ p_spont
-      $ crash_rate $ theta $ loss $ gc_window $ retries)
+      $ crash_rate $ theta $ loss $ gc_window $ retries $ trace_out $ metrics_out
+      $ prom_out)
 
 let trace_cmd =
-  let doc = "Trace a single two-site transfer under the given protocol." in
-  let protocol = Arg.(value & pos 0 protocol_conv Protocol.Before & info [] ~docv:"PROTO") in
-  let abortive = Arg.(value & flag & info [ "abort" ] ~doc:"make one branch vote abort") in
-  let run protocol abortive =
-    let id =
-      match (protocol, abortive) with
-      | (Protocol.Two_phase | Protocol.Presumed_abort | Protocol.Hybrid), _ -> "f2"
-      | Protocol.After, _ -> "f4"
-      | (Protocol.Before | Protocol.Before_mlt), _ -> "f6"
-    in
-    print_string (Experiments.run id)
+  let doc =
+    "Run a single two-site transfer under the given protocol with the tracer on and \
+     print the span tree (transaction, phases, branches, lock waits, messages, \
+     decision)."
   in
-  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ protocol $ abortive)
+  let protocol = Arg.(value & pos 0 protocol_conv Protocol.Before & info [] ~docv:"PROTO") in
+  let abortive =
+    Arg.(
+      value & flag
+      & info [ "abort" ]
+          ~doc:
+            "Make the transaction abort: the second branch votes no (flat protocols) or \
+             the global transaction aborts after its first L0 action (MLT), so the \
+             undo/compensation path shows up in the trace.")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Also write the trace as Chrome trace-event JSON to $(docv).")
+  in
+  let run protocol abortive trace_out =
+    let module Sim = Icdb_sim.Engine in
+    let module Fiber = Icdb_sim.Fiber in
+    let module Db = Icdb_localdb.Engine in
+    let module Program = Icdb_localdb.Program in
+    let module Site = Icdb_net.Site in
+    let module Action = Icdb_mlt.Action in
+    let module Federation = Icdb_core.Federation in
+    let module Global = Icdb_core.Global in
+    let eng = Sim.create () in
+    let tracer = Tracer.create ~enabled:true ~clock:(fun () -> Sim.now eng) () in
+    let site_cfg ~prepare name =
+      {
+        (Db.default_config ~site_name:name) with
+        capabilities =
+          {
+            supports_prepare = prepare;
+            supports_increment_locks = true;
+            granularity = Db.Record_level;
+            cc = Locking { wait_timeout = Some 100.0 };
+          };
+      }
+    in
+    (* The hybrid protocol exists for mixed federations: give it one. *)
+    let prepare i = match protocol with Protocol.Hybrid -> i = 0 | _ -> true in
+    let fed =
+      Federation.create eng ~tracer
+        [ site_cfg ~prepare:(prepare 0) "s0"; site_cfg ~prepare:(prepare 1) "s1" ]
+    in
+    List.iter (fun (_, site) -> Db.load (Site.db site) [ ("x", 100) ]) fed.Federation.sites;
+    let result = ref None in
+    Fiber.spawn eng (fun () ->
+        let outcome =
+          if protocol = Protocol.Before_mlt then
+            Icdb_core.Commit_before_mlt.run fed
+              {
+                Global.mlt_gid = Federation.fresh_gid fed;
+                actions =
+                  [
+                    Action.deposit ~site:"s0" ~account:"x" 5;
+                    Action.withdraw ~site:"s1" ~account:"x" 5;
+                  ];
+                abort_after = (if abortive then Some 1 else None);
+              }
+          else
+            Protocol.run_flat protocol fed
+              {
+                Global.gid = Federation.fresh_gid fed;
+                branches =
+                  [
+                    Global.branch ~site:"s0" [ Program.Increment ("x", 5) ];
+                    Global.branch ~vote_commit:(not abortive) ~site:"s1"
+                      [ Program.Increment ("x", -5) ];
+                  ];
+              }
+        in
+        result := Some outcome);
+    Sim.run eng;
+    Printf.printf "%s: %s two-site transfer\noutcome: %s\n\n" (Protocol.name protocol)
+      (if abortive then "abortive" else "committing")
+      (Global.outcome_to_string (Option.get !result));
+    print_string (Export.span_tree tracer);
+    Option.iter
+      (fun path ->
+        write_file path (Export.chrome_trace tracer);
+        Printf.printf "\nwrote Chrome trace (%d events): %s\n" (Tracer.length tracer) path)
+      trace_out
+  in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ protocol $ abortive $ trace_out)
 
 let check_cmd =
   let doc =
@@ -136,7 +277,17 @@ let check_cmd =
   in
   let txns = Arg.(value & opt int 300 & info [ "n"; "txns" ]) in
   let seed = Arg.(value & opt int64 42L & info [ "seed" ]) in
-  let run n_txns seed =
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write one combined JSON metrics snapshot covering all six protocol runs \
+             (they share a registry; labelled metrics accumulate) to $(docv).")
+  in
+  let run n_txns seed metrics_out =
+    let registry = Registry.create () in
     let table =
       Icdb_util.Table.create ~title:"invariant battery (chaos workload)"
         [ "protocol"; "committed"; "aborted"; "reps"; "comps"; "money"; "serializable" ]
@@ -145,7 +296,7 @@ let check_cmd =
     List.iter
       (fun protocol ->
         let r =
-          Runner.run
+          Runner.run ~registry
             {
               Runner.default with
               protocol;
@@ -173,13 +324,18 @@ let check_cmd =
         List.iter (fun v -> Printf.printf "  violation: %s\n" v) r.violations)
       Protocol.all;
     Icdb_util.Table.print table;
+    Option.iter
+      (fun path ->
+        write_file path (Export.metrics_json registry);
+        Printf.printf "wrote combined metrics snapshot: %s\n" path)
+      metrics_out;
     if !failed then begin
       print_endline "INVARIANT VIOLATIONS FOUND";
       exit 1
     end
     else print_endline "all invariants hold."
   in
-  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ txns $ seed)
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ txns $ seed $ metrics_out)
 
 let () =
   let doc = "atomic commitment for integrated database systems (Muth & Rakow, ICDE 1991)" in

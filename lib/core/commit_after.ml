@@ -5,6 +5,7 @@ module Site = Icdb_net.Site
 module Link = Icdb_net.Link
 module Db = Icdb_localdb.Engine
 module Program = Icdb_localdb.Program
+module Span = Icdb_obs.Span
 open Protocol_common
 
 type vote = Ready of Db.txn | No of Global.abort_cause
@@ -13,24 +14,26 @@ type vote = Ready of Db.txn | No of Global.abort_cause
    commit marker written inside the transaction makes the loop idempotent:
    if a previous incarnation did commit (e.g. the crash hit after commit),
    no second execution happens. *)
-let redo_until_committed (fed : Federation.t) ~gid (b : Global.branch) =
-  ignore
-    (persistently_apply fed ~gid ~site:b.site ~marker:(commit_marker ~gid)
-       ~compensation:false
-       ~on_attempt:(fun () ->
-         Metrics.repetition fed.metrics;
-         Trace.record fed.trace ~actor:b.site (ev gid "redo-execution"))
-       b.program)
+let redo_until_committed (fed : Federation.t) ~gid ~obs (b : Global.branch) =
+  obs_phase fed obs ~gid ~actor:b.site Span.Redo (fun _ ->
+      ignore
+        (persistently_apply fed ~gid ~site:b.site ~marker:(commit_marker ~gid)
+           ~compensation:false
+           ~on_attempt:(fun () ->
+             Metrics.repetition fed.metrics;
+             Trace.record fed.trace ~actor:b.site (ev gid "redo-execution"))
+           b.program))
 
 let run (fed : Federation.t) (spec : Global.spec) =
   let gid = spec.gid in
   let start = Sim.now fed.engine in
   Metrics.txn_started fed.metrics;
   Federation.journal_open fed ~gid ~protocol:"after";
+  let obs = obs_begin fed ~gid ~protocol:"after" in
   Trace.record fed.trace ~actor:"central" (ev gid "running");
   if not (acquire_global_locks fed ~gid spec) then begin
     Federation.journal_close fed ~gid;
-    finish fed ~gid ~start (Aborted Global_cc_denied)
+    finish fed ~gid ~start ~obs (Aborted Global_cc_denied)
   end
   else begin
     (* Stable redo-log entry per branch, before anything executes. *)
@@ -41,15 +44,17 @@ let run (fed : Federation.t) (spec : Global.spec) =
       spec.branches;
     let marker_op = [ Program.Write (commit_marker ~gid, 1) ] in
     let results =
-      Fiber.all fed.engine
-        (List.map
-           (fun b () -> (b, execute_branch fed ~gid b ~extra_ops:marker_op))
-           spec.branches)
+      obs_phase fed obs ~gid Span.Execute (fun sp ->
+          Fiber.all fed.engine
+            (List.map
+               (fun b () -> (b, execute_branch fed ~gid ~parent:sp b ~extra_ops:marker_op))
+               spec.branches))
     in
     fed.central_fail ~gid "executed";
     (* The inquiry: communication managers answer from the running state. *)
     Trace.record fed.trace ~actor:"central" (ev gid "inquire");
     let votes =
+      obs_phase fed obs ~gid Span.Vote @@ fun _ ->
       Fiber.all fed.engine
         (List.map
            (fun (result : Global.branch * exec_status) () ->
@@ -86,39 +91,42 @@ let run (fed : Federation.t) (spec : Global.spec) =
     Trace.record fed.trace ~actor:"central"
       (ev gid (if decide_commit then "decision:commit" else "decision:abort"));
     Federation.journal_decide fed ~gid ~commit:decide_commit;
+    obs_decision fed ~gid ~commit:decide_commit;
     fed.central_fail ~gid "decided";
-    ignore
-      (Fiber.all fed.engine
-         (List.filter_map
-            (function
-              | (b : Global.branch), Ready txn ->
-                Some
-                  (fun () ->
-                    let site = Federation.site fed b.site in
-                    let db = Site.db site in
-                    if decide_commit then
-                      Link.rpc (Site.link site) ~label:"commit" (fun () ->
-                          (match Db.commit db txn with
-                          | Ok () ->
-                            graph_local fed ~gid ~site:b.site ~compensation:false txn
-                          | Error _ ->
-                            (* Erroneous abort after the ready answer: the
-                               §3.2 repair — repetition from the redo-log. *)
-                            redo_until_committed fed ~gid b);
-                          Trace.record fed.trace ~actor:b.site (ev gid "committed");
-                          ("finished", ()))
-                    else
-                      Link.rpc (Site.link site) ~label:"abort" (fun () ->
-                          Db.abort db txn;
-                          Trace.record fed.trace ~actor:b.site (ev gid "aborted");
-                          ("finished", ())))
-              | _, No _ -> None)
-            votes));
+    obs_phase fed obs ~gid Span.Local_commit (fun _ ->
+        ignore
+          (Fiber.all fed.engine
+             (List.filter_map
+                (function
+                  | (b : Global.branch), Ready txn ->
+                    Some
+                      (fun () ->
+                        let site = Federation.site fed b.site in
+                        let db = Site.db site in
+                        if decide_commit then
+                          Link.rpc (Site.link site) ~label:"commit" (fun () ->
+                              (match Db.commit db txn with
+                              | Ok () ->
+                                graph_local fed ~gid ~site:b.site ~compensation:false
+                                  txn
+                              | Error _ ->
+                                (* Erroneous abort after the ready answer: the
+                                   §3.2 repair — repetition from the redo-log. *)
+                                redo_until_committed fed ~gid ~obs b);
+                              Trace.record fed.trace ~actor:b.site (ev gid "committed");
+                              ("finished", ()))
+                        else
+                          Link.rpc (Site.link site) ~label:"abort" (fun () ->
+                              Db.abort db txn;
+                              Trace.record fed.trace ~actor:b.site (ev gid "aborted");
+                              ("finished", ())))
+                  | _, No _ -> None)
+                votes)));
     Action_log.remove fed.redo_log ~gid;
     Federation.journal_close fed ~gid;
     release_global_locks fed ~gid;
     let outcome =
       if decide_commit then Global.Committed else Global.Aborted (Option.get abort_cause)
     in
-    finish fed ~gid ~start outcome
+    finish fed ~gid ~start ~obs outcome
   end

@@ -5,13 +5,14 @@ module Site = Icdb_net.Site
 module Link = Icdb_net.Link
 module Db = Icdb_localdb.Engine
 module Program = Icdb_localdb.Program
+module Span = Icdb_obs.Span
 open Protocol_common
 
 type local_state = Locally_committed | Locally_aborted of Global.abort_cause
 
 (* Run the inverse transaction for a branch until it commits, guarded by the
    undo marker (idempotence across crashes: §3.3's "doubly undone" hazard). *)
-let undo_until_done (fed : Federation.t) ~gid (b : Global.branch) =
+let undo_until_done (fed : Federation.t) ~gid ~obs (b : Global.branch) =
   let inverse =
     match
       List.find_opt
@@ -21,28 +22,31 @@ let undo_until_done (fed : Federation.t) ~gid (b : Global.branch) =
     | Some entry -> entry.program
     | None -> failwith "Commit_before: missing undo-log entry"
   in
-  ignore
-    (persistently_apply fed ~gid ~site:b.site ~marker:(undo_marker ~gid ~seq:0)
-       ~compensation:true
-       ~on_attempt:(fun () ->
-         Metrics.compensation fed.metrics;
-         Trace.record fed.trace ~actor:b.site (ev gid "undo-execution"))
-       inverse)
+  obs_phase fed obs ~gid ~actor:b.site Span.Compensate (fun _ ->
+      ignore
+        (persistently_apply fed ~gid ~site:b.site ~marker:(undo_marker ~gid ~seq:0)
+           ~compensation:true
+           ~on_attempt:(fun () ->
+             Metrics.compensation fed.metrics;
+             Trace.record fed.trace ~actor:b.site (ev gid "undo-execution"))
+           inverse))
 
 let run (fed : Federation.t) (spec : Global.spec) =
   let gid = spec.gid in
   let start = Sim.now fed.engine in
   Metrics.txn_started fed.metrics;
   Federation.journal_open fed ~gid ~protocol:"before";
+  let obs = obs_begin fed ~gid ~protocol:"before" in
   Trace.record fed.trace ~actor:"central" (ev gid "running");
   if not (acquire_global_locks fed ~gid spec) then begin
     Federation.journal_close fed ~gid;
-    finish fed ~gid ~start (Aborted Global_cc_denied)
+    finish fed ~gid ~start ~obs (Aborted Global_cc_denied)
   end
   else begin
     (* Execute every branch; the communication manager commits the local
        transaction as soon as its last action finishes. *)
     let results =
+      obs_phase fed obs ~gid Span.Execute @@ fun _ ->
       Fiber.all fed.engine
         (List.map
            (fun (b : Global.branch) () ->
@@ -101,6 +105,7 @@ let run (fed : Federation.t) (spec : Global.spec) =
        crashed site answers after recovery. *)
     Trace.record fed.trace ~actor:"central" (ev gid "inquire");
     let states =
+      obs_phase fed obs ~gid Span.Vote @@ fun _ ->
       Fiber.all fed.engine
         (List.map
            (fun (result : Global.branch * local_state) () ->
@@ -123,6 +128,7 @@ let run (fed : Federation.t) (spec : Global.spec) =
     Trace.record fed.trace ~actor:"central"
       (ev gid (if decide_commit then "decision:commit" else "decision:abort"));
     Federation.journal_decide fed ~gid ~commit:decide_commit;
+    obs_decision fed ~gid ~commit:decide_commit;
     fed.central_fail ~gid "decided";
     if not decide_commit then
       (* Mixed outcome: compensate every locally-committed branch. *)
@@ -135,7 +141,7 @@ let run (fed : Federation.t) (spec : Global.spec) =
                     (fun () ->
                       let site = Federation.site fed b.site in
                       Link.rpc (Site.link site) ~label:"undo" (fun () ->
-                          undo_until_done fed ~gid b;
+                          undo_until_done fed ~gid ~obs b;
                           Trace.record fed.trace ~actor:b.site (ev gid "undone");
                           ("finished", ())))
                 | _, Locally_aborted _ -> None)
@@ -146,5 +152,5 @@ let run (fed : Federation.t) (spec : Global.spec) =
     let outcome =
       if decide_commit then Global.Committed else Global.Aborted (Option.get abort_cause)
     in
-    finish fed ~gid ~start outcome
+    finish fed ~gid ~start ~obs outcome
   end

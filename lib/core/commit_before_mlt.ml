@@ -6,18 +6,20 @@ module Link = Icdb_net.Link
 module Db = Icdb_localdb.Engine
 module Program = Icdb_localdb.Program
 module Action = Icdb_mlt.Action
+module Span = Icdb_obs.Span
 open Protocol_common
 
 (* Execute an inverse action until it commits, marker-guarded (the L1
    recovery component's "inverse of inverse" is avoided by idempotence). *)
-let undo_action (fed : Federation.t) ~gid ~seq (action : Action.t) =
-  ignore
-    (persistently_apply fed ~gid ~site:action.Action.site ~marker:(undo_marker ~gid ~seq)
-       ~compensation:true
-       ~on_attempt:(fun () ->
-         Metrics.compensation fed.metrics;
-         Trace.record fed.trace ~actor:action.Action.site (ev gid "inverse-action"))
-       action.Action.inverse)
+let undo_action (fed : Federation.t) ~gid ~obs ~seq (action : Action.t) =
+  obs_phase fed obs ~gid ~actor:action.Action.site Span.Compensate (fun _ ->
+      ignore
+        (persistently_apply fed ~gid ~site:action.Action.site
+           ~marker:(undo_marker ~gid ~seq) ~compensation:true
+           ~on_attempt:(fun () ->
+             Metrics.compensation fed.metrics;
+             Trace.record fed.trace ~actor:action.Action.site (ev gid "inverse-action"))
+           action.Action.inverse))
 
 (* Per-action commit marker: lets site and central recovery see which
    actions of a global transaction committed. *)
@@ -60,6 +62,7 @@ let run ?(action_retries = 0) (fed : Federation.t) (spec : Global.mlt_spec) =
   let start = Sim.now fed.engine in
   Metrics.txn_started fed.metrics;
   Federation.journal_open fed ~gid ~protocol:"mlt";
+  let obs = obs_begin fed ~gid ~protocol:"mlt" in
   Trace.record fed.trace ~actor:"central" (ev gid "running");
   let completed = ref [] in
   (* L1 actions run in program order; each one is an L0 transaction that
@@ -97,24 +100,26 @@ let run ?(action_retries = 0) (fed : Federation.t) (spec : Global.mlt_spec) =
           attempt action_retries
       end
   in
-  let result = step 0 spec.actions in
+  let result = obs_phase fed obs ~gid Span.Execute (fun _ -> step 0 spec.actions) in
   let outcome =
     match result with
     | Ok () ->
       Trace.record fed.trace ~actor:"central" (ev gid "decision:commit");
       Federation.journal_decide fed ~gid ~commit:true;
+      obs_decision fed ~gid ~commit:true;
       fed.central_fail ~gid "decided";
       Global.Committed
     | Error cause ->
       Trace.record fed.trace ~actor:"central" (ev gid "decision:abort");
       Federation.journal_decide fed ~gid ~commit:false;
+      obs_decision fed ~gid ~commit:false;
       fed.central_fail ~gid "decided";
       (* Undo completed actions in reverse order via inverse actions. *)
       List.iter
         (fun (seq, action) ->
           let site = Federation.site fed action.Action.site in
           Link.rpc (Site.link site) ~label:"undo-action" (fun () ->
-              undo_action fed ~gid ~seq action;
+              undo_action fed ~gid ~obs ~seq action;
               ("finished", ())))
         !completed;
       Global.Aborted cause
@@ -122,4 +127,4 @@ let run ?(action_retries = 0) (fed : Federation.t) (spec : Global.mlt_spec) =
   Action_log.remove fed.mlt_undo_log ~gid;
   Federation.journal_close fed ~gid;
   Lock.release_all fed.l1_locks ~owner:gid;
-  finish fed ~gid ~start outcome
+  finish fed ~gid ~start ~obs outcome

@@ -5,6 +5,7 @@ module Site = Icdb_net.Site
 module Link = Icdb_net.Link
 module Db = Icdb_localdb.Engine
 module Program = Icdb_localdb.Program
+module Span = Icdb_obs.Span
 open Protocol_common
 
 (* Per-branch progress after the execution/inquiry rounds. *)
@@ -17,7 +18,7 @@ let prepare_capable fed site_name =
   (Db.capabilities (Site.db (Federation.site fed site_name))).supports_prepare
 
 (* Same undo path as Commit_before. *)
-let undo_leg (fed : Federation.t) ~gid (b : Global.branch) =
+let undo_leg (fed : Federation.t) ~gid ~obs (b : Global.branch) =
   let inverse =
     match
       List.find_opt
@@ -27,34 +28,38 @@ let undo_leg (fed : Federation.t) ~gid (b : Global.branch) =
     | Some entry -> entry.program
     | None -> failwith "Commit_hybrid: missing undo-log entry"
   in
-  ignore
-    (persistently_apply fed ~gid ~site:b.site ~marker:(undo_marker ~gid ~seq:0)
-       ~compensation:true
-       ~on_attempt:(fun () ->
-         Metrics.compensation fed.metrics;
-         Trace.record fed.trace ~actor:b.site (ev gid "undo-execution"))
-       inverse)
+  obs_phase fed obs ~gid ~actor:b.site Span.Compensate (fun _ ->
+      ignore
+        (persistently_apply fed ~gid ~site:b.site ~marker:(undo_marker ~gid ~seq:0)
+           ~compensation:true
+           ~on_attempt:(fun () ->
+             Metrics.compensation fed.metrics;
+             Trace.record fed.trace ~actor:b.site (ev gid "undo-execution"))
+           inverse))
 
 let run (fed : Federation.t) (spec : Global.spec) =
   let gid = spec.gid in
   let start = Sim.now fed.engine in
   Metrics.txn_started fed.metrics;
   Federation.journal_open fed ~gid ~protocol:"hybrid";
+  let obs = obs_begin fed ~gid ~protocol:"hybrid" in
   Trace.record fed.trace ~actor:"central" (ev gid "running");
   if not (acquire_global_locks fed ~gid spec) then begin
     Federation.journal_close fed ~gid;
-    finish fed ~gid ~start (Aborted Global_cc_denied)
+    finish fed ~gid ~start ~obs (Aborted Global_cc_denied)
   end
   else begin
     (* Execution: 2PC legs leave the transaction running; commit-before
        legs commit unilaterally (with marker and undo-log entry). *)
     let results =
+      obs_phase fed obs ~gid Span.Execute @@ fun exec_span ->
       Fiber.all fed.engine
         (List.map
            (fun (b : Global.branch) () ->
              let site = Federation.site fed b.site in
              let db = Site.db site in
-             if prepare_capable fed b.site then (b, `Tpc (execute_branch fed ~gid b ~extra_ops:[]))
+             if prepare_capable fed b.site then
+               (b, `Tpc (execute_branch fed ~gid ~parent:exec_span b ~extra_ops:[]))
              else
                ( b,
                  `Before
@@ -106,6 +111,7 @@ let run (fed : Federation.t) (spec : Global.spec) =
     (* Inquiry: prepare the 2PC legs; ask the others for their final state. *)
     Trace.record fed.trace ~actor:"central" (ev gid "inquire");
     let legs =
+      obs_phase fed obs ~gid Span.Vote @@ fun _ ->
       Fiber.all fed.engine
         (List.map
            (fun (result : Global.branch * [ `Tpc of exec_status | `Before of leg ]) () ->
@@ -150,43 +156,45 @@ let run (fed : Federation.t) (spec : Global.spec) =
     Trace.record fed.trace ~actor:"central"
       (ev gid (if decide_commit then "decision:commit" else "decision:abort"));
     Federation.journal_decide fed ~gid ~commit:decide_commit;
+    obs_decision fed ~gid ~commit:decide_commit;
     fed.central_fail ~gid "decided";
     (* Apply the decision: resolve the ready legs, compensate committed
        commit-before legs on abort. *)
-    ignore
-      (Fiber.all fed.engine
-         (List.filter_map
-            (function
-              | (b : Global.branch), Prepared_leg txn ->
-                Some
-                  (fun () ->
-                    let site = Federation.site fed b.site in
-                    let label = if decide_commit then "commit" else "abort" in
-                    Link.rpc (Site.link site) ~label (fun () ->
-                        Site.await_up site;
-                        Db.resolve_prepared (Site.db site) ~txn_id:(Db.txn_id txn)
-                          ~commit:decide_commit;
-                        if decide_commit then begin
-                          graph_local fed ~gid ~site:b.site ~compensation:false txn;
-                          Trace.record fed.trace ~actor:b.site (ev gid "committed")
-                        end
-                        else Trace.record fed.trace ~actor:b.site (ev gid "aborted");
-                        ("finished", ())))
-              | b, Committed_leg when not decide_commit ->
-                Some
-                  (fun () ->
-                    let site = Federation.site fed b.site in
-                    Link.rpc (Site.link site) ~label:"undo" (fun () ->
-                        undo_leg fed ~gid b;
-                        Trace.record fed.trace ~actor:b.site (ev gid "undone");
-                        ("finished", ())))
-              | _, (Committed_leg | Failed_leg _) -> None)
-            legs));
+    obs_phase fed obs ~gid Span.Local_commit (fun _ ->
+        ignore
+          (Fiber.all fed.engine
+             (List.filter_map
+                (function
+                  | (b : Global.branch), Prepared_leg txn ->
+                    Some
+                      (fun () ->
+                        let site = Federation.site fed b.site in
+                        let label = if decide_commit then "commit" else "abort" in
+                        Link.rpc (Site.link site) ~label (fun () ->
+                            Site.await_up site;
+                            Db.resolve_prepared (Site.db site) ~txn_id:(Db.txn_id txn)
+                              ~commit:decide_commit;
+                            if decide_commit then begin
+                              graph_local fed ~gid ~site:b.site ~compensation:false txn;
+                              Trace.record fed.trace ~actor:b.site (ev gid "committed")
+                            end
+                            else Trace.record fed.trace ~actor:b.site (ev gid "aborted");
+                            ("finished", ())))
+                  | b, Committed_leg when not decide_commit ->
+                    Some
+                      (fun () ->
+                        let site = Federation.site fed b.site in
+                        Link.rpc (Site.link site) ~label:"undo" (fun () ->
+                            undo_leg fed ~gid ~obs b;
+                            Trace.record fed.trace ~actor:b.site (ev gid "undone");
+                            ("finished", ())))
+                  | _, (Committed_leg | Failed_leg _) -> None)
+                legs)));
     Action_log.remove fed.undo_log ~gid;
     Federation.journal_close fed ~gid;
     release_global_locks fed ~gid;
     let outcome =
       if decide_commit then Global.Committed else Global.Aborted (Option.get abort_cause)
     in
-    finish fed ~gid ~start outcome
+    finish fed ~gid ~start ~obs outcome
   end

@@ -5,7 +5,11 @@ module Mode = Icdb_lock.Mode
 module Site = Icdb_net.Site
 module Link = Icdb_net.Link
 module Db = Icdb_localdb.Engine
+module Log = Icdb_wal.Log
 module Conflict = Icdb_mlt.Conflict
+module Registry = Icdb_obs.Registry
+module Tracer = Icdb_obs.Tracer
+module Span = Icdb_obs.Span
 
 type journal_phase = Executing | Decided of bool
 
@@ -20,6 +24,8 @@ type t = {
   sites : (string * Site.t) list;
   by_name : (string, Site.t) Hashtbl.t;
   trace : Trace.t;
+  registry : Registry.t;
+  tracer : Tracer.t;
   metrics : Metrics.t;
   global_cc : Mode.t Lock.t;
   conflict : Conflict.t;
@@ -56,9 +62,129 @@ let default_conflict =
       ("read-balance", "read-balance");
     ]
 
+(* --- observability glue --------------------------------------------------
+
+   The lower layers (sim, net, lock, wal, localdb) expose generic hooks and
+   know nothing about [icdb_obs]; this is the one place those hooks are
+   pointed at the federation's registry and tracer. All handles are created
+   once here, so the per-event cost is an increment (counters) or a single
+   branch (tracer disabled). *)
+
+(* One handler per lock table, labelled by table name ("global-cc", "l1", or
+   the site name for a local database's table). *)
+let lock_handler t ~table =
+  let labels = [ ("table", table) ] in
+  let wait_h = Registry.histogram t.registry ~labels "icdb_lock_wait_time" in
+  let hold_h = Registry.histogram t.registry ~labels "icdb_lock_hold_time" in
+  let acquired = Registry.counter t.registry ~labels "icdb_lock_acquisitions_total" in
+  let outcome_counter o =
+    Registry.counter t.registry
+      ~labels:(("outcome", o) :: labels)
+      "icdb_lock_wait_outcomes_total"
+  in
+  let granted_c = outcome_counter "granted"
+  and timeout_c = outcome_counter "timeout"
+  and deadlock_c = outcome_counter "deadlock"
+  and cancelled_c = outcome_counter "cancelled" in
+  fun (e : Lock.observer_event) ->
+    match e with
+    | Lock.Acquired _ -> Registry.inc acquired
+    | Lock.Wait_started _ -> ()
+    | Lock.Wait_ended { obj; outcome; waited; _ } ->
+      Registry.observe wait_h waited;
+      Registry.inc
+        (match outcome with
+        | `Granted -> granted_c
+        | `Timeout -> timeout_c
+        | `Deadlock -> deadlock_c
+        | `Cancelled -> cancelled_c);
+      Tracer.complete t.tracer ~actor:table
+        ~start:(Sim.now t.engine -. waited)
+        (Span.Lock_wait { table; obj })
+    | Lock.Released { obj; held; _ } ->
+      Registry.observe hold_h held;
+      Tracer.complete t.tracer ~actor:table
+        ~start:(Sim.now t.engine -. held)
+        (Span.Lock_hold { table; obj })
+
+let observe_site t site_name site =
+  let db = Site.db site in
+  (* Wire events: per-(site, label) counters cached so the hot path is one
+     hashtable probe, not a key allocation. *)
+  let sent_cache : (string, Registry.counter) Hashtbl.t = Hashtbl.create 16 in
+  let dropped =
+    Registry.counter t.registry ~labels:[ ("site", site_name) ]
+      "icdb_messages_dropped_total"
+  in
+  Link.set_observer (Site.link site) (function
+    | Link.Msg_sent { label } ->
+      let c =
+        match Hashtbl.find_opt sent_cache label with
+        | Some c -> c
+        | None ->
+          let c =
+            Registry.counter t.registry
+              ~labels:[ ("site", site_name); ("label", label) ]
+              "icdb_messages_total"
+          in
+          Hashtbl.replace sent_cache label c;
+          c
+      in
+      Registry.inc c;
+      Tracer.instant t.tracer ~actor:site_name
+        (Span.Message { label; direction = Span.Send })
+    | Link.Msg_received { label } ->
+      Tracer.instant t.tracer ~actor:site_name
+        (Span.Message { label; direction = Span.Recv })
+    | Link.Msg_dropped { label } ->
+      Registry.inc dropped;
+      Tracer.instant t.tracer ~actor:site_name
+        (Span.Message { label; direction = Span.Drop }));
+  (* Local lock table (survives restarts via the stored listener). *)
+  Db.set_lock_observer db (lock_handler t ~table:site_name);
+  (* WAL forces — the log object itself survives crashes, so wiring once is
+     enough. *)
+  let forces =
+    Registry.counter t.registry ~labels:[ ("site", site_name) ]
+      "icdb_wal_forces_total"
+  in
+  Log.set_force_hook (Db.wal db) (fun () ->
+      Registry.inc forces;
+      Tracer.instant t.tracer ~actor:site_name (Span.Wal_force { site = site_name }));
+  (* Site outages: crash opens the window, recovery closes it with a
+     retrospective span. A crash with no later restart stays a bare mark. *)
+  let crashes =
+    Registry.counter t.registry ~labels:[ ("site", site_name) ]
+      "icdb_site_crashes_total"
+  in
+  let down_since = ref nan in
+  Db.set_state_hook db (function
+    | `Crash ->
+      Registry.inc crashes;
+      down_since := Sim.now t.engine;
+      Tracer.instant t.tracer ~actor:site_name (Span.Mark "crash")
+    | `Recovered ->
+      if not (Float.is_nan !down_since) then
+        Tracer.complete t.tracer ~actor:site_name ~start:!down_since
+          (Span.Outage { site = site_name });
+      down_since := nan)
+
+let install_observability t =
+  List.iter (fun (name, site) -> observe_site t name site) t.sites;
+  Lock.set_observer t.global_cc (lock_handler t ~table:"global-cc");
+  Lock.set_observer t.l1_locks (lock_handler t ~table:"l1");
+  let sim_events = Registry.counter t.registry "icdb_sim_events_total" in
+  Sim.set_observer t.engine (fun () -> Registry.inc sim_events)
+
 let create engine ?(latency = 1.0) ?(loss = 0.0) ?(global_lock_timeout = Some 200.0)
-    ?(conflict = default_conflict) configs =
-  let metrics = Metrics.create () in
+    ?(conflict = default_conflict) ?registry ?tracer configs =
+  let registry = match registry with Some r -> r | None -> Registry.create () in
+  let tracer =
+    match tracer with
+    | Some tr -> tr
+    | None -> Tracer.create ~clock:(fun () -> Sim.now engine) ()
+  in
+  let metrics = Metrics.create registry in
   let sites =
     List.map
       (fun (config : Db.config) ->
@@ -70,28 +196,34 @@ let create engine ?(latency = 1.0) ?(loss = 0.0) ?(global_lock_timeout = Some 20
   in
   let by_name = Hashtbl.create 16 in
   List.iter (fun (name, site) -> Hashtbl.replace by_name name site) sites;
-  {
-    engine;
-    sites;
-    by_name;
-    trace = Trace.create engine;
-    metrics;
-    global_cc = Lock.create engine ~compatible:Mode.compatible ~combine:Mode.combine;
-    conflict;
-    l1_locks =
-      Lock.create engine ~compatible:(Conflict.compatible conflict)
-        ~combine:(Conflict.combine conflict);
-    redo_log = Action_log.create ();
-    undo_log = Action_log.create ();
-    mlt_undo_log = Action_log.create ();
-    decision_log = Hashtbl.create 256;
-    journal = Hashtbl.create 64;
-    graph = Serialization_graph.create ();
-    next_gid = 0;
-    global_cc_enabled = true;
-    central_fail = (fun ~gid:_ _ -> ());
-    global_lock_timeout;
-  }
+  let t =
+    {
+      engine;
+      sites;
+      by_name;
+      trace = Trace.create engine;
+      registry;
+      tracer;
+      metrics;
+      global_cc = Lock.create engine ~compatible:Mode.compatible ~combine:Mode.combine;
+      conflict;
+      l1_locks =
+        Lock.create engine ~compatible:(Conflict.compatible conflict)
+          ~combine:(Conflict.combine conflict);
+      redo_log = Action_log.create ();
+      undo_log = Action_log.create ();
+      mlt_undo_log = Action_log.create ();
+      decision_log = Hashtbl.create 256;
+      journal = Hashtbl.create 64;
+      graph = Serialization_graph.create ();
+      next_gid = 0;
+      global_cc_enabled = true;
+      central_fail = (fun ~gid:_ _ -> ());
+      global_lock_timeout;
+    }
+  in
+  install_observability t;
+  t
 
 let site t name =
   match Hashtbl.find_opt t.by_name name with

@@ -27,6 +27,11 @@ type t = {
   sites : (string * Icdb_net.Site.t) list;  (** in creation order *)
   by_name : (string, Icdb_net.Site.t) Hashtbl.t;
   trace : Icdb_sim.Trace.t;
+  registry : Icdb_obs.Registry.t;
+      (** all numeric observations (metrics, message / lock / WAL counts,
+          protocol phase latencies) land here *)
+  tracer : Icdb_obs.Tracer.t;
+      (** span recorder; disabled unless the caller passed an enabled one *)
   metrics : Metrics.t;
   global_cc : Icdb_lock.Mode.t Icdb_lock.Lock_table.t;
       (** the additional CC module: strict global 2PL on (site/key) *)
@@ -60,13 +65,23 @@ type t = {
     additional CC module and the L1 lock manager (default [Some 200.]);
     [conflict] is the L1 commutativity relation (default
     {!Icdb_mlt.Conflict.banking} merged with read/write/increment classes —
-    see {!default_conflict}). *)
+    see {!default_conflict}).
+
+    [registry] lets several runs share one metrics registry (e.g. [icdb
+    check]'s combined snapshot); default is a fresh one. [tracer] installs a
+    span recorder; default is a disabled tracer on the engine's virtual
+    clock, whose per-event cost is a single branch. Either way, the
+    federation wires the sim engine, every link, every lock table (global
+    CC, L1, and each site's local table — across restarts), every WAL, and
+    the site crash/recovery transitions into them. *)
 val create :
   Icdb_sim.Engine.t ->
   ?latency:float ->
   ?loss:float ->
   ?global_lock_timeout:float option ->
   ?conflict:Icdb_mlt.Conflict.t ->
+  ?registry:Icdb_obs.Registry.t ->
+  ?tracer:Icdb_obs.Tracer.t ->
   Icdb_localdb.Engine.config list ->
   t
 

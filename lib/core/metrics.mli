@@ -7,7 +7,16 @@
 
 type t
 
-val create : unit -> t
+(** [create registry] allocates this run's counters and histograms inside
+    [registry] — a metrics snapshot of the registry (see
+    {!Icdb_obs.Export}) therefore includes everything recorded here;
+    there is no second recording path. *)
+val create : Icdb_obs.Registry.t -> t
+
+(** The registry the cells live in. *)
+val registry : t -> Icdb_obs.Registry.t
+
+(** Zeroes this module's own cells (other registry entries untouched). *)
 val reset : t -> unit
 
 (** {2 Recording} *)

@@ -5,6 +5,7 @@ module Site = Icdb_net.Site
 module Link = Icdb_net.Link
 module Db = Icdb_localdb.Engine
 module Program = Icdb_localdb.Program
+module Span = Icdb_obs.Span
 open Protocol_common
 
 type vote =
@@ -17,6 +18,7 @@ let run (fed : Federation.t) (spec : Global.spec) =
   let start = Sim.now fed.engine in
   Metrics.txn_started fed.metrics;
   Federation.journal_open fed ~gid ~protocol:"2pc-pa";
+  let obs = obs_begin fed ~gid ~protocol:"2pc-pa" in
   Trace.record fed.trace ~actor:"central" (ev gid "running");
   let unsupported =
     List.find_opt
@@ -27,15 +29,19 @@ let run (fed : Federation.t) (spec : Global.spec) =
   match unsupported with
   | Some b ->
     Federation.journal_close fed ~gid;
-    finish fed ~gid ~start (Aborted (Unsupported_site b.site))
+    finish fed ~gid ~start ~obs (Aborted (Unsupported_site b.site))
   | None ->
     let results =
-      Fiber.all fed.engine
-        (List.map (fun b () -> (b, execute_branch fed ~gid b ~extra_ops:[])) spec.branches)
+      obs_phase fed obs ~gid Span.Execute (fun sp ->
+          Fiber.all fed.engine
+            (List.map
+               (fun b () -> (b, execute_branch fed ~gid ~parent:sp b ~extra_ops:[]))
+               spec.branches))
     in
     fed.central_fail ~gid "executed";
     Trace.record fed.trace ~actor:"central" (ev gid "inquire");
     let votes =
+      obs_phase fed obs ~gid Span.Vote @@ fun _ ->
       Fiber.all fed.engine
         (List.map
            (fun (result : Global.branch * exec_status) () ->
@@ -81,10 +87,12 @@ let run (fed : Federation.t) (spec : Global.spec) =
     let decide_commit = Option.is_none abort_cause in
     Trace.record fed.trace ~actor:"central"
       (ev gid (if decide_commit then "decision:commit" else "decision:abort"));
+    obs_decision fed ~gid ~commit:decide_commit;
     if decide_commit then begin
       (* Only commits are force-logged — aborts are presumed. *)
       Federation.journal_decide fed ~gid ~commit:true;
       fed.central_fail ~gid "decided";
+      obs_phase fed obs ~gid Span.Local_commit @@ fun _ ->
       ignore
         (Fiber.all fed.engine
            (List.filter_map
@@ -106,23 +114,24 @@ let run (fed : Federation.t) (spec : Global.spec) =
     else
       (* Presumed abort: no stable decision record, and the abort messages
          need no acknowledgement. *)
-      ignore
-        (Fiber.all fed.engine
-           (List.filter_map
-              (function
-                | (b : Global.branch), Ready txn ->
-                  Some
-                    (fun () ->
-                      let site = Federation.site fed b.site in
-                      Link.send (Site.link site) ~label:"abort" (fun () ->
-                          Site.await_up site;
-                          Db.resolve_prepared (Site.db site) ~txn_id:(Db.txn_id txn)
-                            ~commit:false;
-                          Trace.record fed.trace ~actor:b.site (ev gid "aborted")))
-                | _, (Read_only | No _) -> None)
-              votes));
+      obs_phase fed obs ~gid Span.Local_commit (fun _ ->
+          ignore
+            (Fiber.all fed.engine
+               (List.filter_map
+                  (function
+                    | (b : Global.branch), Ready txn ->
+                      Some
+                        (fun () ->
+                          let site = Federation.site fed b.site in
+                          Link.send (Site.link site) ~label:"abort" (fun () ->
+                              Site.await_up site;
+                              Db.resolve_prepared (Site.db site) ~txn_id:(Db.txn_id txn)
+                                ~commit:false;
+                              Trace.record fed.trace ~actor:b.site (ev gid "aborted")))
+                    | _, (Read_only | No _) -> None)
+                  votes)));
     Federation.journal_close fed ~gid;
     let outcome =
       if decide_commit then Global.Committed else Global.Aborted (Option.get abort_cause)
     in
-    finish fed ~gid ~start outcome
+    finish fed ~gid ~start ~obs outcome

@@ -6,6 +6,9 @@ module Site = Icdb_net.Site
 module Link = Icdb_net.Link
 module Db = Icdb_localdb.Engine
 module Program = Icdb_localdb.Program
+module Registry = Icdb_obs.Registry
+module Tracer = Icdb_obs.Tracer
+module Span = Icdb_obs.Span
 
 let ev gid label = Printf.sprintf "g%d:%s" gid label
 let commit_marker ~gid = Printf.sprintf "__cm:%d" gid
@@ -48,24 +51,87 @@ let acquire_global_locks (fed : Federation.t) ~gid (spec : Global.spec) =
 let release_global_locks (fed : Federation.t) ~gid =
   Lock.release_all fed.global_cc ~owner:gid
 
+(* --- span-level observability -------------------------------------------
+
+   Each protocol run opens one [Txn] span and nests its phases under it; the
+   phase helper also feeds the per-(protocol, phase) latency histogram. All
+   helpers are single-branch no-ops when the tracer is disabled.
+
+   NB: phase bodies can raise — the A4 experiment's [fed.central_fail] hook
+   throws [Central_crash] mid-protocol. [Fun.protect] is not effect-safe
+   (the finaliser would not survive a fiber suspension), but an explicit
+   exception match is: the body either returns or raises, and the span is
+   closed on both paths. The enclosing [Txn] span is deliberately {e not}
+   closed on exceptions — a dangling span is how a central crash looks in
+   the trace. *)
+
+type obs = { txn_span : int; obs_protocol : string }
+
+let obs_begin (fed : Federation.t) ~gid ~protocol =
+  let txn_span =
+    Tracer.begin_span fed.tracer ~actor:"central" (Span.Txn { gid; protocol })
+  in
+  { txn_span; obs_protocol = protocol }
+
+let obs_phase (fed : Federation.t) obs ~gid ?(actor = "central") phase f =
+  let start = Sim.now fed.engine in
+  let span =
+    Tracer.begin_span fed.tracer ~parent:obs.txn_span ~actor
+      (Span.Phase { gid; phase })
+  in
+  let fin () =
+    Tracer.end_span fed.tracer span;
+    let h =
+      Registry.histogram fed.registry
+        ~labels:
+          [ ("protocol", obs.obs_protocol); ("phase", Span.phase_name phase) ]
+        "icdb_phase_time"
+    in
+    Registry.observe h (Sim.now fed.engine -. start)
+  in
+  match f span with
+  | r ->
+    fin ();
+    r
+  | exception e ->
+    fin ();
+    raise e
+
+let obs_decision (fed : Federation.t) ~gid ~commit =
+  Tracer.instant fed.tracer ~actor:"central" (Span.Decision { gid; commit })
+
 type exec_status = Exec_ok of Db.txn | Exec_failed of Db.abort_reason
 
-let execute_branch (fed : Federation.t) ~gid (b : Global.branch) ~extra_ops =
+let execute_branch (fed : Federation.t) ~gid ?(parent = -1) (b : Global.branch)
+    ~extra_ops =
   let site = Federation.site fed b.site in
   let db = Site.db site in
-  Link.rpc (Site.link site) ~label:"execute" (fun () ->
-      if not (Db.is_up db) then ("execute-failed", Exec_failed Db.Site_crashed)
-      else begin
-        let txn = Db.begin_txn db in
-        Federation.journal_branch fed ~gid ~site:b.site ~txn_id:(Db.txn_id txn);
-        match Program.run db txn (b.program @ extra_ops) with
-        | Ok () ->
-          Trace.record fed.trace ~actor:b.site (ev gid "executed");
-          ("executed", Exec_ok txn)
-        | Error r ->
-          Db.abort db txn;
-          ("execute-failed", Exec_failed r)
-      end)
+  let bspan =
+    Tracer.begin_span fed.tracer ~parent ~actor:b.site
+      (Span.Branch { gid; site = b.site })
+  in
+  let body () =
+    Link.rpc (Site.link site) ~label:"execute" (fun () ->
+        if not (Db.is_up db) then ("execute-failed", Exec_failed Db.Site_crashed)
+        else begin
+          let txn = Db.begin_txn db in
+          Federation.journal_branch fed ~gid ~site:b.site ~txn_id:(Db.txn_id txn);
+          match Program.run db txn (b.program @ extra_ops) with
+          | Ok () ->
+            Trace.record fed.trace ~actor:b.site (ev gid "executed");
+            ("executed", Exec_ok txn)
+          | Error r ->
+            Db.abort db txn;
+            ("execute-failed", Exec_failed r)
+        end)
+  in
+  match body () with
+  | r ->
+    Tracer.end_span fed.tracer bspan;
+    r
+  | exception e ->
+    Tracer.end_span fed.tracer bspan;
+    raise e
 
 let graph_local (fed : Federation.t) ~gid ~site ~compensation txn =
   Serialization_graph.record_local fed.graph ~gid ~site ~compensation (Db.accesses txn)
@@ -93,7 +159,10 @@ let persistently_apply (fed : Federation.t) ~gid ~site ~marker ~compensation ~on
   in
   loop false
 
-let finish (fed : Federation.t) ~gid ~start outcome =
+let finish (fed : Federation.t) ~gid ~start ?obs outcome =
+  (match obs with
+  | Some o -> Tracer.end_span fed.tracer o.txn_span
+  | None -> ());
   (match outcome with
   | Global.Committed ->
     Metrics.txn_committed fed.metrics ~response_time:(Sim.now fed.engine -. start);

@@ -29,15 +29,44 @@ val acquire_global_locks : Federation.t -> gid:int -> Global.spec -> bool
 
 val release_global_locks : Federation.t -> gid:int -> unit
 
+(** {2 Span-level observability}
+
+    One {!obs} context per protocol run: a [Txn] root span with the
+    protocol's phases nested under it. Every helper is a single-branch
+    no-op when the federation's tracer is disabled. *)
+
+type obs
+
+(** [obs_begin fed ~gid ~protocol] opens the root span. [protocol] is the
+    stable observability name ("2pc", "2pc-pa", "after", "before", "mlt",
+    "hybrid") used as the histogram label. *)
+val obs_begin : Federation.t -> gid:int -> protocol:string -> obs
+
+(** [obs_phase fed obs ~gid ?actor phase f] runs [f span] inside a [Phase]
+    span (child of the run's [Txn] span; [span] is its id, for parenting
+    per-branch work) and records the phase duration in the
+    [icdb_phase_time{protocol, phase}] histogram. The span is closed and
+    the duration recorded even when [f] raises (central-crash injection);
+    the exception is re-raised. [actor] defaults to ["central"]. *)
+val obs_phase :
+  Federation.t -> obs -> gid:int -> ?actor:string -> Icdb_obs.Span.phase ->
+  (int -> 'a) -> 'a
+
+(** Instant marking the commit/abort decision point. *)
+val obs_decision : Federation.t -> gid:int -> commit:bool -> unit
+
 (** Result of executing one branch's program (transaction left running). *)
 type exec_status = Exec_ok of Db.txn | Exec_failed of Db.abort_reason
 
-(** [execute_branch fed ~gid b ~extra_ops] sends the branch's program to the
-    site's communication manager and runs it in a fresh local transaction,
-    {e without} committing or preparing. [extra_ops] are appended (marker
-    writes). One request/reply message pair. *)
+(** [execute_branch fed ~gid ?parent b ~extra_ops] sends the branch's
+    program to the site's communication manager and runs it in a fresh
+    local transaction, {e without} committing or preparing. [extra_ops] are
+    appended (marker writes). One request/reply message pair. The work is
+    wrapped in a [Branch] span under [parent] (a phase span id; default:
+    root). *)
 val execute_branch :
-  Federation.t -> gid:int -> Global.branch -> extra_ops:Program.t -> exec_status
+  Federation.t -> gid:int -> ?parent:int -> Global.branch -> extra_ops:Program.t ->
+  exec_status
 
 (** Record a committed local transaction in the serialization graph. *)
 val graph_local :
@@ -63,6 +92,9 @@ val persistently_apply :
   Program.t ->
   bool
 
-(** [finish fed ~gid ~start outcome] records metrics, the graph outcome and
-    the trace end-marker, then returns [outcome]. *)
-val finish : Federation.t -> gid:int -> start:float -> Global.outcome -> Global.outcome
+(** [finish fed ~gid ~start ?obs outcome] records metrics, the graph outcome
+    and the trace end-marker, closes the run's [Txn] span when [obs] is
+    given, then returns [outcome]. *)
+val finish :
+  Federation.t -> gid:int -> start:float -> ?obs:obs -> Global.outcome ->
+  Global.outcome

@@ -4,6 +4,7 @@ module Trace = Icdb_sim.Trace
 module Site = Icdb_net.Site
 module Link = Icdb_net.Link
 module Db = Icdb_localdb.Engine
+module Span = Icdb_obs.Span
 open Protocol_common
 
 type vote = Ready | No of Global.abort_cause
@@ -13,6 +14,7 @@ let run (fed : Federation.t) (spec : Global.spec) =
   let start = Sim.now fed.engine in
   Metrics.txn_started fed.metrics;
   Federation.journal_open fed ~gid ~protocol:"2pc";
+  let obs = obs_begin fed ~gid ~protocol:"2pc" in
   Trace.record fed.trace ~actor:"central" (ev gid "running");
   let unsupported =
     List.find_opt
@@ -23,14 +25,15 @@ let run (fed : Federation.t) (spec : Global.spec) =
   match unsupported with
   | Some b ->
     Federation.journal_close fed ~gid;
-    finish fed ~gid ~start (Aborted (Unsupported_site b.site))
+    finish fed ~gid ~start ~obs (Aborted (Unsupported_site b.site))
   | None ->
     (* Data phase: ship and run every branch's local transaction. *)
     let results =
-      Fiber.all fed.engine
-        (List.map
-           (fun b () -> (b, execute_branch fed ~gid b ~extra_ops:[]))
-           spec.branches)
+      obs_phase fed obs ~gid Span.Execute (fun sp ->
+          Fiber.all fed.engine
+            (List.map
+               (fun b () -> (b, execute_branch fed ~gid ~parent:sp b ~extra_ops:[]))
+               spec.branches))
     in
     fed.central_fail ~gid "executed";
     let exec_failure =
@@ -46,49 +49,53 @@ let run (fed : Federation.t) (spec : Global.spec) =
       (* No commit protocol needed: abort the survivors directly. *)
       Trace.record fed.trace ~actor:"central" (ev gid "decision:abort");
       Federation.journal_decide fed ~gid ~commit:false;
-      ignore
-        (Fiber.all fed.engine
-           (List.filter_map
-              (function
-                | (b : Global.branch), Exec_ok txn ->
-                  Some
-                    (fun () ->
-                      let site = Federation.site fed b.site in
-                      Link.rpc (Site.link site) ~label:"abort" (fun () ->
-                          Db.abort (Site.db site) txn;
-                          ("finished", ())))
-                | _, Exec_failed _ -> None)
-              results));
+      obs_decision fed ~gid ~commit:false;
+      obs_phase fed obs ~gid Span.Local_commit (fun _ ->
+          ignore
+            (Fiber.all fed.engine
+               (List.filter_map
+                  (function
+                    | (b : Global.branch), Exec_ok txn ->
+                      Some
+                        (fun () ->
+                          let site = Federation.site fed b.site in
+                          Link.rpc (Site.link site) ~label:"abort" (fun () ->
+                              Db.abort (Site.db site) txn;
+                              ("finished", ())))
+                    | _, Exec_failed _ -> None)
+                  results)));
       Federation.journal_close fed ~gid;
-      finish fed ~gid ~start (Aborted cause)
+      finish fed ~gid ~start ~obs (Aborted cause)
     | None ->
       (* Phase 1: the inquiry. Locals enter the ready state. *)
       Trace.record fed.trace ~actor:"central" (ev gid "inquire");
       let votes =
-        Fiber.all fed.engine
-          (List.map
-             (fun (result : Global.branch * exec_status) () ->
-               let b, status = result in
-               let site = Federation.site fed b.site in
-               let db = Site.db site in
-               match status with
-               | Exec_failed r ->
-                 (b, No (Global.Local_abort { site = b.site; reason = r }))
-               | Exec_ok txn ->
-                 Link.rpc (Site.link site) ~label:"prepare" (fun () ->
-                     if not b.vote_commit then begin
-                       Db.abort db txn;
-                       ("abort-vote", (b, No (Global.Voted_abort b.site)))
-                     end
-                     else
-                       match Db.prepare db txn with
-                       | Ok () ->
-                         Trace.record fed.trace ~actor:b.site (ev gid "ready");
-                         ("ready", (b, Ready))
-                       | Error r ->
-                         ( "abort-vote",
-                           (b, No (Global.Local_abort { site = b.site; reason = r })) )))
-             results)
+        obs_phase fed obs ~gid Span.Vote (fun _ ->
+            Fiber.all fed.engine
+              (List.map
+                 (fun (result : Global.branch * exec_status) () ->
+                   let b, status = result in
+                   let site = Federation.site fed b.site in
+                   let db = Site.db site in
+                   match status with
+                   | Exec_failed r ->
+                     (b, No (Global.Local_abort { site = b.site; reason = r }))
+                   | Exec_ok txn ->
+                     Link.rpc (Site.link site) ~label:"prepare" (fun () ->
+                         if not b.vote_commit then begin
+                           Db.abort db txn;
+                           ("abort-vote", (b, No (Global.Voted_abort b.site)))
+                         end
+                         else
+                           match Db.prepare db txn with
+                           | Ok () ->
+                             Trace.record fed.trace ~actor:b.site (ev gid "ready");
+                             ("ready", (b, Ready))
+                           | Error r ->
+                             ( "abort-vote",
+                               (b, No (Global.Local_abort { site = b.site; reason = r }))
+                             )))
+                 results))
       in
       let abort_cause =
         List.find_map (function _, No cause -> Some cause | _, Ready -> None) votes
@@ -98,43 +105,47 @@ let run (fed : Federation.t) (spec : Global.spec) =
       Trace.record fed.trace ~actor:"central"
         (ev gid (if decide_commit then "decision:commit" else "decision:abort"));
       Federation.journal_decide fed ~gid ~commit:decide_commit;
+      obs_decision fed ~gid ~commit:decide_commit;
       fed.central_fail ~gid "decided";
       (* Phase 2: apply the decision at every site in the ready state. A
          crashed participant holds the transaction in doubt; the decision
          waits for its recovery. *)
-      ignore
-        (Fiber.all fed.engine
-           (List.filter_map
-              (function
-                | (b : Global.branch), Ready ->
-                  Some
-                    (fun () ->
-                      let site = Federation.site fed b.site in
-                      let db = Site.db site in
-                      let txn =
-                        List.find_map
-                          (function
-                            | b', Exec_ok txn when b' == b -> Some txn
-                            | _ -> None)
-                          results
-                        |> Option.get
-                      in
-                      let label = if decide_commit then "commit" else "abort" in
-                      Link.rpc (Site.link site) ~label (fun () ->
-                          Site.await_up site;
-                          Db.resolve_prepared db ~txn_id:(Db.txn_id txn)
-                            ~commit:decide_commit;
-                          if decide_commit then begin
-                            graph_local fed ~gid ~site:b.site ~compensation:false txn;
-                            Trace.record fed.trace ~actor:b.site (ev gid "committed")
-                          end
-                          else Trace.record fed.trace ~actor:b.site (ev gid "aborted");
-                          ("finished", ())))
-                | _, No _ -> None)
-              votes));
+      obs_phase fed obs ~gid Span.Local_commit (fun _ ->
+          ignore
+            (Fiber.all fed.engine
+               (List.filter_map
+                  (function
+                    | (b : Global.branch), Ready ->
+                      Some
+                        (fun () ->
+                          let site = Federation.site fed b.site in
+                          let db = Site.db site in
+                          let txn =
+                            List.find_map
+                              (function
+                                | b', Exec_ok txn when b' == b -> Some txn
+                                | _ -> None)
+                              results
+                            |> Option.get
+                          in
+                          let label = if decide_commit then "commit" else "abort" in
+                          Link.rpc (Site.link site) ~label (fun () ->
+                              Site.await_up site;
+                              Db.resolve_prepared db ~txn_id:(Db.txn_id txn)
+                                ~commit:decide_commit;
+                              if decide_commit then begin
+                                graph_local fed ~gid ~site:b.site ~compensation:false
+                                  txn;
+                                Trace.record fed.trace ~actor:b.site (ev gid "committed")
+                              end
+                              else
+                                Trace.record fed.trace ~actor:b.site (ev gid "aborted");
+                              ("finished", ())))
+                    | _, No _ -> None)
+                  votes)));
       Federation.journal_close fed ~gid;
       let outcome =
         if decide_commit then Global.Committed
         else Global.Aborted (Option.get abort_cause)
       in
-      finish fed ~gid ~start outcome)
+      finish fed ~gid ~start ~obs outcome)

@@ -132,6 +132,9 @@ type t = {
   mutable commits : int;
   abort_tally : (abort_reason, int) Hashtbl.t;
   mutable hold_hook : obj:string -> duration:float -> unit;
+  (* stored so [restart]'s fresh lock table keeps feeding the same listener *)
+  mutable lock_observer : Lock.observer_event -> unit;
+  mutable state_hook : [ `Crash | `Recovered ] -> unit;
   (* group commit: committers waiting for the next batched log force *)
   mutable gc_waiters : gc_waiter list;
   mutable gc_scheduled : bool;
@@ -193,11 +196,14 @@ let create engine config =
       commits = 0;
       abort_tally = Hashtbl.create 8;
       hold_hook = (fun ~obj:_ ~duration:_ -> ());
+      lock_observer = (fun _ -> ());
+      state_hook = (fun _ -> ());
       gc_waiters = [];
       gc_scheduled = false;
     }
   in
   (hold_hook := fun ~obj ~duration -> t.hold_hook ~obj ~duration);
+  Lock.set_observer t.locks (fun e -> t.lock_observer e);
   install_wal_hook t;
   (match config.checkpoint_interval with
   | None -> ()
@@ -645,6 +651,7 @@ let abort_txn_id t ~txn_id =
 let crash t =
   if t.up then begin
     t.up <- false;
+    t.state_hook `Crash;
     Log.crash t.log;
     Bp.drop_all t.pool;
     (* Group-commit waiters first: a commit record that reached stable
@@ -698,12 +705,14 @@ let restart t =
   let outcome = Recovery.restart t.log t.pool in
   rebuild_index t;
   t.locks <- new_lock_table t.engine (fun ~obj ~duration -> t.hold_hook ~obj ~duration);
+  Lock.set_observer t.locks (fun e -> t.lock_observer e);
   List.iter
     (fun (txn_id, last) ->
       Hashtbl.replace t.in_doubt_tbl txn_id last;
       reacquire_in_doubt_locks t txn_id)
     outcome.in_doubt;
   t.up <- true;
+  t.state_hook `Recovered;
   outcome
 
 let is_up t = t.up
@@ -760,6 +769,8 @@ let abort_counts t =
 let wal t = t.log
 let flush_buffers t = Bp.flush_all t.pool
 let set_hold_time_hook t f = t.hold_hook <- f
+let set_lock_observer t f = t.lock_observer <- f
+let set_state_hook t f = t.state_hook <- f
 let lock_wait_count t = Lock.wait_count t.locks
 let lock_deadlock_count t = Lock.deadlock_count t.locks
 let lock_timeout_count t = Lock.timeout_count t.locks

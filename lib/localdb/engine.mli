@@ -231,6 +231,15 @@ val checkpoint : t -> unit
     lock-release with its hold duration. *)
 val set_hold_time_hook : t -> (obj:string -> duration:float -> unit) -> unit
 
+(** [set_lock_observer t f] forwards lock-lifecycle events to [f]. The
+    listener survives {!crash}/{!restart} even though the lock table itself
+    is recreated. *)
+val set_lock_observer : t -> (Icdb_lock.Lock_table.observer_event -> unit) -> unit
+
+(** [set_state_hook t f] calls [f `Crash] as the site goes down and
+    [f `Recovered] once restart recovery completes. *)
+val set_state_hook : t -> ([ `Crash | `Recovered ] -> unit) -> unit
+
 val lock_wait_count : t -> int
 val lock_deadlock_count : t -> int
 val lock_timeout_count : t -> int

@@ -5,12 +5,24 @@ type outcome = Granted | Timeout | Deadlock
 
 exception Lock_revoked
 
+type observer_event =
+  | Wait_started of { owner : int; obj : string }
+  | Wait_ended of {
+      owner : int;
+      obj : string;
+      outcome : [ `Granted | `Timeout | `Deadlock | `Cancelled ];
+      waited : float;
+    }
+  | Acquired of { owner : int; obj : string }
+  | Released of { owner : int; obj : string; held : float }
+
 type 'mode holder = { h_owner : int; mutable h_mode : 'mode; mutable acquired_at : float }
 
 type 'mode waiter = {
   w_owner : int;
   w_mode : 'mode;
   w_upgrade : bool;
+  w_since : float;
   mutable w_active : bool;
   w_resume : outcome Fiber.resumer;
 }
@@ -27,6 +39,7 @@ type 'mode t = {
   (* owner -> the single wait it is currently blocked in *)
   waiting_on : (int, string * 'mode waiter) Hashtbl.t;
   mutable hold_time_hook : obj:string -> duration:float -> unit;
+  mutable observer : observer_event -> unit;
   mutable acquisitions : int;
   mutable waits : int;
   mutable deadlocks : int;
@@ -42,6 +55,7 @@ let create engine ~compatible ~combine =
     owned = Hashtbl.create 64;
     waiting_on = Hashtbl.create 64;
     hold_time_hook = (fun ~obj:_ ~duration:_ -> ());
+    observer = (fun _ -> ());
     acquisitions = 0;
     waits = 0;
     deadlocks = 0;
@@ -94,7 +108,8 @@ let grant t entry ~obj ~owner ~mode =
     entry.holders <-
       { h_owner = owner; h_mode = mode; acquired_at = Engine.now t.engine } :: entry.holders);
   note_owned t owner obj;
-  t.acquisitions <- t.acquisitions + 1
+  t.acquisitions <- t.acquisitions + 1;
+  t.observer (Acquired { owner; obj })
 
 (* Wake newly grantable waiters: upgrades first (they hold part of the lock
    already — making them wait behind ordinary requests invites needless
@@ -103,6 +118,10 @@ let grant_pass t obj entry =
   let wake w =
     w.w_active <- false;
     Hashtbl.remove t.waiting_on w.w_owner;
+    t.observer
+      (Wait_ended
+         { owner = w.w_owner; obj; outcome = `Granted;
+           waited = Engine.now t.engine -. w.w_since });
     grant t entry ~obj ~owner:w.w_owner ~mode:w.w_mode;
     w.w_resume (Ok Granted)
   in
@@ -197,11 +216,17 @@ let acquire t ~owner ~obj ~mode ?timeout () =
     t.waits <- t.waits + 1;
     if would_deadlock t entry ~owner ~upgrade then begin
       t.deadlocks <- t.deadlocks + 1;
+      t.observer (Wait_started { owner; obj });
+      t.observer (Wait_ended { owner; obj; outcome = `Deadlock; waited = 0.0 });
       Deadlock
     end
-    else
+    else begin
+      t.observer (Wait_started { owner; obj });
       Fiber.await (fun resume ->
-          let w = { w_owner = owner; w_mode = mode; w_upgrade = upgrade; w_active = true; w_resume = resume } in
+          let w =
+            { w_owner = owner; w_mode = mode; w_upgrade = upgrade;
+              w_since = Engine.now t.engine; w_active = true; w_resume = resume }
+          in
           Queue.add w entry.waiters;
           Hashtbl.replace t.waiting_on owner (obj, w);
           match timeout with
@@ -213,8 +238,13 @@ let acquire t ~owner ~obj ~mode ?timeout () =
                      w.w_active <- false;
                      Hashtbl.remove t.waiting_on owner;
                      t.timeouts <- t.timeouts + 1;
+                     t.observer
+                       (Wait_ended
+                          { owner; obj; outcome = `Timeout;
+                            waited = Engine.now t.engine -. w.w_since });
                      resume (Ok Timeout)
                    end)))
+    end
   end
 
 let try_acquire t ~owner ~obj ~mode =
@@ -237,7 +267,9 @@ let drop_holder t obj entry owner =
   | None -> ()
   | Some h ->
     entry.holders <- List.filter (fun h' -> h'.h_owner <> owner) entry.holders;
-    t.hold_time_hook ~obj ~duration:(Engine.now t.engine -. h.acquired_at)
+    let held = Engine.now t.engine -. h.acquired_at in
+    t.hold_time_hook ~obj ~duration:held;
+    t.observer (Released { owner; obj; held })
 
 let release t ~owner ~obj =
   match Hashtbl.find_opt t.entries obj with
@@ -255,6 +287,10 @@ let cancel_wait t owner =
   | Some (obj, w) ->
     w.w_active <- false;
     Hashtbl.remove t.waiting_on owner;
+    t.observer
+      (Wait_ended
+         { owner; obj; outcome = `Cancelled;
+           waited = Engine.now t.engine -. w.w_since });
     w.w_resume (Error Lock_revoked);
     (match Hashtbl.find_opt t.entries obj with
     | Some entry -> grant_pass t obj entry
@@ -312,6 +348,7 @@ let holders t ~obj =
     List.map (fun h -> (h.h_owner, h.h_mode)) entry.holders |> List.sort compare
 
 let set_hold_time_hook t f = t.hold_time_hook <- f
+let set_observer t f = t.observer <- f
 let acquisition_count t = t.acquisitions
 let wait_count t = t.waits
 let deadlock_count t = t.deadlocks

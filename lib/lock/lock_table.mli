@@ -71,6 +71,24 @@ val holders : 'mode t -> obj:string -> (int * 'mode) list
     raw data. *)
 val set_hold_time_hook : 'mode t -> (obj:string -> duration:float -> unit) -> unit
 
+(** Fine-grained lock-lifecycle events for the observability layer. A wait
+    that is denied by deadlock detection still emits the [Wait_started] /
+    [Wait_ended] pair (with [waited = 0.]) so every start has an end. *)
+type observer_event =
+  | Wait_started of { owner : int; obj : string }
+  | Wait_ended of {
+      owner : int;
+      obj : string;
+      outcome : [ `Granted | `Timeout | `Deadlock | `Cancelled ];
+      waited : float;
+    }
+  | Acquired of { owner : int; obj : string }
+  | Released of { owner : int; obj : string; held : float }
+
+(** [set_observer t f] installs a lock-event listener. Default: no-op;
+    installing replaces the previous listener. *)
+val set_observer : 'mode t -> (observer_event -> unit) -> unit
+
 (** Counters for the experiment tables. *)
 
 val acquisition_count : 'mode t -> int

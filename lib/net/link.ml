@@ -2,6 +2,11 @@ module Sim = Icdb_sim.Engine
 module Fiber = Icdb_sim.Fiber
 module Rng = Icdb_util.Rng
 
+type observer_event =
+  | Msg_sent of { label : string }
+  | Msg_received of { label : string }
+  | Msg_dropped of { label : string }
+
 type t = {
   engine : Sim.t;
   latency : float;
@@ -11,6 +16,7 @@ type t = {
   counts : (string, int) Hashtbl.t;
   mutable total : int;
   mutable dropped : int;
+  mutable observer : observer_event -> unit;
 }
 
 let create engine ~latency ?(loss = 0.0) ?(loss_seed = 7L) ?retry_timeout () =
@@ -26,18 +32,23 @@ let create engine ~latency ?(loss = 0.0) ?(loss_seed = 7L) ?retry_timeout () =
     counts = Hashtbl.create 16;
     total = 0;
     dropped = 0;
+    observer = (fun _ -> ());
   }
 
 let count t label =
   t.total <- t.total + 1;
   let current = Option.value ~default:0 (Hashtbl.find_opt t.counts label) in
-  Hashtbl.replace t.counts label (current + 1)
+  Hashtbl.replace t.counts label (current + 1);
+  t.observer (Msg_sent { label })
 
-let lost t =
+let lost t ~label =
   t.loss > 0.0
   &&
   let drop = Rng.bernoulli t.rng t.loss in
-  if drop then t.dropped <- t.dropped + 1;
+  if drop then begin
+    t.dropped <- t.dropped + 1;
+    t.observer (Msg_dropped { label })
+  end;
   drop
 
 (* At-least-once request/reply with receiver-side dedup: the handler runs on
@@ -47,13 +58,14 @@ let rpc t ~label f =
   let executed = ref None in
   let rec attempt () =
     count t label;
-    if lost t then begin
+    if lost t ~label then begin
       (* request copy dropped: wait out the retransmission timer *)
       Fiber.sleep t.engine t.retry_timeout;
       attempt ()
     end
     else begin
       Fiber.sleep t.engine t.latency;
+      t.observer (Msg_received { label });
       let reply_label, value =
         match !executed with
         | Some reply -> reply
@@ -63,13 +75,14 @@ let rpc t ~label f =
           reply
       in
       count t reply_label;
-      if lost t then begin
+      if lost t ~label:reply_label then begin
         (* reply copy dropped *)
         Fiber.sleep t.engine t.retry_timeout;
         attempt ()
       end
       else begin
         Fiber.sleep t.engine t.latency;
+        t.observer (Msg_received { label = reply_label });
         value
       end
     end
@@ -81,12 +94,13 @@ let rpc t ~label f =
 let send t ~label f =
   let rec attempt () =
     count t label;
-    if lost t then begin
+    if lost t ~label then begin
       Fiber.sleep t.engine t.retry_timeout;
       attempt ()
     end
     else begin
       Fiber.sleep t.engine t.latency;
+      t.observer (Msg_received { label });
       f ()
     end
   in
@@ -105,3 +119,4 @@ let reset_counters t =
   t.dropped <- 0
 
 let latency t = t.latency
+let set_observer t f = t.observer <- f

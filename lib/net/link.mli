@@ -56,3 +56,15 @@ val dropped_count : t -> int
 
 val reset_counters : t -> unit
 val latency : t -> float
+
+(** Wire-level events for the observability layer: a copy entering the wire,
+    a copy delivered after the latency, a copy dropped by the lossy wire.
+    Retransmissions emit fresh events per copy, matching the counters. *)
+type observer_event =
+  | Msg_sent of { label : string }
+  | Msg_received of { label : string }
+  | Msg_dropped of { label : string }
+
+(** [set_observer t f] installs a wire-event listener. Default: no-op;
+    installing replaces the previous listener. *)
+val set_observer : t -> (observer_event -> unit) -> unit

@@ -1,0 +1,215 @@
+(* Exporters: Chrome trace-event JSON (chrome://tracing, Perfetto), a JSON
+   metrics snapshot, a Prometheus-style text dump, and a human-readable span
+   tree. All output is deterministic: times are fixed-precision, listings
+   are sorted, and no wall-clock state leaks in. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let fnum x =
+  (* Fixed precision, no exponent: deterministic and Perfetto-friendly. *)
+  if Float.is_nan x then "0" else Printf.sprintf "%.3f" x
+
+(* --- Chrome trace-event JSON --------------------------------------------- *)
+
+(* One virtual time unit is exported as one microsecond. Nested protocol
+   spans become async ("b"/"e") events — unlike "B"/"E" duration events they
+   tolerate the arbitrary interleaving of concurrent global transactions on
+   the same track. Lock waits/holds and outages are complete ("X") events;
+   messages, decisions and forces are instants. *)
+let chrome_trace tracer =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  let first = ref true in
+  let emit line =
+    if !first then first := false else Buffer.add_string buf ",\n";
+    Buffer.add_string buf line
+  in
+  let tids = Hashtbl.create 16 in
+  let tid_order = ref [] in
+  let tid_of actor =
+    match Hashtbl.find_opt tids actor with
+    | Some n -> n
+    | None ->
+      let n = Hashtbl.length tids in
+      Hashtbl.replace tids actor n;
+      tid_order := actor :: !tid_order;
+      n
+  in
+  (* First pass: assign tids in order of appearance so metadata can lead. *)
+  Tracer.iter tracer (fun ev ->
+      match ev with
+      | Tracer.Begin { actor; _ } | Tracer.Complete { actor; _ } | Tracer.Instant { actor; _ } ->
+        ignore (tid_of actor)
+      | Tracer.End _ -> ());
+  emit "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"icdb\"}}";
+  List.iter
+    (fun actor ->
+      emit
+        (Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+           (Hashtbl.find tids actor) (json_escape actor)))
+    (List.rev !tid_order);
+  (* Async end events carry no kind of their own: remember each Begin. *)
+  let open_spans = Hashtbl.create 64 in
+  Tracer.iter tracer (fun ev ->
+      match ev with
+      | Tracer.Begin { id; actor; time; kind; parent = _ } ->
+        Hashtbl.replace open_spans id (actor, kind);
+        emit
+          (Printf.sprintf
+             "{\"cat\":\"%s\",\"name\":\"%s\",\"ph\":\"b\",\"id\":%d,\"pid\":1,\"tid\":%d,\"ts\":%s}"
+             (Span.category kind) (json_escape (Span.name kind)) id
+             (Hashtbl.find tids actor) (fnum time))
+      | Tracer.End { id; time } -> (
+        match Hashtbl.find_opt open_spans id with
+        | None -> ()
+        | Some (actor, kind) ->
+          Hashtbl.remove open_spans id;
+          emit
+            (Printf.sprintf
+               "{\"cat\":\"%s\",\"name\":\"%s\",\"ph\":\"e\",\"id\":%d,\"pid\":1,\"tid\":%d,\"ts\":%s}"
+               (Span.category kind) (json_escape (Span.name kind)) id
+               (Hashtbl.find tids actor) (fnum time)))
+      | Tracer.Complete { actor; start; stop; kind } ->
+        emit
+          (Printf.sprintf
+             "{\"cat\":\"%s\",\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"dur\":%s}"
+             (Span.category kind) (json_escape (Span.name kind)) (Hashtbl.find tids actor)
+             (fnum start)
+             (fnum (stop -. start)))
+      | Tracer.Instant { actor; time; kind } ->
+        emit
+          (Printf.sprintf
+             "{\"cat\":\"%s\",\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%d,\"ts\":%s}"
+             (Span.category kind) (json_escape (Span.name kind)) (Hashtbl.find tids actor)
+             (fnum time)));
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+(* --- JSON metrics snapshot ------------------------------------------------ *)
+
+let labels_json labels =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)) labels)
+  ^ "}"
+
+let metrics_json registry =
+  let snap = Registry.snapshot registry in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"counters\": [\n";
+  let n = List.length snap.Registry.counters in
+  List.iteri
+    (fun i ((k : Registry.key), v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"name\":\"%s\",\"labels\":%s,\"value\":%d}%s\n"
+           (json_escape k.name) (labels_json k.labels) v
+           (if i < n - 1 then "," else "")))
+    snap.Registry.counters;
+  Buffer.add_string buf "  ],\n  \"histograms\": [\n";
+  let n = List.length snap.Registry.histograms in
+  List.iteri
+    (fun i ((k : Registry.key), (h : Registry.hsnap)) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\":\"%s\",\"labels\":%s,\"count\":%d,\"sum\":%s,\"mean\":%s,\"p50\":%s,\"p95\":%s,\"max\":%s}%s\n"
+           (json_escape k.name) (labels_json k.labels) h.h_count (fnum h.h_sum) (fnum h.h_mean)
+           (fnum h.h_p50) (fnum h.h_p95) (fnum h.h_max)
+           (if i < n - 1 then "," else "")))
+    snap.Registry.histograms;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+(* --- Prometheus text ------------------------------------------------------ *)
+
+let prom_labels labels =
+  if labels = [] then ""
+  else
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (json_escape v)) labels)
+    ^ "}"
+
+let prometheus registry =
+  let snap = Registry.snapshot registry in
+  let buf = Buffer.create 4096 in
+  let last_type = ref "" in
+  let type_line name kind =
+    if !last_type <> name then begin
+      last_type := name;
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+    end
+  in
+  List.iter
+    (fun ((k : Registry.key), v) ->
+      type_line k.name "counter";
+      Buffer.add_string buf (Printf.sprintf "%s%s %d\n" k.name (prom_labels k.labels) v))
+    snap.Registry.counters;
+  List.iter
+    (fun ((k : Registry.key), (h : Registry.hsnap)) ->
+      type_line k.name "summary";
+      let q quantile value =
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s %s\n" k.name
+             (prom_labels (k.labels @ [ ("quantile", quantile) ]))
+             (fnum value))
+      in
+      q "0.5" h.h_p50;
+      q "0.95" h.h_p95;
+      q "1" h.h_max;
+      Buffer.add_string buf
+        (Printf.sprintf "%s_sum%s %s\n" k.name (prom_labels k.labels) (fnum h.h_sum));
+      Buffer.add_string buf
+        (Printf.sprintf "%s_count%s %d\n" k.name (prom_labels k.labels) h.h_count))
+    snap.Registry.histograms;
+  Buffer.contents buf
+
+(* --- span tree ------------------------------------------------------------ *)
+
+let span_tree tracer =
+  let spans = Tracer.spans tracer in
+  let buf = Buffer.create 2048 in
+  let children = Hashtbl.create 64 in
+  let roots = ref [] in
+  let ids = Hashtbl.create 64 in
+  List.iter (fun (s : Tracer.span) -> if s.s_id >= 0 then Hashtbl.replace ids s.s_id ()) spans;
+  List.iter
+    (fun (s : Tracer.span) ->
+      if s.s_parent >= 0 && Hashtbl.mem ids s.s_parent then
+        Hashtbl.replace children s.s_parent
+          (s :: Option.value ~default:[] (Hashtbl.find_opt children s.s_parent))
+      else roots := s :: !roots)
+    spans;
+  let by_start l = List.sort (fun (a : Tracer.span) b -> compare (a.s_start, a.s_id) (b.s_start, b.s_id)) l in
+  let rec print depth (s : Tracer.span) =
+    let stop = match s.s_stop with Some st -> Printf.sprintf "%8.2f" st | None -> "    open" in
+    Buffer.add_string buf
+      (Printf.sprintf "%s[%8.2f .. %s] %-12s %s\n" (String.make (2 * depth) ' ') s.s_start stop
+         s.s_actor (Span.name s.s_kind));
+    if s.s_id >= 0 then
+      List.iter (print (depth + 1))
+        (by_start (Option.value ~default:[] (Hashtbl.find_opt children s.s_id)))
+  in
+  List.iter (print 0) (by_start !roots);
+  let instants = Tracer.instants tracer in
+  if instants <> [] then begin
+    Buffer.add_string buf "instants:\n";
+    List.iter
+      (fun (time, actor, kind) ->
+        Buffer.add_string buf (Printf.sprintf "  t=%8.2f  [%-12s] %s\n" time actor (Span.name kind)))
+      instants
+  end;
+  Buffer.contents buf

@@ -1,0 +1,25 @@
+(** Deterministic exporters for traces and metric snapshots.
+
+    See OBSERVABILITY.md for the formats and how to open a trace in
+    Perfetto. *)
+
+(** Chrome trace-event JSON ([{"traceEvents": [...]}]): protocol spans as
+    async "b"/"e" pairs (they overlap freely on one track), lock waits /
+    holds / outages as complete "X" events, messages / decisions / WAL
+    forces as instants. One virtual time unit is exported as 1 µs. Open at
+    [https://ui.perfetto.dev] or [chrome://tracing]. *)
+val chrome_trace : Tracer.t -> string
+
+(** JSON snapshot of every counter and histogram, sorted. *)
+val metrics_json : Registry.t -> string
+
+(** Prometheus text exposition: counters as [counter], histograms as
+    [summary] with 0.5/0.95/1 quantiles. *)
+val prometheus : Registry.t -> string
+
+(** Indented, human-readable span tree plus a chronological instant list
+    (the [icdb trace] output). *)
+val span_tree : Tracer.t -> string
+
+(** Escapes a string for embedding in JSON (shared by BENCH.json writers). *)
+val json_escape : string -> string

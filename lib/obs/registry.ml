@@ -1,0 +1,102 @@
+module Stats = Icdb_util.Stats
+
+type key = { name : string; labels : (string * string) list }
+
+type counter = { mutable v : int }
+type histogram = { mutable sample : Stats.Sample.t }
+
+type metric = Counter of counter | Histogram of histogram
+
+type t = { tbl : (key, metric) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+
+let key ?(labels = []) name = { name; labels = List.sort compare labels }
+
+let counter t ?labels name =
+  let k = key ?labels name in
+  match Hashtbl.find_opt t.tbl k with
+  | Some (Counter c) -> c
+  | Some (Histogram _) ->
+    invalid_arg (Printf.sprintf "Registry.counter: %S is a histogram" name)
+  | None ->
+    let c = { v = 0 } in
+    Hashtbl.replace t.tbl k (Counter c);
+    c
+
+let histogram t ?labels name =
+  let k = key ?labels name in
+  match Hashtbl.find_opt t.tbl k with
+  | Some (Histogram h) -> h
+  | Some (Counter _) ->
+    invalid_arg (Printf.sprintf "Registry.histogram: %S is a counter" name)
+  | None ->
+    let h = { sample = Stats.Sample.create () } in
+    Hashtbl.replace t.tbl k (Histogram h);
+    h
+
+let inc ?(by = 1) c = c.v <- c.v + by
+let count c = c.v
+let observe h x = Stats.Sample.add h.sample x
+
+let hist_count h = Stats.Sample.count h.sample
+let hist_mean h = if hist_count h = 0 then 0.0 else Stats.Sample.mean h.sample
+
+let hist_percentile h p =
+  if hist_count h = 0 then 0.0 else Stats.Sample.percentile h.sample p
+
+let clear_counter c = c.v <- 0
+let clear_histogram h = h.sample <- Stats.Sample.create ()
+
+type hsnap = {
+  h_count : int;
+  h_sum : float;
+  h_mean : float;
+  h_p50 : float;
+  h_p95 : float;
+  h_max : float;
+}
+
+let hist_snapshot h =
+  let n = hist_count h in
+  if n = 0 then { h_count = 0; h_sum = 0.0; h_mean = 0.0; h_p50 = 0.0; h_p95 = 0.0; h_max = 0.0 }
+  else
+    let sum = Array.fold_left ( +. ) 0.0 (Stats.Sample.values h.sample) in
+    {
+      h_count = n;
+      h_sum = sum;
+      h_mean = Stats.Sample.mean h.sample;
+      h_p50 = Stats.Sample.percentile h.sample 50.0;
+      h_p95 = Stats.Sample.percentile h.sample 95.0;
+      h_max = Stats.Sample.percentile h.sample 100.0;
+    }
+
+type snapshot = {
+  counters : (key * int) list;
+  histograms : (key * hsnap) list;
+}
+
+let snapshot t =
+  let counters = ref [] and histograms = ref [] in
+  Hashtbl.iter
+    (fun k m ->
+      match m with
+      | Counter c -> counters := (k, c.v) :: !counters
+      | Histogram h -> histograms := (k, hist_snapshot h) :: !histograms)
+    t.tbl;
+  {
+    counters = List.sort compare !counters;
+    histograms = List.sort (fun (a, _) (b, _) -> compare a b) !histograms;
+  }
+
+(* Histograms matching [name] (any labels), sorted by labels. *)
+let histograms_named t name =
+  Hashtbl.fold
+    (fun k m acc ->
+      match m with
+      | Histogram h when k.name = name -> (k, h) :: acc
+      | _ -> acc)
+    t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let label k name = List.assoc_opt name k.labels

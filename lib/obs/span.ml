@@ -1,0 +1,51 @@
+type phase = Execute | Vote | Decide | Local_commit | Redo | Compensate
+
+let phase_name = function
+  | Execute -> "execute"
+  | Vote -> "vote"
+  | Decide -> "decide"
+  | Local_commit -> "local-commit"
+  | Redo -> "redo"
+  | Compensate -> "compensate"
+
+let all_phases = [ Execute; Vote; Decide; Local_commit; Redo; Compensate ]
+
+type direction = Send | Recv | Drop
+
+let direction_name = function Send -> "send" | Recv -> "recv" | Drop -> "drop"
+
+type kind =
+  | Txn of { gid : int; protocol : string }
+  | Phase of { gid : int; phase : phase }
+  | Branch of { gid : int; site : string }
+  | Lock_wait of { table : string; obj : string }
+  | Lock_hold of { table : string; obj : string }
+  | Message of { label : string; direction : direction }
+  | Wal_force of { site : string }
+  | Outage of { site : string }
+  | Decision of { gid : int; commit : bool }
+  | Mark of string
+
+let name = function
+  | Txn { gid; protocol } -> Printf.sprintf "g%d %s" gid protocol
+  | Phase { gid; phase } -> Printf.sprintf "g%d %s" gid (phase_name phase)
+  | Branch { gid; site } -> Printf.sprintf "g%d @%s" gid site
+  | Lock_wait { obj; _ } -> "lock-wait " ^ obj
+  | Lock_hold { obj; _ } -> "lock-hold " ^ obj
+  | Message { label; direction } -> direction_name direction ^ " " ^ label
+  | Wal_force { site } -> "wal-force " ^ site
+  | Outage { site } -> "down " ^ site
+  | Decision { gid; commit } ->
+    Printf.sprintf "g%d decision:%s" gid (if commit then "commit" else "abort")
+  | Mark s -> s
+
+let category = function
+  | Txn _ -> "txn"
+  | Phase _ -> "phase"
+  | Branch _ -> "branch"
+  | Lock_wait _ | Lock_hold _ -> "lock"
+  | Message _ -> "msg"
+  | Wal_force _ -> "wal"
+  | Outage _ -> "crash"
+  | Decision _ -> "decision"
+  | Mark _ -> "mark"

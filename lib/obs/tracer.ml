@@ -1,0 +1,105 @@
+type event =
+  | Begin of { id : int; parent : int; actor : string; time : float; kind : Span.kind }
+  | End of { id : int; time : float }
+  | Complete of { actor : string; start : float; stop : float; kind : Span.kind }
+  | Instant of { actor : string; time : float; kind : Span.kind }
+
+type t = {
+  mutable clock : unit -> float;
+  mutable enabled : bool;
+  mutable events : event array;
+  mutable len : int;
+  mutable next_id : int;
+}
+
+let dummy = Instant { actor = ""; time = 0.0; kind = Span.Mark "" }
+
+let create ?(enabled = false) ~clock () =
+  { clock; enabled; events = Array.make 256 dummy; len = 0; next_id = 0 }
+
+let enabled t = t.enabled
+let set_enabled t b = t.enabled <- b
+let set_clock t clock = t.clock <- clock
+
+let push t ev =
+  if t.len = Array.length t.events then begin
+    let bigger = Array.make (2 * t.len) dummy in
+    Array.blit t.events 0 bigger 0 t.len;
+    t.events <- bigger
+  end;
+  t.events.(t.len) <- ev;
+  t.len <- t.len + 1
+
+let begin_span t ?(parent = -1) ~actor kind =
+  if not t.enabled then -1
+  else begin
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    push t (Begin { id; parent; actor; time = t.clock (); kind });
+    id
+  end
+
+let end_span t id =
+  if t.enabled && id >= 0 then push t (End { id; time = t.clock () })
+
+let complete t ~actor ~start ?stop kind =
+  if t.enabled then
+    let stop = match stop with Some s -> s | None -> t.clock () in
+    push t (Complete { actor; start; stop; kind })
+
+let instant t ~actor kind =
+  if t.enabled then push t (Instant { actor; time = t.clock (); kind })
+
+let length t = t.len
+let clear t = t.len <- 0
+
+let events t = Array.to_list (Array.sub t.events 0 t.len)
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f t.events.(i)
+  done
+
+(* --- span reconstruction ------------------------------------------------- *)
+
+type span = {
+  s_id : int;  (* -1 for Complete spans *)
+  s_parent : int;
+  s_actor : string;
+  s_kind : Span.kind;
+  s_start : float;
+  s_stop : float option;
+}
+
+let spans t =
+  let open_tbl = Hashtbl.create 64 in
+  let out = ref [] in
+  let order = ref 0 in
+  iter t (fun ev ->
+      incr order;
+      match ev with
+      | Begin { id; parent; actor; time; kind } ->
+        Hashtbl.replace open_tbl id
+          (!order, { s_id = id; s_parent = parent; s_actor = actor; s_kind = kind; s_start = time; s_stop = None })
+      | End { id; time } -> (
+        match Hashtbl.find_opt open_tbl id with
+        | None -> ()
+        | Some (ord, s) ->
+          Hashtbl.remove open_tbl id;
+          out := (ord, { s with s_stop = Some time }) :: !out)
+      | Complete { actor; start; stop; kind } ->
+        out :=
+          ( !order,
+            { s_id = -1; s_parent = -1; s_actor = actor; s_kind = kind; s_start = start; s_stop = Some stop } )
+          :: !out
+      | Instant _ -> ());
+  (* Spans still open at the end of the run dangle without a stop. *)
+  Hashtbl.iter (fun _ (ord, s) -> out := (ord, s) :: !out) open_tbl;
+  List.sort compare !out |> List.map snd
+
+let instants t =
+  let out = ref [] in
+  iter t (function
+    | Instant { actor; time; kind } -> out := (time, actor, kind) :: !out
+    | _ -> ());
+  List.rev !out

@@ -1,0 +1,72 @@
+(** Structured, span-based event recorder over virtual time.
+
+    A tracer is created with a clock (usually [Icdb_sim.Engine.now] of the
+    run's engine) and records four event shapes: [Begin]/[End] pairs for
+    nested spans with parent links (protocol runs and their phases),
+    retrospective [Complete] spans for intervals whose extent is only known
+    when they finish (lock waits, lock holds, site outages), and [Instant]
+    points (messages, decisions, WAL forces).
+
+    Recording is gated on {!enabled}: a disabled tracer's record calls are
+    single branch tests, so permanent instrumentation costs nothing when no
+    trace is requested. The event log is an append-order growable array —
+    every accessor is linear, never quadratic, and the order doubles as a
+    deterministic tiebreak for simultaneous events. *)
+
+type event =
+  | Begin of { id : int; parent : int; actor : string; time : float; kind : Span.kind }
+      (** [parent < 0] means no parent *)
+  | End of { id : int; time : float }
+  | Complete of { actor : string; start : float; stop : float; kind : Span.kind }
+  | Instant of { actor : string; time : float; kind : Span.kind }
+
+type t
+
+(** [create ?enabled ~clock ()]. [clock] supplies timestamps (virtual
+    time); [enabled] defaults to [false]. *)
+val create : ?enabled:bool -> clock:(unit -> float) -> unit -> t
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+(** Re-point the timestamp source. Lets a tracer be created before the
+    engine whose virtual clock it will read exists (the runner re-wires a
+    supplied tracer onto its own engine). *)
+val set_clock : t -> (unit -> float) -> unit
+
+(** [begin_span t ?parent ~actor kind] opens a span and returns its id.
+    Negative [parent] (the default) means a root span. Returns [-1] (a
+    valid no-op handle) when disabled. *)
+val begin_span : t -> ?parent:int -> actor:string -> Span.kind -> int
+
+val end_span : t -> int -> unit
+
+(** [complete t ~actor ~start ?stop kind] records a span retrospectively;
+    [stop] defaults to the current clock. *)
+val complete : t -> actor:string -> start:float -> ?stop:float -> Span.kind -> unit
+
+val instant : t -> actor:string -> Span.kind -> unit
+val length : t -> int
+val clear : t -> unit
+
+(** Events in recording order. *)
+val events : t -> event list
+
+val iter : t -> (event -> unit) -> unit
+
+(** A reconstructed span. [s_id] is [-1] for [Complete] spans; [s_stop] is
+    [None] for spans still open when the trace ended. *)
+type span = {
+  s_id : int;
+  s_parent : int;
+  s_actor : string;
+  s_kind : Span.kind;
+  s_start : float;
+  s_stop : float option;
+}
+
+(** All spans, ordered by completion (ends before enclosing ends). *)
+val spans : t -> span list
+
+(** All instants as [(time, actor, kind)], in recording order. *)
+val instants : t -> (float * string * Span.kind) list

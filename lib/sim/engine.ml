@@ -14,11 +14,22 @@ type t = {
   mutable now : float;
   mutable next_seq : int;
   mutable live : int; (* pending minus cancelled *)
+  mutable observer : unit -> unit; (* called once per executed event *)
 }
 
 let dummy = { time = 0.0; seq = -1; thunk = (fun () -> ()); cancelled = true }
 
-let create () = { heap = Array.make 64 dummy; size = 0; now = 0.0; next_seq = 0; live = 0 }
+let create () =
+  {
+    heap = Array.make 64 dummy;
+    size = 0;
+    now = 0.0;
+    next_seq = 0;
+    live = 0;
+    observer = (fun () -> ());
+  }
+
+let set_observer t f = t.observer <- f
 
 let now t = t.now
 
@@ -93,6 +104,7 @@ let step t =
   | Some ev ->
     t.now <- ev.time;
     t.live <- t.live - 1;
+    t.observer ();
     ev.thunk ();
     true
 
@@ -115,6 +127,7 @@ let run_until t horizon =
       else begin
         t.now <- ev.time;
         t.live <- t.live - 1;
+        t.observer ();
         ev.thunk ()
       end
   done;

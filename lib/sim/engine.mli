@@ -41,3 +41,9 @@ val run_until : t -> float -> unit
 
 (** Number of pending (non-cancelled) events. *)
 val pending : t -> int
+
+(** [set_observer t f] installs a hook called once per executed event, just
+    before its callback runs (the clock already shows the event's time).
+    The observability layer counts scheduler activity through it. Default:
+    no-op; installing replaces the previous hook. *)
+val set_observer : t -> (unit -> unit) -> unit

@@ -56,11 +56,14 @@ type t = {
   mutable len : int;
   mutable flushed : lsn;
   mutable forces : int;
+  mutable force_hook : unit -> unit;
 }
 
 let dummy = Begin (-1)
 
-let create () = { records = Array.make 64 dummy; base = 0; len = 0; flushed = 0; forces = 0 }
+let create () =
+  { records = Array.make 64 dummy; base = 0; len = 0; flushed = 0; forces = 0;
+    force_hook = (fun () -> ()) }
 
 let last_lsn t = t.base + t.len
 
@@ -77,13 +80,15 @@ let append t r =
 let flush t =
   if t.flushed < last_lsn t then begin
     t.flushed <- last_lsn t;
-    t.forces <- t.forces + 1
+    t.forces <- t.forces + 1;
+    t.force_hook ()
   end
 
 let flush_to t lsn =
   if lsn > t.flushed then begin
     t.flushed <- min lsn (last_lsn t);
-    t.forces <- t.forces + 1
+    t.forces <- t.forces + 1;
+    t.force_hook ()
   end
 
 let flushed_lsn t = t.flushed
@@ -115,6 +120,7 @@ let iter t f =
     f (t.base + i + 1) t.records.(i)
   done
 
+let set_force_hook t f = t.force_hook <- f
 let force_count t = t.forces
 let record_count t = last_lsn t
 let retained_count t = t.len

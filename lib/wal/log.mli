@@ -88,6 +88,11 @@ val iter : t -> (lsn -> record -> unit) -> unit
     V4 ablation reports. *)
 val force_count : t -> int
 
+(** [set_force_hook t f] installs [f], invoked once per actual force (a
+    {!flush} / {!flush_to} that made new records durable — no-op flushes do
+    not fire it). Default: no-op; installing replaces the previous hook. *)
+val set_force_hook : t -> (unit -> unit) -> unit
+
 (** Total records appended since creation (not reduced by truncation). *)
 val record_count : t -> int
 

@@ -8,6 +8,16 @@ let name = function
   | Before_mlt -> "commit-before+mlt"
   | Hybrid -> "hybrid"
 
+(* The short name the protocols pass to [Protocol_common.obs_begin] — the
+   label on span kinds and phase-latency histograms. *)
+let obs_name = function
+  | Two_phase -> "2pc"
+  | Presumed_abort -> "2pc-pa"
+  | After -> "after"
+  | Before -> "before"
+  | Before_mlt -> "mlt"
+  | Hybrid -> "hybrid"
+
 let paper = [ Two_phase; After; Before; Before_mlt ]
 let all = paper @ [ Presumed_abort; Hybrid ]
 
@@ -20,7 +30,7 @@ let of_string = function
   | "2pc-pa" | "presumed-abort" -> Ok Presumed_abort
   | "after" -> Ok After
   | "before" -> Ok Before
-  | "before-mlt" | "mlt" -> Ok Before_mlt
+  | "before-mlt" | "before_mlt" | "mlt" -> Ok Before_mlt
   | "hybrid" -> Ok Hybrid
   | s ->
     Error

@@ -13,6 +13,10 @@ type t =
 
 val name : t -> string
 
+(** Short observability name ("2pc", "2pc-pa", "after", "before", "mlt",
+    "hybrid") — the [protocol] label on spans and phase histograms. *)
+val obs_name : t -> string
+
 (** Every protocol, paper ones first. *)
 val all : t list
 
@@ -23,7 +27,7 @@ val paper : t list
 val is_flat : t -> bool
 
 (** [of_string s] accepts ["2pc"], ["2pc-pa"], ["after"], ["before"],
-    ["before-mlt"], ["hybrid"]. *)
+    ["before-mlt"] (also ["before_mlt"], ["mlt"]), ["hybrid"]. *)
 val of_string : string -> (t, string) result
 
 (** Dispatch a flat spec. Raises [Invalid_argument] on [Before_mlt]. *)

@@ -12,6 +12,8 @@ module Metrics = Icdb_core.Metrics
 module Action_log = Icdb_core.Action_log
 module Graph = Icdb_core.Serialization_graph
 module Lock = Icdb_lock.Lock_table
+module Registry = Icdb_obs.Registry
+module Span = Icdb_obs.Span
 
 type config = {
   protocol : Protocol.t;
@@ -112,6 +114,7 @@ type report = {
   log_forces : int;
   log_forces_per_commit : float;
   messages_dropped : int;
+  phase_breakdown : (string * Registry.hsnap) list;
 }
 
 let site_name i = Printf.sprintf "site-%d" i
@@ -227,12 +230,41 @@ let mlt_spec cfg fed rng zipf =
   in
   { Global.mlt_gid = gid; actions; abort_after }
 
-let run cfg =
+(* Per-(protocol, phase) latency summary, canonical phase order. *)
+let phase_breakdown registry ~protocol =
+  let of_protocol =
+    List.filter
+      (fun ((key : Registry.key), _) -> Registry.label key "protocol" = Some protocol)
+      (Registry.histograms_named registry "icdb_phase_time")
+  in
+  List.filter_map
+    (fun phase ->
+      let name = Span.phase_name phase in
+      List.find_map
+        (fun ((key : Registry.key), h) ->
+          if Registry.label key "phase" = Some name then
+            Some (name, Registry.hist_snapshot h)
+          else None)
+        of_protocol)
+    Span.all_phases
+
+let run ?registry ?tracer cfg =
   if cfg.n_sites <= 0 || cfg.n_txns < 0 || cfg.concurrency <= 0 then
     invalid_arg "Runner.run: bad configuration";
   let engine = Sim.create () in
+  (* A caller-supplied tracer predates this engine; point it at our clock. *)
+  Option.iter
+    (fun tr -> Icdb_obs.Tracer.set_clock tr (fun () -> Sim.now engine))
+    tracer;
   let configs = List.init cfg.n_sites (site_config cfg) in
-  let fed = Federation.create engine ~latency:cfg.latency ~loss:cfg.message_loss configs in
+  let fed =
+    Federation.create engine ~latency:cfg.latency ~loss:cfg.message_loss ?registry
+      ?tracer configs
+  in
+  (* On a shared registry the per-run counters may hold a previous run's
+     totals; start this run from zero. (Labelled metrics — phase latencies,
+     message counts — accumulate by design.) *)
+  if registry <> None then Metrics.reset fed.metrics;
   fed.global_cc_enabled <- cfg.global_cc_enabled;
   (* Preload accounts. *)
   let rows = List.init cfg.accounts_per_site (fun i -> (account_name i, cfg.initial_balance)) in
@@ -337,4 +369,6 @@ let run cfg =
       List.fold_left
         (fun acc (_, site) -> acc + Icdb_net.Link.dropped_count (Site.link site))
         0 fed.sites;
+    phase_breakdown =
+      phase_breakdown fed.registry ~protocol:(Protocol.obs_name cfg.protocol);
   }

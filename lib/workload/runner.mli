@@ -87,8 +87,19 @@ type report = {
   log_forces : int;  (** log force operations across all sites *)
   log_forces_per_commit : float;
   messages_dropped : int;  (** copies the lossy wire discarded *)
+  phase_breakdown : (string * Icdb_obs.Registry.hsnap) list;
+      (** per-phase latency summaries for this run's protocol, in canonical
+          phase order (execute, vote, decide, local-commit, redo,
+          compensate); phases the protocol never entered are absent *)
 }
 
 (** [run config] builds the federation, runs the workload to completion and
-    returns the report. Deterministic in [config.seed]. *)
-val run : config -> report
+    returns the report. Deterministic in [config.seed].
+
+    [registry] and [tracer] are passed to {!Icdb_core.Federation.create}; by
+    default each run gets a fresh registry and a disabled tracer. When a
+    shared [registry] is supplied, the per-run counters are reset at the
+    start of the run (labelled metrics such as phase-latency histograms
+    accumulate across runs by design). *)
+val run :
+  ?registry:Icdb_obs.Registry.t -> ?tracer:Icdb_obs.Tracer.t -> config -> report

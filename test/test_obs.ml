@@ -1,0 +1,279 @@
+(* Tests for Icdb_obs: the metrics registry, the span tracer, the
+   exporters (golden outputs), and the end-to-end properties of a traced
+   workload — span well-formedness and cross-domain determinism. *)
+
+module Registry = Icdb_obs.Registry
+module Tracer = Icdb_obs.Tracer
+module Span = Icdb_obs.Span
+module Export = Icdb_obs.Export
+module Runner = Icdb_workload.Runner
+module Protocol = Icdb_workload.Protocol
+
+(* --- registry ------------------------------------------------------------- *)
+
+let test_counter_get_or_create () =
+  let r = Registry.create () in
+  let a = Registry.counter r "icdb_a_total" in
+  let a' = Registry.counter r "icdb_a_total" in
+  Registry.inc a;
+  Registry.inc a' ~by:4;
+  Alcotest.(check int) "same cell" 5 (Registry.count a);
+  (* Label order is irrelevant: keys are (name, sorted labels). *)
+  let l1 = Registry.counter r ~labels:[ ("x", "1"); ("y", "2") ] "icdb_b_total" in
+  let l2 = Registry.counter r ~labels:[ ("y", "2"); ("x", "1") ] "icdb_b_total" in
+  Registry.inc l1;
+  Alcotest.(check int) "label order irrelevant" 1 (Registry.count l2);
+  (* Distinct label values are distinct cells. *)
+  let l3 = Registry.counter r ~labels:[ ("x", "other") ] "icdb_b_total" in
+  Alcotest.(check int) "distinct labels distinct" 0 (Registry.count l3)
+
+let test_histogram_stats () =
+  let r = Registry.create () in
+  let h = Registry.histogram r "icdb_h" in
+  List.iter (fun i -> Registry.observe h (float_of_int i)) (List.init 100 (fun i -> i + 1));
+  let s = Registry.hist_snapshot h in
+  Alcotest.(check int) "count" 100 s.h_count;
+  Alcotest.(check (float 1e-9)) "sum" 5050.0 s.h_sum;
+  Alcotest.(check (float 1e-9)) "mean" 50.5 s.h_mean;
+  Alcotest.(check (float 1e-9)) "max" 100.0 s.h_max;
+  Alcotest.(check bool) "p50 sane" true (s.h_p50 >= 50.0 && s.h_p50 <= 51.0);
+  Alcotest.(check bool) "p95 sane" true (s.h_p95 >= 95.0 && s.h_p95 <= 96.0);
+  let empty = Registry.hist_snapshot (Registry.histogram r "icdb_empty") in
+  Alcotest.(check int) "empty count" 0 empty.h_count;
+  Alcotest.(check (float 0.0)) "empty mean" 0.0 empty.h_mean
+
+let test_snapshot_sorted () =
+  let r = Registry.create () in
+  ignore (Registry.counter r "zzz_total");
+  ignore (Registry.counter r "aaa_total");
+  ignore (Registry.counter r ~labels:[ ("k", "b") ] "mmm_total");
+  ignore (Registry.counter r ~labels:[ ("k", "a") ] "mmm_total");
+  let names =
+    List.map
+      (fun ((k : Registry.key), _) -> (k.name, k.labels))
+      (Registry.snapshot r).Registry.counters
+  in
+  Alcotest.(check bool) "sorted" true (names = List.sort compare names)
+
+(* --- tracer --------------------------------------------------------------- *)
+
+let test_disabled_tracer () =
+  let t = Tracer.create ~clock:(fun () -> 0.0) () in
+  let id = Tracer.begin_span t ~actor:"central" (Span.Mark "x") in
+  Alcotest.(check int) "no-op handle" (-1) id;
+  Tracer.end_span t id;
+  Tracer.instant t ~actor:"central" (Span.Mark "y");
+  Tracer.complete t ~actor:"central" ~start:0.0 (Span.Mark "z");
+  Alcotest.(check int) "nothing recorded" 0 (Tracer.length t)
+
+(* A small hand-built trace shared by the exporter golden tests. *)
+let golden_tracer () =
+  let now = ref 0.0 in
+  let t = Tracer.create ~enabled:true ~clock:(fun () -> !now) () in
+  let root = Tracer.begin_span t ~actor:"central" (Span.Txn { gid = 1; protocol = "2pc" }) in
+  now := 1.0;
+  let ph = Tracer.begin_span t ~parent:root ~actor:"central" (Span.Phase { gid = 1; phase = Span.Vote }) in
+  Tracer.instant t ~actor:"s0" (Span.Message { label = "prepare"; direction = Span.Send });
+  now := 2.0;
+  Tracer.end_span t ph;
+  Tracer.complete t ~actor:"s0" ~start:0.5 (Span.Lock_hold { table = "s0"; obj = "x" });
+  Tracer.instant t ~actor:"central" (Span.Decision { gid = 1; commit = true });
+  now := 3.0;
+  Tracer.end_span t root;
+  t
+
+let test_golden_chrome_trace () =
+  let expected =
+    "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n\
+     {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"icdb\"}},\n\
+     {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"central\"}},\n\
+     {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\"args\":{\"name\":\"s0\"}},\n\
+     {\"cat\":\"txn\",\"name\":\"g1 2pc\",\"ph\":\"b\",\"id\":0,\"pid\":1,\"tid\":0,\"ts\":0.000},\n\
+     {\"cat\":\"phase\",\"name\":\"g1 vote\",\"ph\":\"b\",\"id\":1,\"pid\":1,\"tid\":0,\"ts\":1.000},\n\
+     {\"cat\":\"msg\",\"name\":\"send prepare\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":1,\"ts\":1.000},\n\
+     {\"cat\":\"phase\",\"name\":\"g1 vote\",\"ph\":\"e\",\"id\":1,\"pid\":1,\"tid\":0,\"ts\":2.000},\n\
+     {\"cat\":\"lock\",\"name\":\"lock-hold x\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":0.500,\"dur\":1.500},\n\
+     {\"cat\":\"decision\",\"name\":\"g1 decision:commit\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":0,\"ts\":2.000},\n\
+     {\"cat\":\"txn\",\"name\":\"g1 2pc\",\"ph\":\"e\",\"id\":0,\"pid\":1,\"tid\":0,\"ts\":3.000}\n\
+     ]}\n"
+  in
+  Alcotest.(check string) "chrome trace" expected (Export.chrome_trace (golden_tracer ()))
+
+let golden_registry () =
+  let r = Registry.create () in
+  let txns = Registry.counter r "icdb_txns_total" in
+  Registry.inc txns;
+  Registry.inc txns;
+  let msgs = Registry.counter r ~labels:[ ("site", "s0") ] "icdb_messages_total" in
+  Registry.inc msgs ~by:3;
+  let h =
+    Registry.histogram r ~labels:[ ("phase", "vote"); ("protocol", "2pc") ] "icdb_phase_time"
+  in
+  Registry.observe h 2.5;
+  r
+
+let test_golden_metrics_json () =
+  let expected =
+    "{\n\
+    \  \"counters\": [\n\
+    \    {\"name\":\"icdb_messages_total\",\"labels\":{\"site\":\"s0\"},\"value\":3},\n\
+    \    {\"name\":\"icdb_txns_total\",\"labels\":{},\"value\":2}\n\
+    \  ],\n\
+    \  \"histograms\": [\n\
+    \    {\"name\":\"icdb_phase_time\",\"labels\":{\"phase\":\"vote\",\"protocol\":\"2pc\"},\"count\":1,\"sum\":2.500,\"mean\":2.500,\"p50\":2.500,\"p95\":2.500,\"max\":2.500}\n\
+    \  ]\n\
+     }\n"
+  in
+  Alcotest.(check string) "metrics json" expected (Export.metrics_json (golden_registry ()))
+
+let test_golden_prometheus () =
+  let expected =
+    "# TYPE icdb_messages_total counter\n\
+     icdb_messages_total{site=\"s0\"} 3\n\
+     # TYPE icdb_txns_total counter\n\
+     icdb_txns_total 2\n\
+     # TYPE icdb_phase_time summary\n\
+     icdb_phase_time{phase=\"vote\",protocol=\"2pc\",quantile=\"0.5\"} 2.500\n\
+     icdb_phase_time{phase=\"vote\",protocol=\"2pc\",quantile=\"0.95\"} 2.500\n\
+     icdb_phase_time{phase=\"vote\",protocol=\"2pc\",quantile=\"1\"} 2.500\n\
+     icdb_phase_time_sum{phase=\"vote\",protocol=\"2pc\"} 2.500\n\
+     icdb_phase_time_count{phase=\"vote\",protocol=\"2pc\"} 1\n"
+  in
+  Alcotest.(check string) "prometheus" expected (Export.prometheus (golden_registry ()))
+
+let test_json_escape () =
+  Alcotest.(check string) "escape" "a\\\"b\\\\c\\nd" (Export.json_escape "a\"b\\c\nd")
+
+(* --- end-to-end: a traced chaos workload ---------------------------------- *)
+
+let traced_run ?(seed = 7L) () =
+  let registry = Registry.create () in
+  let tracer = Tracer.create ~enabled:true ~clock:(fun () -> 0.0) () in
+  let report =
+    Runner.run ~registry ~tracer
+      {
+        Runner.default with
+        protocol = Protocol.Before;
+        seed;
+        n_txns = 40;
+        concurrency = 6;
+        accounts_per_site = 8;
+        p_intended_abort = 0.1;
+        p_spontaneous = 0.1;
+        crash_rate = 2.0;
+        crash_duration = 20.0;
+      }
+  in
+  (report, registry, tracer)
+
+let test_span_well_formedness () =
+  let _, _, tracer = traced_run () in
+  Alcotest.(check bool) "trace non-empty" true (Tracer.length tracer > 0);
+  (* Every End matches an earlier Begin, at most once. *)
+  let open_ids = Hashtbl.create 64 in
+  let last = ref neg_infinity in
+  Tracer.iter tracer (fun ev ->
+      let record_time =
+        match ev with
+        | Tracer.Begin { id; time; _ } ->
+          Alcotest.(check bool) "fresh id" false (Hashtbl.mem open_ids id);
+          Hashtbl.replace open_ids id ();
+          time
+        | Tracer.End { id; time } ->
+          Alcotest.(check bool) "end has open begin" true (Hashtbl.mem open_ids id);
+          Hashtbl.remove open_ids id;
+          time
+        | Tracer.Complete { start; stop; _ } ->
+          Alcotest.(check bool) "complete ordered" true (start <= stop);
+          stop
+        | Tracer.Instant { time; _ } -> time
+      in
+      (* The recorder only ever reads the engine clock, so record order is
+         time order. *)
+      Alcotest.(check bool) "monotone record times" true (record_time >= !last);
+      last := record_time);
+  Alcotest.(check int) "all spans closed" 0 (Hashtbl.length open_ids);
+  (* Children nest within their parents. *)
+  let spans = Tracer.spans tracer in
+  let by_id = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Tracer.span) -> if s.s_id >= 0 then Hashtbl.replace by_id s.s_id s)
+    spans;
+  List.iter
+    (fun (s : Tracer.span) ->
+      if s.s_id >= 0 && s.s_parent >= 0 then begin
+        match Hashtbl.find_opt by_id s.s_parent with
+        | None -> Alcotest.fail "child without recorded parent"
+        | Some p ->
+          Alcotest.(check bool) "child starts in parent" true (s.s_start >= p.s_start);
+          (match (s.s_stop, p.s_stop) with
+          | Some cs, Some ps ->
+            Alcotest.(check bool) "child ends in parent" true (cs <= ps)
+          | _ -> ())
+      end)
+    spans
+
+let test_phase_breakdown_reported () =
+  let report, _, _ = traced_run () in
+  Alcotest.(check bool) "has execute phase" true
+    (List.mem_assoc "execute" report.Runner.phase_breakdown);
+  let execute = List.assoc "execute" report.Runner.phase_breakdown in
+  Alcotest.(check int) "one execute span per txn" report.Runner.started
+    execute.Registry.h_count
+
+let test_deterministic_same_seed () =
+  let _, reg1, tr1 = traced_run () in
+  let _, reg2, tr2 = traced_run () in
+  Alcotest.(check string) "identical trace" (Export.chrome_trace tr1)
+    (Export.chrome_trace tr2);
+  Alcotest.(check string) "identical metrics" (Export.metrics_json reg1)
+    (Export.metrics_json reg2)
+
+let test_deterministic_across_domains () =
+  (* The same two seeds, run sequentially and on two parallel domains: every
+     export is byte-identical. *)
+  let export seed =
+    let _, reg, tr = traced_run ~seed () in
+    (Export.chrome_trace tr, Export.metrics_json reg)
+  in
+  let sequential = List.map export [ 7L; 8L ] in
+  let parallel =
+    Icdb_util.Pool.run ~jobs:2 [ (fun () -> export 7L); (fun () -> export 8L) ]
+  in
+  List.iter2
+    (fun (t1, m1) (t2, m2) ->
+      Alcotest.(check string) "trace identical across domains" t1 t2;
+      Alcotest.(check string) "metrics identical across domains" m1 m2)
+    sequential parallel
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "counter get-or-create + labels" `Quick
+            test_counter_get_or_create;
+          Alcotest.test_case "histogram statistics" `Quick test_histogram_stats;
+          Alcotest.test_case "snapshot sorted" `Quick test_snapshot_sorted;
+        ] );
+      ( "tracer",
+        [
+          Alcotest.test_case "disabled tracer records nothing" `Quick test_disabled_tracer;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome trace golden" `Quick test_golden_chrome_trace;
+          Alcotest.test_case "metrics json golden" `Quick test_golden_metrics_json;
+          Alcotest.test_case "prometheus golden" `Quick test_golden_prometheus;
+          Alcotest.test_case "json escaping" `Quick test_json_escape;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "span well-formedness" `Quick test_span_well_formedness;
+          Alcotest.test_case "phase breakdown in report" `Quick
+            test_phase_breakdown_reported;
+          Alcotest.test_case "same seed, same trace" `Quick test_deterministic_same_seed;
+          Alcotest.test_case "identical across domains" `Quick
+            test_deterministic_across_domains;
+        ] );
+    ]
