@@ -14,6 +14,7 @@ open Toolkit
 module Runner = Icdb_workload.Runner
 module Protocol = Icdb_workload.Protocol
 module Experiments = Icdb_workload.Experiments
+module Overhead = Icdb_workload.Overhead
 
 let small ?(n_txns = 30) ?(p_intended_abort = 0.0) ?(p_spontaneous = 0.0)
     ?(crash_rate = 0.0) ?(use_increments = true) protocol () =
@@ -29,6 +30,21 @@ let small ?(n_txns = 30) ?(p_intended_abort = 0.0) ?(p_spontaneous = 0.0)
          p_spontaneous;
          crash_rate;
          use_increments;
+       })
+
+(* Commit-overhead batching kernel: the fixed-spec lab at a reduced size,
+   with one window setting driving message piggybacking, central decision-log
+   group commit and local group commit. *)
+let overhead_kernel window () =
+  ignore
+    (Overhead.run
+       {
+         Overhead.default with
+         n_txns = 40;
+         concurrency = 8;
+         msg_batch_window = window;
+         central_gc_window = window;
+         group_commit_window = window;
        })
 
 (* One kernel per experiment id; figure kernels regenerate the figure
@@ -55,9 +71,18 @@ let kernels =
     ("a4", fun () -> ignore (Experiments.run "a4"));
     ("a5", small Protocol.Before);
     ("a6", small Protocol.Before);
+    ("o1-unbatched", overhead_kernel None);
+    ("o1-batched", overhead_kernel (Some 3.0));
   ]
 
-let benchmark () =
+(* Reduced kernel set for the CI smoke run: one representative per protocol
+   family plus the batching pair, so a perf regression in any hot path still
+   shows up without the full sweep's runtime. *)
+let smoke_kernels =
+  let keep = [ "f2"; "v1"; "v4"; "a1"; "o1-unbatched"; "o1-batched" ] in
+  List.filter (fun (name, _) -> List.mem name keep) kernels
+
+let benchmark kernels =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
@@ -117,10 +142,29 @@ let phase_snapshot () =
            Some (protocol, phase, Icdb_obs.Registry.hist_snapshot h)
          | _ -> None)
 
+(* Per-protocol commit-overhead trajectory for BENCH.json: the fixed-spec lab
+   unbatched and at window 3, so messages and stable writes per commit are
+   tracked per PR next to the wall-clock kernels. *)
+let overhead_snapshot () =
+  List.map
+    (fun protocol ->
+      let run window =
+        Overhead.run
+          {
+            Overhead.default with
+            protocol;
+            msg_batch_window = window;
+            central_gc_window = window;
+            group_commit_window = window;
+          }
+      in
+      (protocol, run None, run (Some 3.0)))
+    Protocol.all
+
 (* Machine-readable companion to the human table: kernel name -> ms/run plus
    the virtual-time phase-latency breakdown, so future changes have both a
    perf and a behavior trajectory to compare against. *)
-let write_bench_json path rows phases =
+let write_bench_json path rows phases overhead =
   let esc = Icdb_obs.Export.json_escape in
   let oc = open_out path in
   output_string oc "{\n  \"kernels\": {\n";
@@ -141,6 +185,18 @@ let write_bench_json path rows phases =
         (esc protocol) (esc phase) h.h_count h.h_mean h.h_p50 h.h_p95 h.h_max
         (if i < last then "," else ""))
     phases;
+  output_string oc "  ],\n  \"overhead\": [\n";
+  let last = List.length overhead - 1 in
+  List.iteri
+    (fun i (protocol, (base : Overhead.result), (batched : Overhead.result)) ->
+      Printf.fprintf oc
+        "    {\"protocol\":\"%s\",\"msgs_per_commit\":%.3f,\"forces_per_commit\":%.3f,\"msgs_per_commit_batched\":%.3f,\"forces_per_commit_batched\":%.3f,\"batch_occupancy\":%.3f}%s\n"
+        (esc (Protocol.name protocol))
+        base.messages_per_committed base.log_forces_per_commit
+        batched.messages_per_committed batched.log_forces_per_commit
+        batched.batch_occupancy_mean
+        (if i < last then "," else ""))
+    overhead;
   output_string oc "  ]\n}\n";
   close_out oc
 
@@ -159,8 +215,12 @@ let jobs () =
   | None -> (
     match Option.bind (Sys.getenv_opt "ICDB_JOBS") parse with Some n -> n | None -> 1)
 
+let smoke () = Array.exists (fun a -> a = "--smoke") Sys.argv
+
+(* `--smoke` (CI): reduced kernel set, BENCH.json, no experiment sweep. *)
 let () =
-  let rows = rows_of (benchmark ()) in
+  let smoke = smoke () in
+  let rows = rows_of (benchmark (if smoke then smoke_kernels else kernels)) in
   print_benchmark rows;
-  write_bench_json "BENCH.json" rows (phase_snapshot ());
-  print_string (Experiments.run_all ~jobs:(jobs ()) ())
+  write_bench_json "BENCH.json" rows (phase_snapshot ()) (overhead_snapshot ());
+  if not smoke then print_string (Experiments.run_all ~jobs:(jobs ()) ())

@@ -53,7 +53,7 @@ let exp_cmd =
   in
   Cmd.v (Cmd.info "exp" ~doc) Term.(const run $ id $ jobs)
 
-let report_to_string (r : Runner.report) =
+let report_to_string ?(central_gc = false) (r : Runner.report) =
   let b = Buffer.create 512 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
   line "elapsed (virtual time)     %.1f" r.elapsed;
@@ -69,6 +69,12 @@ let report_to_string (r : Runner.report) =
   line "local lock waits/timeouts/dl    %d / %d / %d" r.local_lock_waits
     r.local_lock_timeouts r.local_lock_deadlocks;
   line "log forces / per commit        %d / %.2f" r.log_forces r.log_forces_per_commit;
+  (* Batching lines appear only when the features produced something, so a
+     run with both windows off prints byte-identically to older builds. *)
+  if r.batch_envelopes > 0 then
+    line "batch envelopes / occupancy     %d / %.2f" r.batch_envelopes
+      r.batch_occupancy_mean;
+  if central_gc then line "central decision-log forces     %d" r.central_log_forces;
   line "message copies dropped          %d" r.messages_dropped;
   line "money conserved                 %b (%d -> %d)" r.money_conserved r.money_before
     r.money_after;
@@ -101,6 +107,24 @@ let run_cmd =
   let gc_window =
     Arg.(value & opt (some float) None & info [ "group-commit" ] ~doc:"group-commit window")
   in
+  let batch_window =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "msg-batch-window" ] ~docv:"W"
+          ~doc:
+            "Coalesce same-site decision messages issued within $(docv) virtual-time \
+             units into one wire envelope (piggybacking). 0 or unset: off.")
+  in
+  let central_gc =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "central-group-commit" ] ~docv:"W"
+          ~doc:
+            "Group-commit window for the central decision log: decisions within \
+             $(docv) share one log force. 0 or unset: off.")
+  in
   let retries = Arg.(value & opt int 0 & info [ "action-retries" ] ~doc:"MLT L0 action retries") in
   let trace_out =
     Arg.(
@@ -126,8 +150,8 @@ let run_cmd =
           ~doc:"Write the metrics registry in Prometheus text exposition to $(docv).")
   in
   let run protocol n_txns n_sites concurrency seed p_intended_abort p_spontaneous crash_rate
-      zipf_theta message_loss group_commit_window mlt_action_retries trace_out metrics_out
-      prom_out =
+      zipf_theta message_loss group_commit_window msg_batch_window central_gc_window
+      mlt_action_retries trace_out metrics_out prom_out =
     let registry = Registry.create () in
     let tracer =
       (* Clock re-wired onto the run's engine by [Runner.run]. *)
@@ -150,10 +174,14 @@ let run_cmd =
           zipf_theta;
           message_loss;
           group_commit_window;
+          msg_batch_window;
+          central_gc_window;
           mlt_action_retries;
         }
     in
-    Printf.printf "protocol: %s\n%s" (Protocol.name protocol) (report_to_string r);
+    let central_gc = match central_gc_window with Some w when w > 0.0 -> true | _ -> false in
+    Printf.printf "protocol: %s\n%s" (Protocol.name protocol)
+      (report_to_string ~central_gc r);
     (match (trace_out, tracer) with
     | Some path, Some tr ->
       write_file path (Export.chrome_trace tr);
@@ -173,8 +201,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ protocol $ txns $ sites $ concurrency $ seed $ p_intended $ p_spont
-      $ crash_rate $ theta $ loss $ gc_window $ retries $ trace_out $ metrics_out
-      $ prom_out)
+      $ crash_rate $ theta $ loss $ gc_window $ batch_window $ central_gc $ retries
+      $ trace_out $ metrics_out $ prom_out)
 
 let trace_cmd =
   let doc =

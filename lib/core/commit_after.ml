@@ -104,7 +104,7 @@ let run (fed : Federation.t) (spec : Global.spec) =
                         let site = Federation.site fed b.site in
                         let db = Site.db site in
                         if decide_commit then
-                          Link.rpc (Site.link site) ~label:"commit" (fun () ->
+                          decision_rpc fed ~site:b.site ~label:"commit" (fun () ->
                               (match Db.commit db txn with
                               | Ok () ->
                                 graph_local fed ~gid ~site:b.site ~compensation:false
@@ -114,12 +114,12 @@ let run (fed : Federation.t) (spec : Global.spec) =
                                    §3.2 repair — repetition from the redo-log. *)
                                 redo_until_committed fed ~gid ~obs b);
                               Trace.record fed.trace ~actor:b.site (ev gid "committed");
-                              ("finished", ()))
+                              "finished")
                         else
-                          Link.rpc (Site.link site) ~label:"abort" (fun () ->
+                          decision_rpc fed ~site:b.site ~label:"abort" (fun () ->
                               Db.abort db txn;
                               Trace.record fed.trace ~actor:b.site (ev gid "aborted");
-                              ("finished", ())))
+                              "finished"))
                   | _, No _ -> None)
                 votes)));
     Action_log.remove fed.redo_log ~gid;

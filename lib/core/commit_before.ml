@@ -139,11 +139,10 @@ let run (fed : Federation.t) (spec : Global.spec) =
                 | (b : Global.branch), Locally_committed ->
                   Some
                     (fun () ->
-                      let site = Federation.site fed b.site in
-                      Link.rpc (Site.link site) ~label:"undo" (fun () ->
+                      decision_rpc fed ~site:b.site ~label:"undo" (fun () ->
                           undo_until_done fed ~gid ~obs b;
                           Trace.record fed.trace ~actor:b.site (ev gid "undone");
-                          ("finished", ())))
+                          "finished"))
                 | _, Locally_aborted _ -> None)
               states));
     Action_log.remove fed.undo_log ~gid;

@@ -117,10 +117,9 @@ let run ?(action_retries = 0) (fed : Federation.t) (spec : Global.mlt_spec) =
       (* Undo completed actions in reverse order via inverse actions. *)
       List.iter
         (fun (seq, action) ->
-          let site = Federation.site fed action.Action.site in
-          Link.rpc (Site.link site) ~label:"undo-action" (fun () ->
+          decision_rpc fed ~site:action.Action.site ~label:"undo-action" (fun () ->
               undo_action fed ~gid ~obs ~seq action;
-              ("finished", ())))
+              "finished"))
         !completed;
       Global.Aborted cause
   in

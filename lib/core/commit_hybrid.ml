@@ -170,7 +170,7 @@ let run (fed : Federation.t) (spec : Global.spec) =
                       (fun () ->
                         let site = Federation.site fed b.site in
                         let label = if decide_commit then "commit" else "abort" in
-                        Link.rpc (Site.link site) ~label (fun () ->
+                        decision_rpc fed ~site:b.site ~label (fun () ->
                             Site.await_up site;
                             Db.resolve_prepared (Site.db site) ~txn_id:(Db.txn_id txn)
                               ~commit:decide_commit;
@@ -179,15 +179,14 @@ let run (fed : Federation.t) (spec : Global.spec) =
                               Trace.record fed.trace ~actor:b.site (ev gid "committed")
                             end
                             else Trace.record fed.trace ~actor:b.site (ev gid "aborted");
-                            ("finished", ())))
+                            "finished"))
                   | b, Committed_leg when not decide_commit ->
                     Some
                       (fun () ->
-                        let site = Federation.site fed b.site in
-                        Link.rpc (Site.link site) ~label:"undo" (fun () ->
+                        decision_rpc fed ~site:b.site ~label:"undo" (fun () ->
                             undo_leg fed ~gid ~obs b;
                             Trace.record fed.trace ~actor:b.site (ev gid "undone");
-                            ("finished", ())))
+                            "finished"))
                   | _, (Committed_leg | Failed_leg _) -> None)
                 legs)));
     Action_log.remove fed.undo_log ~gid;

@@ -1,9 +1,11 @@
 module Sim = Icdb_sim.Engine
+module Fiber = Icdb_sim.Fiber
 module Trace = Icdb_sim.Trace
 module Lock = Icdb_lock.Lock_table
 module Mode = Icdb_lock.Mode
 module Site = Icdb_net.Site
 module Link = Icdb_net.Link
+module Batcher = Icdb_net.Batcher
 module Db = Icdb_localdb.Engine
 module Log = Icdb_wal.Log
 module Conflict = Icdb_mlt.Conflict
@@ -40,6 +42,13 @@ type t = {
   mutable global_cc_enabled : bool;
   mutable central_fail : gid:int -> string -> unit;
   global_lock_timeout : float option;
+  batchers : (string, Batcher.t) Hashtbl.t;
+  central_gc_window : float option;
+  mutable cgc_waiters : unit Fiber.resumer list;
+  mutable cgc_scheduled : bool;
+  mutable central_forces : int;
+  mutable central_decisions : int;
+  mutable central_force_hook : unit -> unit;
 }
 
 let default_conflict =
@@ -176,8 +185,18 @@ let install_observability t =
   let sim_events = Registry.counter t.registry "icdb_sim_events_total" in
   Sim.set_observer t.engine (fun () -> Registry.inc sim_events)
 
+(* A window of 0 (or less) means "off": the feature must be byte-invisible
+   unless positively enabled, so reports with the default config reproduce
+   pre-batching output exactly. *)
+let normalize_window = function
+  | Some w when w > 0.0 -> Some w
+  | Some _ | None -> None
+
 let create engine ?(latency = 1.0) ?(loss = 0.0) ?(global_lock_timeout = Some 200.0)
-    ?(conflict = default_conflict) ?registry ?tracer configs =
+    ?(conflict = default_conflict) ?registry ?tracer ?(msg_batch_window = None)
+    ?(central_gc_window = None) configs =
+  let msg_batch_window = normalize_window msg_batch_window in
+  let central_gc_window = normalize_window central_gc_window in
   let registry = match registry with Some r -> r | None -> Registry.create () in
   let tracer =
     match tracer with
@@ -220,9 +239,43 @@ let create engine ?(latency = 1.0) ?(loss = 0.0) ?(global_lock_timeout = Some 20
       global_cc_enabled = true;
       central_fail = (fun ~gid:_ _ -> ());
       global_lock_timeout;
+      batchers = Hashtbl.create 16;
+      central_gc_window;
+      cgc_waiters = [];
+      cgc_scheduled = false;
+      central_forces = 0;
+      central_decisions = 0;
+      central_force_hook = ignore;
     }
   in
   install_observability t;
+  (* Batching wiring is lazy on purpose: registry metrics exist from the
+     moment they are created, so creating them only when the feature is on
+     keeps default-config metric snapshots identical to pre-batching ones. *)
+  (match msg_batch_window with
+  | None -> ()
+  | Some window ->
+    List.iter
+      (fun (name, site) ->
+        let b = Batcher.create engine (Site.link site) ~window in
+        let h =
+          Registry.histogram registry ~labels:[ ("site", name) ]
+            "icdb_batch_occupancy"
+        in
+        Batcher.set_observer b (fun n -> Registry.observe h (float_of_int n));
+        Hashtbl.replace t.batchers name b)
+      t.sites);
+  (match central_gc_window with
+  | None -> ()
+  | Some _ ->
+    let forces =
+      Registry.counter registry ~labels:[ ("site", "central") ]
+        "icdb_central_decision_forces_total"
+    in
+    t.central_force_hook <-
+      (fun () ->
+        Registry.inc forces;
+        Tracer.instant tracer ~actor:"central" (Span.Wal_force { site = "central" })));
   t
 
 let site t name =
@@ -252,11 +305,55 @@ let journal_branch t ~gid ~site ~txn_id =
   let entry = journal_find t gid in
   entry.j_branches <- entry.j_branches @ [ (site, txn_id) ]
 
+(* Group commit for the central decision log: every decision made within one
+   [central_gc_window] shares a single log force. The caller (always a
+   protocol fiber) blocks until the shared force completes, so when
+   [journal_decide] returns the decision is durable — same contract as
+   today's instantaneous write, just paid for in one force per window
+   instead of one per decision. Disabled ([None]): zero cost, zero delay. *)
+let force_decision t =
+  match t.central_gc_window with
+  | None -> ()
+  | Some window ->
+    Fiber.await (fun resumer ->
+        t.cgc_waiters <- resumer :: t.cgc_waiters;
+        if not t.cgc_scheduled then begin
+          t.cgc_scheduled <- true;
+          ignore
+            (Sim.schedule t.engine ~delay:window (fun () ->
+                 let waiters = List.rev t.cgc_waiters in
+                 t.cgc_waiters <- [];
+                 t.cgc_scheduled <- false;
+                 t.central_forces <- t.central_forces + 1;
+                 t.central_force_hook ();
+                 List.iter (fun r -> r (Ok ())) waiters))
+        end)
+
 let journal_decide t ~gid ~commit =
   (journal_find t gid).j_phase <- Decided commit;
-  log_decision t ~gid ~commit
+  log_decision t ~gid ~commit;
+  t.central_decisions <- t.central_decisions + 1;
+  force_decision t
 
 let journal_close t ~gid = Hashtbl.remove t.journal gid
+
+let batcher t name = Hashtbl.find_opt t.batchers name
+
+(* Central decision-log forces: with group commit on, the shared forces that
+   actually happened; off, one (conceptual) force per decision — the §5
+   baseline the group-commit numbers are compared against. *)
+let central_log_forces t =
+  if t.central_gc_window <> None then t.central_forces else t.central_decisions
+
+let batch_envelopes t =
+  Hashtbl.fold (fun _ b acc -> acc + Batcher.envelope_count b) t.batchers 0
+
+let batch_occupancy_mean t =
+  let members =
+    Hashtbl.fold (fun _ b acc -> acc + Batcher.member_count b) t.batchers 0
+  in
+  let envelopes = batch_envelopes t in
+  if envelopes = 0 then 0.0 else float_of_int members /. float_of_int envelopes
 
 let journal_open_entries t =
   Hashtbl.fold (fun gid entry acc -> (gid, entry) :: acc) t.journal []

@@ -56,6 +56,17 @@ type t = {
           ("executed", "decided", ...); tests make it raise to simulate a
           central-system crash mid-protocol. Default: no-op. *)
   global_lock_timeout : float option;
+  batchers : (string, Icdb_net.Batcher.t) Hashtbl.t;
+      (** per-site decision-traffic batchers; empty unless
+          [msg_batch_window] was set at creation *)
+  central_gc_window : float option;
+      (** group-commit window for the central decision log; [None] = every
+          decision is durable instantly (the pre-batching model) *)
+  mutable cgc_waiters : unit Icdb_sim.Fiber.resumer list;
+  mutable cgc_scheduled : bool;
+  mutable central_forces : int;
+  mutable central_decisions : int;
+  mutable central_force_hook : unit -> unit;
 }
 
 (** [create engine ?latency ?loss ?global_lock_timeout ?conflict configs]
@@ -73,7 +84,16 @@ type t = {
     clock, whose per-event cost is a single branch. Either way, the
     federation wires the sim engine, every link, every lock table (global
     CC, L1, and each site's local table — across restarts), every WAL, and
-    the site crash/recovery transitions into them. *)
+    the site crash/recovery transitions into them.
+
+    [msg_batch_window] (default [None]) turns on per-site decision-message
+    piggybacking: one {!Icdb_net.Batcher} per site with that window, plus an
+    [icdb_batch_occupancy{site}] histogram. [central_gc_window] (default
+    [None]) turns on group commit for the central decision log:
+    {!journal_decide} calls within one window share a single log force,
+    counted by [icdb_central_decision_forces_total]. Both treat a
+    non-positive window as [None], and when off add no metrics and no
+    behavior change — default-config runs are byte-identical to before. *)
 val create :
   Icdb_sim.Engine.t ->
   ?latency:float ->
@@ -82,6 +102,8 @@ val create :
   ?conflict:Icdb_mlt.Conflict.t ->
   ?registry:Icdb_obs.Registry.t ->
   ?tracer:Icdb_obs.Tracer.t ->
+  ?msg_batch_window:float option ->
+  ?central_gc_window:float option ->
   Icdb_localdb.Engine.config list ->
   t
 
@@ -109,7 +131,9 @@ val journal_open : t -> gid:int -> protocol:string -> unit
 val journal_branch : t -> gid:int -> site:string -> txn_id:int -> unit
 
 (** [journal_decide t ~gid ~commit] flips the entry to [Decided] {e and}
-    writes the decision log. *)
+    writes the decision log. With [central_gc_window] set the caller (a
+    protocol fiber) blocks until the window's shared log force completes —
+    the decision is durable on return either way. *)
 val journal_decide : t -> gid:int -> commit:bool -> unit
 
 (** [journal_close t ~gid] removes the entry once every site has applied
@@ -125,6 +149,24 @@ val total_messages : t -> int
 val messages_by_label : t -> (string * int) list
 
 val reset_message_counters : t -> unit
+
+(** {2 Commit-overhead batching} *)
+
+(** [batcher t site] is the site's decision-traffic batcher, or [None] when
+    message batching is off. Protocols route decision-phase traffic through
+    it via {!Protocol_common}. *)
+val batcher : t -> string -> Icdb_net.Batcher.t option
+
+(** Central decision-log forces: with group commit on, the shared forces
+    that actually happened; off, one per decision (the baseline they are
+    compared against). *)
+val central_log_forces : t -> int
+
+(** Batch envelopes put on the wire across all sites, and members per
+    envelope on average (0 with batching off). *)
+val batch_envelopes : t -> int
+
+val batch_occupancy_mean : t -> float
 
 (** Committed state across all sites, protocol marker keys filtered out:
     [(site, key, value)] sorted. The invariant checks of the test-suite and

@@ -101,13 +101,13 @@ let run (fed : Federation.t) (spec : Global.spec) =
                   Some
                     (fun () ->
                       let site = Federation.site fed b.site in
-                      Link.rpc (Site.link site) ~label:"commit" (fun () ->
+                      decision_rpc fed ~site:b.site ~label:"commit" (fun () ->
                           Site.await_up site;
                           Db.resolve_prepared (Site.db site) ~txn_id:(Db.txn_id txn)
                             ~commit:true;
                           graph_local fed ~gid ~site:b.site ~compensation:false txn;
                           Trace.record fed.trace ~actor:b.site (ev gid "committed");
-                          ("finished", ())))
+                          "finished"))
                 | _, (Read_only | No _) -> None)
               votes))
     end
@@ -123,7 +123,7 @@ let run (fed : Federation.t) (spec : Global.spec) =
                       Some
                         (fun () ->
                           let site = Federation.site fed b.site in
-                          Link.send (Site.link site) ~label:"abort" (fun () ->
+                          decision_send fed ~site:b.site ~label:"abort" (fun () ->
                               Site.await_up site;
                               Db.resolve_prepared (Site.db site) ~txn_id:(Db.txn_id txn)
                                 ~commit:false;

@@ -133,6 +133,28 @@ let execute_branch (fed : Federation.t) ~gid ?(parent = -1) (b : Global.branch)
     Tracer.end_span fed.tracer bspan;
     raise e
 
+(* --- decision-phase traffic ---------------------------------------------
+
+   All post-decision coordinator->site traffic (commit/abort/undo requests
+   and their "finished" acks) goes through these two helpers so that, when
+   the federation has message batching on, same-window decisions to one site
+   share a wire envelope. With batching off they are exactly the plain
+   [Link.rpc]/[Link.send] the protocols used before. *)
+
+let decision_rpc (fed : Federation.t) ~site ~label f =
+  match Federation.batcher fed site with
+  | Some b -> Icdb_net.Batcher.rpc b ~label f
+  | None ->
+    let s = Federation.site fed site in
+    Link.rpc (Site.link s) ~label (fun () -> (f (), ()))
+
+let decision_send (fed : Federation.t) ~site ~label f =
+  match Federation.batcher fed site with
+  | Some b -> Icdb_net.Batcher.send b ~label f
+  | None ->
+    let s = Federation.site fed site in
+    Link.send (Site.link s) ~label f
+
 let graph_local (fed : Federation.t) ~gid ~site ~compensation txn =
   Serialization_graph.record_local fed.graph ~gid ~site ~compensation (Db.accesses txn)
 

@@ -68,6 +68,22 @@ val execute_branch :
   Federation.t -> gid:int -> ?parent:int -> Global.branch -> extra_ops:Program.t ->
   exec_status
 
+(** {2 Decision-phase traffic}
+
+    Post-decision coordinator->site messages (commit/abort/undo requests and
+    their "finished" acks). With the federation's [msg_batch_window] set,
+    same-window messages to one site ride a shared {!Icdb_net.Batcher}
+    envelope (one wire message, one latency charge, coalesced acks); off,
+    these are exactly [Link.rpc] / [Link.send]. *)
+
+(** [decision_rpc fed ~site ~label f] — request/reply; [f] runs at the site
+    and returns the reply label (usually ["finished"]). *)
+val decision_rpc : Federation.t -> site:string -> label:string -> (unit -> string) -> unit
+
+(** [decision_send fed ~site ~label f] — one-way, no acknowledgement
+    (presumed-abort's abort path). *)
+val decision_send : Federation.t -> site:string -> label:string -> (unit -> unit) -> unit
+
 (** Record a committed local transaction in the serialization graph. *)
 val graph_local :
   Federation.t -> gid:int -> site:string -> compensation:bool -> Db.txn -> unit

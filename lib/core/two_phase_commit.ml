@@ -59,9 +59,9 @@ let run (fed : Federation.t) (spec : Global.spec) =
                       Some
                         (fun () ->
                           let site = Federation.site fed b.site in
-                          Link.rpc (Site.link site) ~label:"abort" (fun () ->
+                          decision_rpc fed ~site:b.site ~label:"abort" (fun () ->
                               Db.abort (Site.db site) txn;
-                              ("finished", ())))
+                              "finished"))
                     | _, Exec_failed _ -> None)
                   results)));
       Federation.journal_close fed ~gid;
@@ -129,7 +129,7 @@ let run (fed : Federation.t) (spec : Global.spec) =
                             |> Option.get
                           in
                           let label = if decide_commit then "commit" else "abort" in
-                          Link.rpc (Site.link site) ~label (fun () ->
+                          decision_rpc fed ~site:b.site ~label (fun () ->
                               Site.await_up site;
                               Db.resolve_prepared db ~txn_id:(Db.txn_id txn)
                                 ~commit:decide_commit;
@@ -140,7 +140,7 @@ let run (fed : Federation.t) (spec : Global.spec) =
                               end
                               else
                                 Trace.record fed.trace ~actor:b.site (ev gid "aborted");
-                              ("finished", ())))
+                              "finished"))
                     | _, No _ -> None)
                   votes)));
       Federation.journal_close fed ~gid;

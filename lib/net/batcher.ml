@@ -1,0 +1,105 @@
+module Sim = Icdb_sim.Engine
+module Fiber = Icdb_sim.Fiber
+
+type kind = Rpc | Oneway
+
+type member = {
+  m_label : string;
+  m_kind : kind;
+  m_run : unit -> string option; (* [Some reply_label] for Rpc, [None] for Oneway *)
+  m_resume : unit Fiber.resumer;
+}
+
+type t = {
+  engine : Sim.t;
+  link : Link.t;
+  window : float;
+  mutable queue : member list; (* newest first *)
+  mutable scheduled : bool;
+  mutable envelopes : int;
+  mutable members_total : int;
+  mutable observer : int -> unit;
+}
+
+let create engine link ~window =
+  if window < 0.0 then invalid_arg "Batcher.create: negative window";
+  {
+    engine;
+    link;
+    window;
+    queue = [];
+    scheduled = false;
+    envelopes = 0;
+    members_total = 0;
+    observer = ignore;
+  }
+
+(* Run one member, capturing its result so that one failing handler cannot
+   take the rest of the batch (or the flush fiber) down with it. Mirrors the
+   unbatched behavior: the exception surfaces at the member's call site, and
+   no reply is accounted for a handler that raised. *)
+let run_member m = match m.m_run () with v -> Ok v | exception e -> Error e
+
+(* Deliver one envelope carrying [members]. Each member's logical request is
+   piggyback-counted up front (it is on the wire, inside the envelope); reply
+   labels are piggyback-counted once the handlers have run. If every member
+   is one-way, the envelope itself is one-way ("batch", no reply message) —
+   this preserves presumed-abort's ack elimination. Otherwise it is an rpc
+   ("batch" out, "batch-reply" back). Handlers run sequentially at the
+   destination in enqueue order; they may suspend (the envelope delivery
+   fiber waits). Under loss, [Link.rpc]'s receiver-side dedup guarantees the
+   handlers still run exactly once across retransmissions. *)
+let flush t =
+  let members = List.rev t.queue in
+  t.queue <- [];
+  t.scheduled <- false;
+  match members with
+  | [] -> ()
+  | _ ->
+    let n = List.length members in
+    t.envelopes <- t.envelopes + 1;
+    t.members_total <- t.members_total + n;
+    t.observer n;
+    List.iter (fun m -> Link.count_piggyback t.link ~label:m.m_label) members;
+    let results =
+      if List.for_all (fun m -> m.m_kind = Oneway) members then begin
+        let results = ref [] in
+        Link.send t.link ~label:"batch" (fun () ->
+            results := List.map run_member members);
+        !results
+      end
+      else
+        Link.rpc t.link ~label:"batch" (fun () ->
+            ("batch-reply", List.map run_member members))
+    in
+    List.iter2
+      (fun m result ->
+        (match result with
+        | Ok (Some reply_label) -> Link.count_piggyback t.link ~label:reply_label
+        | Ok None | Error _ -> ());
+        match result with
+        | Ok _ -> m.m_resume (Ok ())
+        | Error e -> m.m_resume (Error e))
+      members results
+
+let enqueue t kind ~label run =
+  Fiber.await (fun resumer ->
+      t.queue <- { m_label = label; m_kind = kind; m_run = run; m_resume = resumer } :: t.queue;
+      if not t.scheduled then begin
+        t.scheduled <- true;
+        ignore
+          (Sim.schedule t.engine ~delay:t.window (fun () ->
+               Fiber.spawn t.engine (fun () -> flush t)))
+      end)
+
+let rpc t ~label f = enqueue t Rpc ~label (fun () -> Some (f ()))
+let send t ~label f = enqueue t Oneway ~label (fun () -> f (); None)
+let envelope_count t = t.envelopes
+let member_count t = t.members_total
+
+let mean_occupancy t =
+  if t.envelopes = 0 then 0.0
+  else float_of_int t.members_total /. float_of_int t.envelopes
+
+let window t = t.window
+let set_observer t f = t.observer <- f

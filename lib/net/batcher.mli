@@ -1,0 +1,59 @@
+(** Same-destination message piggybacking on top of {!Link}.
+
+    A batcher coalesces the messages issued to one site within a [window] of
+    virtual time into a single wire envelope that pays one latency charge —
+    the classic piggybacking lever for commit overhead (Gray & Lamport's
+    message/stable-write cost model). The protocols route their
+    decision-phase traffic (commit/abort/undo requests and the "finished"
+    acks coming back) through here when batching is on.
+
+    {1 Accounting}
+
+    The envelope is the only {e physical} message: it is counted under the
+    label ["batch"] (reply: ["batch-reply"]) and contributes to
+    {!Link.message_count}. Every coalesced {e logical} message still
+    increments its own per-label counter and fires the [Msg_sent] observer
+    via {!Link.count_piggyback}, so [messages_by_label] remains a truthful
+    protocol-level tally while the physical count drops.
+
+    {1 Semantics}
+
+    Members enqueue with {!rpc} / {!send} and suspend; when the window
+    closes, one envelope is delivered and the member handlers run
+    sequentially at the destination in enqueue order (they may themselves
+    suspend — e.g. waiting out a site outage). An envelope whose members are
+    all one-way is itself one-way (no reply message), preserving
+    presumed-abort's ack elimination; otherwise the acks are coalesced into
+    one ["batch-reply"]. A handler that raises fails only its own member:
+    the exception resurfaces at that member's {!rpc} call, the rest of the
+    batch proceeds. Under a lossy link the envelope is retransmitted by
+    {!Link}, and receiver-side dedup keeps every handler exactly-once. *)
+
+type t
+
+(** [create engine link ~window] batches messages issued within [window]
+    virtual-time units of the first queued member. [window = 0.] still
+    coalesces messages enqueued at the same instant. *)
+val create : Icdb_sim.Engine.t -> Link.t -> window:float -> t
+
+(** [rpc t ~label f] enqueues a logical request labelled [label]; [f] runs at
+    the destination when the envelope arrives and returns the reply label
+    (e.g. ["finished"]). Returns once the envelope round-trip completes.
+    Must run in a fiber. *)
+val rpc : t -> label:string -> (unit -> string) -> unit
+
+(** [send t ~label f] enqueues a one-way logical message; no reply label is
+    accounted. Returns once the envelope has been delivered and [f] ran. *)
+val send : t -> label:string -> (unit -> unit) -> unit
+
+(** Envelopes put on the wire, total members carried, and members per
+    envelope on average. *)
+val envelope_count : t -> int
+
+val member_count : t -> int
+val mean_occupancy : t -> float
+val window : t -> float
+
+(** [set_observer t f] calls [f occupancy] at each flush with the number of
+    members in the envelope (feeds the [icdb_batch_occupancy] histogram). *)
+val set_observer : t -> (int -> unit) -> unit

@@ -13,7 +13,7 @@ type t = {
   loss : float;
   rng : Rng.t;
   retry_timeout : float;
-  counts : (string, int) Hashtbl.t;
+  counts : (string, int ref) Hashtbl.t;
   mutable total : int;
   mutable dropped : int;
   mutable observer : observer_event -> unit;
@@ -35,10 +35,27 @@ let create engine ~latency ?(loss = 0.0) ?(loss_seed = 7L) ?retry_timeout () =
     observer = (fun _ -> ());
   }
 
+(* The per-label counter is a cached [int ref]: after the first message with
+   a given label the hot path is a [Hashtbl.find] (no option allocation) and
+   an in-place increment — no per-message allocation. *)
+let counter t label =
+  match Hashtbl.find t.counts label with
+  | r -> r
+  | exception Not_found ->
+    let r = ref 0 in
+    Hashtbl.add t.counts label r;
+    r
+
 let count t label =
   t.total <- t.total + 1;
-  let current = Option.value ~default:0 (Hashtbl.find_opt t.counts label) in
-  Hashtbl.replace t.counts label (current + 1);
+  incr (counter t label);
+  t.observer (Msg_sent { label })
+
+(* A logical message riding inside a batch envelope: visible in the
+   per-label counts and to observers, but not a wire message of its own
+   (the envelope already paid for the wire). *)
+let count_piggyback t ~label =
+  incr (counter t label);
   t.observer (Msg_sent { label })
 
 let lost t ~label =
@@ -109,12 +126,17 @@ let send t ~label f =
 let message_count t = t.total
 
 let messages_by_label t =
-  Hashtbl.fold (fun label n acc -> (label, n) :: acc) t.counts [] |> List.sort compare
+  Hashtbl.fold
+    (fun label r acc -> if !r = 0 then acc else (label, !r) :: acc)
+    t.counts []
+  |> List.sort compare
 
 let dropped_count t = t.dropped
 
 let reset_counters t =
-  Hashtbl.reset t.counts;
+  (* Zero the refs in place (rather than [Hashtbl.reset]) so refs cached by
+     long-lived senders keep counting into the same cells. *)
+  Hashtbl.iter (fun _ r -> r := 0) t.counts;
   t.total <- 0;
   t.dropped <- 0
 

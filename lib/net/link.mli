@@ -51,6 +51,13 @@ val message_count : t -> int
 
 val messages_by_label : t -> (string * int) list
 
+(** [count_piggyback t ~label] accounts for one {e logical} message labelled
+    [label] that rode inside a batch envelope: the per-label counter is
+    incremented and [Msg_sent] fires, but {!message_count} (physical wire
+    messages) is untouched — the envelope already paid for the wire. Used by
+    {!Batcher}. *)
+val count_piggyback : t -> label:string -> unit
+
 (** Copies dropped by the lossy wire. *)
 val dropped_count : t -> int
 

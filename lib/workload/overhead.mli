@@ -1,0 +1,64 @@
+(** Fixed-spec commit-overhead lab (experiment O1).
+
+    {!Runner} draws each transaction's spec inside the worker fibers, so the
+    workload itself depends on execution interleaving — fine for throughput
+    sweeps, useless for comparing {e the same transactions} under different
+    batching windows. This lab pre-generates the whole spec list from the
+    seed (sites, deltas, intended aborts, gids) before the clock starts, and
+    keeps the workload conflict-free (balanced increments on commuting lock
+    modes, no failure injection), so every commit/abort decision is a pure
+    function of its spec. Batching may then change timing and message
+    counts, never outcomes — which is exactly what the equivalence property
+    test asserts, and what makes the O1 overhead-vs-window table an
+    apples-to-apples comparison. *)
+
+type config = {
+  protocol : Protocol.t;
+  seed : int64;
+  n_sites : int;
+  accounts_per_site : int;
+  initial_balance : int;
+  n_txns : int;
+  concurrency : int;  (** worker fibers draining the fixed spec queue *)
+  branches_per_txn : int;
+  ops_per_branch : int;
+  zipf_theta : float;
+  p_intended_abort : float;
+      (** baked into the spec at generation time: a branch votes no (flat
+          protocols) or the MLT run aborts after a fixed action count *)
+  latency : float;
+  op_delay : float;
+  commit_delay : float;
+  msg_batch_window : float option;  (** see {!Icdb_core.Federation.create} *)
+  central_gc_window : float option;
+  group_commit_window : float option;  (** local engines' group commit *)
+}
+
+val default : config
+
+type result = {
+  outcomes : bool list;
+      (** per-transaction committed?, in generation (gid) order — identical
+          across batching windows for a fixed seed *)
+  committed : int;
+  aborted : int;
+  elapsed : float;
+  throughput : float;
+  messages : int;  (** physical wire messages *)
+  messages_per_committed : float;
+  messages_by_label : (string * int) list;
+      (** logical per-label tally (piggybacked messages included) *)
+  local_log_forces : int;
+  central_log_forces : int;
+      (** shared group-commit forces, or one per decision with the window
+          off (the §5 baseline) *)
+  log_forces_per_commit : float;  (** (local + central) / committed *)
+  batch_envelopes : int;
+  batch_occupancy_mean : float;
+  money_conserved : bool;
+  serializable : bool;
+}
+
+(** [run config] executes the fixed workload to completion. Deterministic in
+    [config.seed]. [registry] as in {!Runner.run}. *)
+val run : ?registry:Icdb_obs.Registry.t -> config -> result

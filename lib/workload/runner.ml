@@ -46,6 +46,8 @@ type config = {
   checkpoint_interval : float option;
   heterogeneous_cc : bool;
   message_loss : float;
+  msg_batch_window : float option;
+  central_gc_window : float option;
 }
 
 let default =
@@ -80,6 +82,8 @@ let default =
     checkpoint_interval = None;
     heterogeneous_cc = false;
     message_loss = 0.0;
+    msg_batch_window = None;
+    central_gc_window = None;
   }
 
 type report = {
@@ -115,6 +119,9 @@ type report = {
   log_forces_per_commit : float;
   messages_dropped : int;
   phase_breakdown : (string * Registry.hsnap) list;
+  batch_envelopes : int;
+  batch_occupancy_mean : float;
+  central_log_forces : int;
 }
 
 let site_name i = Printf.sprintf "site-%d" i
@@ -259,7 +266,8 @@ let run ?registry ?tracer cfg =
   let configs = List.init cfg.n_sites (site_config cfg) in
   let fed =
     Federation.create engine ~latency:cfg.latency ~loss:cfg.message_loss ?registry
-      ?tracer configs
+      ?tracer ~msg_batch_window:cfg.msg_batch_window
+      ~central_gc_window:cfg.central_gc_window configs
   in
   (* On a shared registry the per-run counters may hold a previous run's
      totals; start this run from zero. (Labelled metrics — phase latencies,
@@ -371,4 +379,7 @@ let run ?registry ?tracer cfg =
         0 fed.sites;
     phase_breakdown =
       phase_breakdown fed.registry ~protocol:(Protocol.obs_name cfg.protocol);
+    batch_envelopes = Federation.batch_envelopes fed;
+    batch_occupancy_mean = Federation.batch_occupancy_mean fed;
+    central_log_forces = Federation.central_log_forces fed;
   }

@@ -49,6 +49,12 @@ type config = {
   message_loss : float;
       (** per-message-copy drop probability; links switch to at-least-once
           delivery with receiver-side dedup (A6) *)
+  msg_batch_window : float option;
+      (** per-site decision-message piggybacking window (O1); [None] or a
+          non-positive value = off, reproducing pre-batching runs exactly *)
+  central_gc_window : float option;
+      (** group-commit window for the central decision log (O1); [None] or
+          non-positive = every decision forced individually *)
 }
 
 val default : config
@@ -91,6 +97,13 @@ type report = {
       (** per-phase latency summaries for this run's protocol, in canonical
           phase order (execute, vote, decide, local-commit, redo,
           compensate); phases the protocol never entered are absent *)
+  batch_envelopes : int;
+      (** wire envelopes carrying batched decision traffic (0 with batching
+          off) *)
+  batch_occupancy_mean : float;  (** logical messages per envelope *)
+  central_log_forces : int;
+      (** central decision-log forces: shared group-commit forces when
+          [central_gc_window] is on, one per decision otherwise *)
 }
 
 (** [run config] builds the federation, runs the workload to completion and

@@ -681,6 +681,68 @@ let test_group_commit_durable_record_survives_crash () =
   ignore (Db.restart db);
   Alcotest.(check (option int)) "committed across crash" (Some 7) (Db.committed_value db "a")
 
+let test_group_commit_flush_ordering () =
+  (* Each force must cover the whole buffered prefix in LSN order: at hook
+     time [flushed_lsn = last_lsn], and separate windows get separate
+     forces. *)
+  let eng = Sim.create () in
+  let db = Db.create eng (gc_config 5.0 "s") in
+  Db.load db [ ("a", 0); ("b", 0) ];
+  let wal = Db.wal db in
+  let forces = ref [] in
+  Icdb_wal.Log.set_force_hook wal (fun () ->
+      forces :=
+        (Sim.now eng, Icdb_wal.Log.flushed_lsn wal, Icdb_wal.Log.last_lsn wal)
+        :: !forces);
+  let wave keys =
+    List.iter
+      (fun key ->
+        Fiber.spawn eng (fun () ->
+            let t = Db.begin_txn db in
+            ok (Db.increment db t ~key ~delta:1);
+            ok (Db.commit db t)))
+      keys
+  in
+  wave [ "a"; "b" ];
+  ignore (Sim.schedule eng ~delay:30.0 (fun () -> wave [ "a"; "b" ]));
+  Sim.run eng;
+  let forces = List.rev !forces in
+  Alcotest.(check int) "one force per window" 2 (List.length forces);
+  List.iter
+    (fun (_, flushed, last) ->
+      Alcotest.(check int) "force covers every buffered record" last flushed)
+    forces;
+  (match forces with
+  | [ (t1, _, _); (t2, _, _) ] ->
+    Alcotest.(check bool) "second window forced strictly later" true (t2 > t1)
+  | _ -> ());
+  Alcotest.(check (option int)) "both waves applied" (Some 2) (Db.committed_value db "a")
+
+let test_group_commit_durable_before_ack () =
+  (* A batched commit may only return once its commit record is on stable
+     storage: the force precedes (or coincides with) the ack, and at ack
+     time the WAL's durable horizon covers the record. *)
+  let eng = Sim.create () in
+  let db = Db.create eng (gc_config 5.0 "s") in
+  Db.load db [ ("a", 0) ];
+  let wal = Db.wal db in
+  let force_time = ref neg_infinity in
+  Icdb_wal.Log.set_force_hook wal (fun () -> force_time := Sim.now eng);
+  let ack = ref None in
+  Fiber.spawn eng (fun () ->
+      let t = Db.begin_txn db in
+      ok (Db.write db t ~key:"a" ~value:7);
+      ok (Db.commit db t);
+      ack :=
+        Some (Sim.now eng, Icdb_wal.Log.flushed_lsn wal, Icdb_wal.Log.last_lsn wal));
+  Sim.run eng;
+  match !ack with
+  | None -> Alcotest.fail "commit never returned"
+  | Some (ack_time, flushed, last) ->
+    Alcotest.(check bool) "force happened before the ack" true
+      (!force_time > neg_infinity && ack_time >= !force_time);
+    Alcotest.(check int) "commit record durable at ack time" last flushed
+
 let test_group_commit_kill_during_window_is_noop () =
   let eng = Sim.create () in
   let db = Db.create eng (gc_config 10.0 "s") in
@@ -805,6 +867,9 @@ let () =
             test_group_commit_crash_in_window_aborts;
           Alcotest.test_case "durable record survives" `Quick
             test_group_commit_durable_record_survives_crash;
+          Alcotest.test_case "flush ordering" `Quick test_group_commit_flush_ordering;
+          Alcotest.test_case "durable before ack" `Quick
+            test_group_commit_durable_before_ack;
           Alcotest.test_case "kill during window" `Quick
             test_group_commit_kill_during_window_is_noop;
         ] );

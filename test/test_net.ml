@@ -160,6 +160,161 @@ let test_link_loss_validation () =
     (Invalid_argument "Link.create: loss must be in [0,1)") (fun () ->
       ignore (Link.create eng ~latency:1.0 ~loss:1.0 ()))
 
+(* --- piggyback accounting --- *)
+
+let test_link_count_piggyback () =
+  let eng = Sim.create () in
+  let link = Link.create eng ~latency:1.0 () in
+  let sent = ref [] in
+  Link.set_observer link (function
+    | Link.Msg_sent { label } -> sent := label :: !sent
+    | _ -> ());
+  Link.count_piggyback link ~label:"commit";
+  Link.count_piggyback link ~label:"commit";
+  Alcotest.(check int) "no physical messages" 0 (Link.message_count link);
+  Alcotest.(check (list (pair string int))) "label counted" [ ("commit", 2) ]
+    (Link.messages_by_label link);
+  Alcotest.(check (list string)) "observer fired per logical message"
+    [ "commit"; "commit" ] !sent
+
+let test_link_reset_then_recount () =
+  (* Counter refs are zeroed in place on reset, so senders keep counting into
+     the same cells; labels with a zero count do not reappear. *)
+  let eng = Sim.create () in
+  let link = Link.create eng ~latency:0.5 () in
+  Fiber.spawn eng (fun () -> ignore (Link.rpc link ~label:"ping" (fun () -> ("pong", ()))));
+  Sim.run eng;
+  Link.reset_counters link;
+  Alcotest.(check (list (pair string int))) "no zero-count labels" []
+    (Link.messages_by_label link);
+  Fiber.spawn eng (fun () -> ignore (Link.rpc link ~label:"ping" (fun () -> ("pong", ()))));
+  Sim.run eng;
+  Alcotest.(check (list (pair string int))) "recounted from zero"
+    [ ("ping", 1); ("pong", 1) ]
+    (Link.messages_by_label link)
+
+(* --- Batcher --- *)
+
+module Batcher = Icdb_net.Batcher
+
+let test_batcher_coalesces_rpcs () =
+  let eng = Sim.create () in
+  let link = Link.create eng ~latency:1.0 () in
+  let b = Batcher.create eng link ~window:2.0 in
+  let occupancies = ref [] in
+  Batcher.set_observer b (fun n -> occupancies := n :: !occupancies);
+  let order = ref [] and done_at = ref [] in
+  for i = 1 to 3 do
+    Fiber.spawn eng (fun () ->
+        Batcher.rpc b ~label:"commit" (fun () ->
+            order := i :: !order;
+            "finished");
+        done_at := (i, Sim.now eng) :: !done_at)
+  done;
+  Sim.run eng;
+  (* One envelope out, one coalesced ack back. *)
+  Alcotest.(check int) "two wire messages" 2 (Link.message_count link);
+  Alcotest.(check (list (pair string int)))
+    "physical envelope + logical members"
+    [ ("batch", 1); ("batch-reply", 1); ("commit", 3); ("finished", 3) ]
+    (Link.messages_by_label link);
+  Alcotest.(check (list int)) "handlers ran in enqueue order" [ 1; 2; 3 ] (List.rev !order);
+  List.iter
+    (fun (i, t) ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "member %d completes at window + round trip" i)
+        4.0 t)
+    !done_at;
+  Alcotest.(check (list int)) "occupancy observed" [ 3 ] !occupancies;
+  Alcotest.(check int) "one envelope" 1 (Batcher.envelope_count b);
+  Alcotest.(check int) "three members" 3 (Batcher.member_count b);
+  Alcotest.(check (float 1e-9)) "mean occupancy" 3.0 (Batcher.mean_occupancy b)
+
+let test_batcher_windows_split () =
+  let eng = Sim.create () in
+  let link = Link.create eng ~latency:1.0 () in
+  let b = Batcher.create eng link ~window:2.0 in
+  Fiber.spawn eng (fun () -> Batcher.rpc b ~label:"a" (fun () -> "finished"));
+  (* Enqueued after the first window closed: its own envelope. *)
+  ignore
+    (Sim.schedule eng ~delay:5.0 (fun () ->
+         Fiber.spawn eng (fun () -> Batcher.rpc b ~label:"b" (fun () -> "finished"))));
+  Sim.run eng;
+  Alcotest.(check int) "two envelopes" 2 (Batcher.envelope_count b);
+  Alcotest.(check int) "four wire messages" 4 (Link.message_count link)
+
+let test_batcher_all_oneway_no_ack () =
+  let eng = Sim.create () in
+  let link = Link.create eng ~latency:1.0 () in
+  let b = Batcher.create eng link ~window:1.0 in
+  let effects = ref 0 in
+  for _ = 1 to 3 do
+    Fiber.spawn eng (fun () -> Batcher.send b ~label:"abort" (fun () -> incr effects))
+  done;
+  Sim.run eng;
+  Alcotest.(check int) "all effects ran" 3 !effects;
+  (* Presumed abort's ack elimination survives: a one-way batch has no reply. *)
+  Alcotest.(check int) "one wire message" 1 (Link.message_count link);
+  Alcotest.(check (list (pair string int)))
+    "no batch-reply"
+    [ ("abort", 3); ("batch", 1) ]
+    (Link.messages_by_label link)
+
+let test_batcher_mixed_kinds_uses_rpc_envelope () =
+  let eng = Sim.create () in
+  let link = Link.create eng ~latency:1.0 () in
+  let b = Batcher.create eng link ~window:1.0 in
+  let effects = ref 0 in
+  Fiber.spawn eng (fun () -> Batcher.rpc b ~label:"commit" (fun () -> "finished"));
+  Fiber.spawn eng (fun () -> Batcher.send b ~label:"abort" (fun () -> incr effects));
+  Sim.run eng;
+  Alcotest.(check int) "one-way member ran" 1 !effects;
+  Alcotest.(check (list (pair string int)))
+    "rpc envelope, reply only for the rpc member"
+    [ ("abort", 1); ("batch", 1); ("batch-reply", 1); ("commit", 1); ("finished", 1) ]
+    (Link.messages_by_label link)
+
+exception Handler_boom
+
+let test_batcher_member_failure_isolated () =
+  let eng = Sim.create () in
+  let link = Link.create eng ~latency:1.0 () in
+  let b = Batcher.create eng link ~window:1.0 in
+  let ok = ref false and failed = ref false in
+  Fiber.spawn eng (fun () ->
+      match Batcher.rpc b ~label:"commit" (fun () -> raise Handler_boom) with
+      | () -> ()
+      | exception Handler_boom -> failed := true);
+  Fiber.spawn eng (fun () ->
+      Batcher.rpc b ~label:"commit" (fun () -> "finished");
+      ok := true);
+  Sim.run eng;
+  Alcotest.(check bool) "failing member raises at its call site" true !failed;
+  Alcotest.(check bool) "other member unaffected" true !ok;
+  (* The raising handler produced no reply, so only one "finished". *)
+  Alcotest.(check (list (pair string int)))
+    "no reply accounted for the failed member"
+    [ ("batch", 1); ("batch-reply", 1); ("commit", 2); ("finished", 1) ]
+    (Link.messages_by_label link)
+
+let test_batcher_lossy_members_exactly_once () =
+  let eng = Sim.create () in
+  let link = Link.create eng ~latency:1.0 ~loss:0.4 ~loss_seed:5L () in
+  let b = Batcher.create eng link ~window:1.0 in
+  let runs = ref 0 and completed = ref 0 in
+  for _ = 1 to 4 do
+    Fiber.spawn eng (fun () ->
+        Batcher.rpc b ~label:"commit" (fun () ->
+            incr runs;
+            "finished");
+        incr completed)
+  done;
+  Sim.run eng;
+  (* Receiver-side dedup on the envelope keeps members exactly-once even
+     though envelope copies were retransmitted. *)
+  Alcotest.(check int) "every member completed" 4 !completed;
+  Alcotest.(check int) "handlers ran once" 4 !runs
+
 let () =
   Alcotest.run "net"
     [
@@ -177,6 +332,19 @@ let () =
             test_link_lossy_rpc_exactly_once_effect;
           Alcotest.test_case "send delivered once" `Quick test_link_lossy_send_effect_once;
           Alcotest.test_case "validation" `Quick test_link_loss_validation;
+        ] );
+      ( "batcher",
+        [
+          Alcotest.test_case "piggyback counting" `Quick test_link_count_piggyback;
+          Alcotest.test_case "reset then recount" `Quick test_link_reset_then_recount;
+          Alcotest.test_case "coalesces rpcs" `Quick test_batcher_coalesces_rpcs;
+          Alcotest.test_case "windows split" `Quick test_batcher_windows_split;
+          Alcotest.test_case "all one-way, no ack" `Quick test_batcher_all_oneway_no_ack;
+          Alcotest.test_case "mixed kinds" `Quick test_batcher_mixed_kinds_uses_rpc_envelope;
+          Alcotest.test_case "member failure isolated" `Quick
+            test_batcher_member_failure_isolated;
+          Alcotest.test_case "exactly-once under loss" `Quick
+            test_batcher_lossy_members_exactly_once;
         ] );
       ( "site",
         [

@@ -196,6 +196,87 @@ let test_experiments_parallel_equals_sequential () =
   Alcotest.(check bool) "non-trivial output" true (String.length sequential > 1000);
   Alcotest.(check string) "byte-identical" sequential parallel
 
+(* --- commit-overhead batching (Overhead lab) --- *)
+
+module Overhead = Icdb_workload.Overhead
+
+let overhead_cfg ?(n_txns = Overhead.default.Overhead.n_txns)
+    ?(concurrency = Overhead.default.Overhead.concurrency) ?seed protocol window =
+  {
+    Overhead.default with
+    protocol;
+    seed = Option.value seed ~default:Overhead.default.Overhead.seed;
+    n_txns;
+    concurrency;
+    msg_batch_window = window;
+    central_gc_window = window;
+    group_commit_window = window;
+  }
+
+let test_batching_preserves_outcomes () =
+  (* For every protocol, any batching window leaves the per-transaction
+     commit/abort outcomes untouched and keeps the invariants: only timing
+     and message accounting may move. *)
+  List.iter
+    (fun protocol ->
+      let name = Protocol.name protocol in
+      let base = Overhead.run (overhead_cfg ~n_txns:60 ~concurrency:8 protocol None) in
+      Alcotest.(check bool) (name ^ " base money") true base.money_conserved;
+      Alcotest.(check bool) (name ^ " base serializable") true base.serializable;
+      List.iter
+        (fun window ->
+          let r =
+            Overhead.run
+              (overhead_cfg ~n_txns:60 ~concurrency:8 protocol (Some window))
+          in
+          let label = Printf.sprintf "%s @ window %.1f" name window in
+          Alcotest.(check (list bool))
+            (label ^ ": identical outcomes") base.outcomes r.outcomes;
+          Alcotest.(check bool) (label ^ ": money conserved") true r.money_conserved;
+          Alcotest.(check bool) (label ^ ": serializable") true r.serializable)
+        [ 1.0; 4.0; 10.0 ])
+    Protocol.all
+
+let test_batching_reduces_overhead () =
+  (* The acceptance bar from the issue: with batching on, both wire messages
+     per committed transaction and stable-log forces per commit drop
+     strictly for 2PC, presumed abort and commit-before with MLTs. *)
+  List.iter
+    (fun protocol ->
+      let name = Protocol.name protocol in
+      let base = Overhead.run (overhead_cfg protocol None) in
+      let batched = Overhead.run (overhead_cfg protocol (Some 3.0)) in
+      Alcotest.(check int) (name ^ ": same committed") base.committed batched.committed;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: msgs/commit %.2f < %.2f" name
+           batched.messages_per_committed base.messages_per_committed)
+        true
+        (batched.messages_per_committed < base.messages_per_committed);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: forces/commit %.2f < %.2f" name
+           batched.log_forces_per_commit base.log_forces_per_commit)
+        true
+        (batched.log_forces_per_commit < base.log_forces_per_commit);
+      Alcotest.(check bool) (name ^ ": batching actually used") true
+        (batched.batch_envelopes > 0))
+    [ Protocol.Two_phase; Protocol.Presumed_abort; Protocol.Before_mlt ]
+
+(* Satellite property: batched and unbatched runs of the same fixed workload
+   agree on every per-transaction outcome, conserve money and stay
+   serializable — for a random protocol, window and seed. *)
+let prop_batching_equivalence =
+  QCheck2.Test.make ~name:"batched run equals unbatched run" ~count:15
+    QCheck2.Gen.(tup3 (int_range 0 5) (float_range 0.5 12.0) int)
+    (fun (proto_idx, window, seed) ->
+      let protocol = List.nth Protocol.all proto_idx in
+      let seed = Int64.of_int seed in
+      let cfg w = overhead_cfg ~n_txns:40 ~concurrency:6 ~seed protocol w in
+      let base = Overhead.run (cfg None) in
+      let batched = Overhead.run (cfg (Some window)) in
+      base.outcomes = batched.outcomes
+      && batched.money_conserved && batched.serializable
+      && base.money_conserved && base.serializable)
+
 (* The whole-system property test: random configurations with failures keep
    atomicity and serializability for every protocol. *)
 let prop_invariants_under_chaos =
@@ -260,6 +341,14 @@ let () =
         [
           Alcotest.test_case "parallel sweep equals sequential" `Slow
             test_experiments_parallel_equals_sequential;
+        ] );
+      ( "batching",
+        [
+          Alcotest.test_case "windows preserve outcomes" `Quick
+            test_batching_preserves_outcomes;
+          Alcotest.test_case "batching reduces overhead" `Quick
+            test_batching_reduces_overhead;
+          QCheck_alcotest.to_alcotest prop_batching_equivalence;
         ] );
       ("property", [ QCheck_alcotest.to_alcotest prop_invariants_under_chaos ]);
     ]
