@@ -82,6 +82,66 @@ let smoke_kernels =
   let keep = [ "f2"; "v1"; "v4"; "a1"; "o1-unbatched"; "o1-batched" ] in
   List.filter (fun (name, _) -> List.mem name keep) kernels
 
+(* --- allocation trajectory ----------------------------------------------
+
+   Wall clock alone hides a class of regressions the interning work targets:
+   code that is no slower on a warm cache but allocates more per
+   transaction. For the kernels whose transaction count is fixed by
+   construction we report minor words per transaction and major collections
+   per run, from [Gc.quick_stat] deltas around a measured batch (one warmup
+   run first so interner/registry growth is not billed to the steady
+   state). *)
+
+type alloc_row = {
+  a_name : string;
+  a_minor_words_per_txn : float;
+  a_major_per_run : float;
+}
+
+let alloc_kernels =
+  let txns name = if String.length name >= 2 && String.sub name 0 2 = "o1" then 40 else 30 in
+  List.filter_map
+    (fun (name, f) ->
+      match name.[0] with
+      | 'v' | 'a' | 'o' -> Some (name, f, txns name)
+      | _ -> None)
+    kernels
+
+let alloc_snapshot kernels =
+  List.map
+    (fun (name, f, n_txns) ->
+      f ();
+      (* warmup *)
+      let runs = 5 in
+      Gc.full_major ();
+      let before = Gc.quick_stat () in
+      (* [quick_stat]'s minor_words only advances at minor collections (256k
+         word quanta); [Gc.minor_words] reads the allocation pointer and is
+         word-exact. *)
+      let minor_before = Gc.minor_words () in
+      for _ = 1 to runs do
+        f ()
+      done;
+      let after = Gc.quick_stat () in
+      let minor = Gc.minor_words () -. minor_before in
+      let majors = after.Gc.major_collections - before.Gc.major_collections in
+      {
+        a_name = "icdb/" ^ name;
+        a_minor_words_per_txn = minor /. float_of_int (runs * n_txns);
+        a_major_per_run = float_of_int majors /. float_of_int runs;
+      })
+    kernels
+
+let print_alloc rows =
+  print_endline "Allocation per kernel (Gc.quick_stat deltas, warm, 5 runs)";
+  print_endline "----------------------------------------------------------";
+  List.iter
+    (fun r ->
+      Printf.printf "%-17s %12.0f minor words/txn %8.1f major collections/run\n" r.a_name
+        r.a_minor_words_per_txn r.a_major_per_run)
+    rows;
+  print_newline ()
+
 let benchmark kernels =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
@@ -164,7 +224,7 @@ let overhead_snapshot () =
 (* Machine-readable companion to the human table: kernel name -> ms/run plus
    the virtual-time phase-latency breakdown, so future changes have both a
    perf and a behavior trajectory to compare against. *)
-let write_bench_json path rows phases overhead =
+let write_bench_json path rows phases overhead alloc =
   let esc = Icdb_obs.Export.json_escape in
   let oc = open_out path in
   output_string oc "{\n  \"kernels\": {\n";
@@ -197,6 +257,15 @@ let write_bench_json path rows phases overhead =
         batched.batch_occupancy_mean
         (if i < last then "," else ""))
     overhead;
+  output_string oc "  ],\n  \"alloc\": [\n";
+  let last = List.length alloc - 1 in
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"kernel\":\"%s\",\"minor_words_per_txn\":%.1f,\"major_collections_per_run\":%.2f}%s\n"
+        (esc r.a_name) r.a_minor_words_per_txn r.a_major_per_run
+        (if i < last then "," else ""))
+    alloc;
   output_string oc "  ]\n}\n";
   close_out oc
 
@@ -220,7 +289,13 @@ let smoke () = Array.exists (fun a -> a = "--smoke") Sys.argv
 (* `--smoke` (CI): reduced kernel set, BENCH.json, no experiment sweep. *)
 let () =
   let smoke = smoke () in
-  let rows = rows_of (benchmark (if smoke then smoke_kernels else kernels)) in
+  let active = if smoke then smoke_kernels else kernels in
+  let rows = rows_of (benchmark active) in
   print_benchmark rows;
-  write_bench_json "BENCH.json" rows (phase_snapshot ()) (overhead_snapshot ());
+  let alloc =
+    alloc_snapshot
+      (List.filter (fun (n, _, _) -> List.mem_assoc n active) alloc_kernels)
+  in
+  print_alloc alloc;
+  write_bench_json "BENCH.json" rows (phase_snapshot ()) (overhead_snapshot ()) alloc;
   if not smoke then print_string (Experiments.run_all ~jobs:(jobs ()) ())

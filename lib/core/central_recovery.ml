@@ -22,7 +22,7 @@ let crash (fed : Federation.t) =
   Lock.reset fed.l1_locks
 
 (* Same marker scheme as Commit_before_mlt. *)
-let action_marker ~gid ~seq = Printf.sprintf "__am:%d:%d" gid seq
+let action_marker ~gid ~seq = "__am:" ^ string_of_int gid ^ ":" ^ string_of_int seq
 
 let recover (fed : Federation.t) =
   let pushed = ref 0 and aborted = ref 0 and redone = ref 0 and undone = ref 0 in

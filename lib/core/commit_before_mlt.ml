@@ -23,7 +23,7 @@ let undo_action (fed : Federation.t) ~gid ~obs ~seq (action : Action.t) =
 
 (* Per-action commit marker: lets site and central recovery see which
    actions of a global transaction committed. *)
-let action_marker ~gid ~seq = Printf.sprintf "__am:%d:%d" gid seq
+let action_marker ~gid ~seq = "__am:" ^ string_of_int gid ^ ":" ^ string_of_int seq
 
 let execute_action (fed : Federation.t) ~gid ~seq (action : Action.t) =
   let site = Federation.site fed action.site in
@@ -73,7 +73,8 @@ let run ?(action_retries = 0) (fed : Federation.t) (spec : Global.mlt_spec) =
       if spec.abort_after = Some seq then Error Global.Intended_abort
       else begin
         match
-          Lock.acquire fed.l1_locks ~owner:gid ~obj:(Action.l1_object action)
+          Lock.acquire fed.l1_locks ~owner:gid
+            ~obj:(Federation.intern fed (Action.l1_object action))
             ~mode:action.Action.clazz ?timeout:fed.global_lock_timeout ()
         with
         | Lock.Timeout | Lock.Deadlock -> Error Global.Global_cc_denied
@@ -86,7 +87,7 @@ let run ?(action_retries = 0) (fed : Federation.t) (spec : Global.mlt_spec) =
             match execute_action fed ~gid ~seq action with
             | Ok () ->
               completed := (seq, action) :: !completed;
-              fed.central_fail ~gid (Printf.sprintf "action-%d" seq);
+              fed.central_fail ~gid (("action-" ^ string_of_int seq));
               step (seq + 1) rest
             | Error cause ->
               if tries_left > 0 then begin

@@ -12,6 +12,7 @@ module Conflict = Icdb_mlt.Conflict
 module Registry = Icdb_obs.Registry
 module Tracer = Icdb_obs.Tracer
 module Span = Icdb_obs.Span
+module Symbol = Icdb_util.Symbol
 
 type journal_phase = Executing | Decided of bool
 
@@ -25,6 +26,9 @@ type t = {
   engine : Sim.t;
   sites : (string * Site.t) list;
   by_name : (string, Site.t) Hashtbl.t;
+  syms : Symbol.table;
+      (* federation-level interner: global-CC and L1 lock objects; one per
+         federation, so parallel sweep domains never share a table *)
   trace : Trace.t;
   registry : Registry.t;
   tracer : Tracer.t;
@@ -49,6 +53,10 @@ type t = {
   mutable central_forces : int;
   mutable central_decisions : int;
   mutable central_force_hook : unit -> unit;
+  (* protocol name -> per-phase [icdb_phase_time] histogram handles, filled
+     lazily per slot so exactly the instruments the run uses exist — the
+     hot path then skips the registry's per-call label-key allocation *)
+  phase_hists : (string, Registry.histogram option array) Hashtbl.t;
 }
 
 let default_conflict =
@@ -80,8 +88,11 @@ let default_conflict =
    branch (tracer disabled). *)
 
 (* One handler per lock table, labelled by table name ("global-cc", "l1", or
-   the site name for a local database's table). *)
-let lock_handler t ~table =
+   the site name for a local database's table). [names] is the symbol table
+   the lock table's objects are interned against; an object is resolved back
+   to its string only when the tracer is enabled and a span label is
+   actually materialized. *)
+let lock_handler t ~table ~names =
   let labels = [ ("table", table) ] in
   let wait_h = Registry.histogram t.registry ~labels "icdb_lock_wait_time" in
   let hold_h = Registry.histogram t.registry ~labels "icdb_lock_hold_time" in
@@ -107,14 +118,16 @@ let lock_handler t ~table =
         | `Timeout -> timeout_c
         | `Deadlock -> deadlock_c
         | `Cancelled -> cancelled_c);
-      Tracer.complete t.tracer ~actor:table
-        ~start:(Sim.now t.engine -. waited)
-        (Span.Lock_wait { table; obj })
+      if Tracer.enabled t.tracer then
+        Tracer.complete t.tracer ~actor:table
+          ~start:(Sim.now t.engine -. waited)
+          (Span.Lock_wait { table; obj = Symbol.name names obj })
     | Lock.Released { obj; held; _ } ->
       Registry.observe hold_h held;
-      Tracer.complete t.tracer ~actor:table
-        ~start:(Sim.now t.engine -. held)
-        (Span.Lock_hold { table; obj })
+      if Tracer.enabled t.tracer then
+        Tracer.complete t.tracer ~actor:table
+          ~start:(Sim.now t.engine -. held)
+          (Span.Lock_hold { table; obj = Symbol.name names obj })
 
 let observe_site t site_name site =
   let db = Site.db site in
@@ -140,17 +153,20 @@ let observe_site t site_name site =
           c
       in
       Registry.inc c;
-      Tracer.instant t.tracer ~actor:site_name
-        (Span.Message { label; direction = Span.Send })
+      if Tracer.enabled t.tracer then
+        Tracer.instant t.tracer ~actor:site_name
+          (Span.Message { label; direction = Span.Send })
     | Link.Msg_received { label } ->
-      Tracer.instant t.tracer ~actor:site_name
-        (Span.Message { label; direction = Span.Recv })
+      if Tracer.enabled t.tracer then
+        Tracer.instant t.tracer ~actor:site_name
+          (Span.Message { label; direction = Span.Recv })
     | Link.Msg_dropped { label } ->
       Registry.inc dropped;
-      Tracer.instant t.tracer ~actor:site_name
-        (Span.Message { label; direction = Span.Drop }));
+      if Tracer.enabled t.tracer then
+        Tracer.instant t.tracer ~actor:site_name
+          (Span.Message { label; direction = Span.Drop }));
   (* Local lock table (survives restarts via the stored listener). *)
-  Db.set_lock_observer db (lock_handler t ~table:site_name);
+  Db.set_lock_observer db (lock_handler t ~table:site_name ~names:(Db.symbols db));
   (* WAL forces — the log object itself survives crashes, so wiring once is
      enough. *)
   let forces =
@@ -180,8 +196,8 @@ let observe_site t site_name site =
 
 let install_observability t =
   List.iter (fun (name, site) -> observe_site t name site) t.sites;
-  Lock.set_observer t.global_cc (lock_handler t ~table:"global-cc");
-  Lock.set_observer t.l1_locks (lock_handler t ~table:"l1");
+  Lock.set_observer t.global_cc (lock_handler t ~table:"global-cc" ~names:t.syms);
+  Lock.set_observer t.l1_locks (lock_handler t ~table:"l1" ~names:t.syms);
   let sim_events = Registry.counter t.registry "icdb_sim_events_total" in
   Sim.set_observer t.engine (fun () -> Registry.inc sim_events)
 
@@ -215,19 +231,24 @@ let create engine ?(latency = 1.0) ?(loss = 0.0) ?(global_lock_timeout = Some 20
   in
   let by_name = Hashtbl.create 16 in
   List.iter (fun (name, site) -> Hashtbl.replace by_name name site) sites;
+  let syms = Symbol.create ~capacity:256 () in
+  (* The L1 lock manager's compatibility checks run per acquisition; give
+     the federation its own memoizing instance of the relation. *)
+  let conflict = Conflict.memoized conflict in
   let t =
     {
       engine;
       sites;
       by_name;
+      syms;
       trace = Trace.create engine;
       registry;
       tracer;
       metrics;
-      global_cc = Lock.create engine ~compatible:Mode.compatible ~combine:Mode.combine;
+      global_cc = Lock.create engine ~syms ~compatible:Mode.compatible ~combine:Mode.combine;
       conflict;
       l1_locks =
-        Lock.create engine ~compatible:(Conflict.compatible conflict)
+        Lock.create engine ~syms ~compatible:(Conflict.compatible conflict)
           ~combine:(Conflict.combine conflict);
       redo_log = Action_log.create ();
       undo_log = Action_log.create ();
@@ -246,6 +267,7 @@ let create engine ?(latency = 1.0) ?(loss = 0.0) ?(global_lock_timeout = Some 20
       central_forces = 0;
       central_decisions = 0;
       central_force_hook = ignore;
+      phase_hists = Hashtbl.create 8;
     }
   in
   install_observability t;
@@ -282,6 +304,35 @@ let site t name =
   match Hashtbl.find_opt t.by_name name with
   | Some s -> s
   | None -> raise Not_found
+
+(* Intern a global lock-object name (global-CC "site/key" objects, L1
+   objects) against the federation's symbol table. *)
+let intern t s = Symbol.intern t.syms s
+
+(* Pre-resolved [icdb_phase_time] handle for a (protocol, phase) pair.
+   Slots fill lazily on first use so a run registers exactly the instruments
+   it would have before — metric snapshots stay identical — while repeat
+   observations skip the registry lookup and its label-list allocation. *)
+let phase_histogram t ~protocol phase =
+  let slots =
+    match Hashtbl.find_opt t.phase_hists protocol with
+    | Some slots -> slots
+    | None ->
+      let slots = Array.make Span.num_phases None in
+      Hashtbl.replace t.phase_hists protocol slots;
+      slots
+  in
+  let i = Span.phase_index phase in
+  match slots.(i) with
+  | Some h -> h
+  | None ->
+    let h =
+      Registry.histogram t.registry
+        ~labels:[ ("protocol", protocol); ("phase", Span.phase_name phase) ]
+        "icdb_phase_time"
+    in
+    slots.(i) <- Some h;
+    h
 
 let site_names t = List.map fst t.sites
 

@@ -26,6 +26,10 @@ type t = {
   engine : Icdb_sim.Engine.t;
   sites : (string * Icdb_net.Site.t) list;  (** in creation order *)
   by_name : (string, Icdb_net.Site.t) Hashtbl.t;
+  syms : Icdb_util.Symbol.table;
+      (** federation-level interner: the global-CC and L1 lock tables key
+          their objects by symbols of this table (each site's local table
+          uses the site engine's own) *)
   trace : Icdb_sim.Trace.t;
   registry : Icdb_obs.Registry.t;
       (** all numeric observations (metrics, message / lock / WAL counts,
@@ -67,6 +71,9 @@ type t = {
   mutable central_forces : int;
   mutable central_decisions : int;
   mutable central_force_hook : unit -> unit;
+  phase_hists : (string, Icdb_obs.Registry.histogram option array) Hashtbl.t;
+      (** lazily filled per-(protocol, phase) handle cache behind
+          {!phase_histogram} *)
 }
 
 (** [create engine ?latency ?loss ?global_lock_timeout ?conflict configs]
@@ -113,6 +120,16 @@ val default_conflict : Icdb_mlt.Conflict.t
 
 (** [site t name]. Raises [Not_found] for unknown names. *)
 val site : t -> string -> Icdb_net.Site.t
+
+(** [intern t s] interns a global lock-object name against the federation's
+    symbol table (use for global-CC and L1 lock objects). *)
+val intern : t -> string -> Icdb_util.Symbol.t
+
+(** Pre-resolved handle on the [icdb_phase_time{protocol, phase}] histogram:
+    first use registers the instrument (exactly as the direct registry call
+    would), repeat uses are an array index. *)
+val phase_histogram :
+  t -> protocol:string -> Icdb_obs.Span.phase -> Icdb_obs.Registry.histogram
 
 val site_names : t -> string list
 val fresh_gid : t -> int

@@ -10,9 +10,12 @@ module Registry = Icdb_obs.Registry
 module Tracer = Icdb_obs.Tracer
 module Span = Icdb_obs.Span
 
-let ev gid label = Printf.sprintf "g%d:%s" gid label
-let commit_marker ~gid = Printf.sprintf "__cm:%d" gid
-let undo_marker ~gid ~seq = Printf.sprintf "__um:%d:%d" gid seq
+(* Plain concatenation, not [Printf.sprintf]: these run once or more per
+   transaction and the format machinery allocates an order of magnitude more
+   than the result string. *)
+let ev gid label = "g" ^ string_of_int gid ^ ":" ^ label
+let commit_marker ~gid = "__cm:" ^ string_of_int gid
+let undo_marker ~gid ~seq = "__um:" ^ string_of_int gid ^ ":" ^ string_of_int seq
 
 let mode_of_intent = function
   | `Read -> Mode.Shared
@@ -34,8 +37,9 @@ let acquire_global_locks (fed : Federation.t) ~gid (spec : Global.spec) =
     let rec go = function
       | [] -> true
       | (obj, mode) :: rest -> (
+        (* sort on names (stable acquisition order), intern at the boundary *)
         match
-          Lock.acquire fed.global_cc ~owner:gid ~obj ~mode
+          Lock.acquire fed.global_cc ~owner:gid ~obj:(Federation.intern fed obj) ~mode
             ?timeout:fed.global_lock_timeout ()
         with
         | Lock.Granted ->
@@ -69,24 +73,25 @@ type obs = { txn_span : int; obs_protocol : string }
 
 let obs_begin (fed : Federation.t) ~gid ~protocol =
   let txn_span =
-    Tracer.begin_span fed.tracer ~actor:"central" (Span.Txn { gid; protocol })
+    (* guard at the call site too: the [Span] argument is a record built
+       before [begin_span] can decline it *)
+    if Tracer.enabled fed.tracer then
+      Tracer.begin_span fed.tracer ~actor:"central" (Span.Txn { gid; protocol })
+    else -1
   in
   { txn_span; obs_protocol = protocol }
 
 let obs_phase (fed : Federation.t) obs ~gid ?(actor = "central") phase f =
   let start = Sim.now fed.engine in
   let span =
-    Tracer.begin_span fed.tracer ~parent:obs.txn_span ~actor
-      (Span.Phase { gid; phase })
+    if Tracer.enabled fed.tracer then
+      Tracer.begin_span fed.tracer ~parent:obs.txn_span ~actor
+        (Span.Phase { gid; phase })
+    else -1
   in
   let fin () =
     Tracer.end_span fed.tracer span;
-    let h =
-      Registry.histogram fed.registry
-        ~labels:
-          [ ("protocol", obs.obs_protocol); ("phase", Span.phase_name phase) ]
-        "icdb_phase_time"
-    in
+    let h = Federation.phase_histogram fed ~protocol:obs.obs_protocol phase in
     Registry.observe h (Sim.now fed.engine -. start)
   in
   match f span with
@@ -98,7 +103,8 @@ let obs_phase (fed : Federation.t) obs ~gid ?(actor = "central") phase f =
     raise e
 
 let obs_decision (fed : Federation.t) ~gid ~commit =
-  Tracer.instant fed.tracer ~actor:"central" (Span.Decision { gid; commit })
+  if Tracer.enabled fed.tracer then
+    Tracer.instant fed.tracer ~actor:"central" (Span.Decision { gid; commit })
 
 type exec_status = Exec_ok of Db.txn | Exec_failed of Db.abort_reason
 
@@ -107,8 +113,10 @@ let execute_branch (fed : Federation.t) ~gid ?(parent = -1) (b : Global.branch)
   let site = Federation.site fed b.site in
   let db = Site.db site in
   let bspan =
-    Tracer.begin_span fed.tracer ~parent ~actor:b.site
-      (Span.Branch { gid; site = b.site })
+    if Tracer.enabled fed.tracer then
+      Tracer.begin_span fed.tracer ~parent ~actor:b.site
+        (Span.Branch { gid; site = b.site })
+    else -1
   in
   let body () =
     Link.rpc (Site.link site) ~label:"execute" (fun () ->

@@ -1,4 +1,5 @@
 module Db = Icdb_localdb.Engine
+module Symbol = Icdb_util.Symbol
 
 (* Access classification on one key: the strongest kind decides conflicts. *)
 type kind = KRead | KIncr | KWrite
@@ -6,10 +7,15 @@ type kind = KRead | KIncr | KWrite
 type local = {
   gid : int;
   compensation : bool;
-  kinds : (string, kind) Hashtbl.t; (* key -> strongest kind, memoized at record time *)
+  kinds : (Symbol.t * kind) array;
+      (* key -> strongest kind, interned and memoized at record time. The
+         array preserves the enumeration order of the scratch table it is
+         materialized from, which downstream passes replay — edge insertion
+         order feeds cycle reporting, so it must stay stable. *)
 }
 
 type t = {
+  syms : Symbol.table; (* graph-wide interner for record keys *)
   histories : (string, local list ref) Hashtbl.t; (* site -> reversed commit order *)
   outcomes : (int, bool) Hashtbl.t; (* gid -> committed *)
   mutable locals : int;
@@ -30,7 +36,13 @@ let pp_violation fmt = function
     Format.fprintf fmt "dirty access at %s: G%d used data of aborted G%d before compensation"
       site reader aborted_writer
 
-let create () = { histories = Hashtbl.create 16; outcomes = Hashtbl.create 64; locals = 0 }
+let create () =
+  {
+    syms = Symbol.create ~capacity:256 ();
+    histories = Hashtbl.create 16;
+    outcomes = Hashtbl.create 64;
+    locals = 0;
+  }
 
 let internal_key key = String.length key >= 2 && key.[0] = '_' && key.[1] = '_'
 
@@ -85,6 +97,15 @@ let conflict_kinds a b =
 
 let conflict a b = conflict_kinds (kinds_of a) (kinds_of b)
 
+(* Materialize the per-local kinds as an interned array, in exactly the
+   scratch table's enumeration order: every later pass walks this array
+   instead of re-iterating a string table. *)
+let intern_kinds t accesses =
+  let tbl = kinds_of accesses in
+  let items = ref [] in
+  Hashtbl.iter (fun key kind -> items := (Symbol.intern t.syms key, kind) :: !items) tbl;
+  Array.of_list (List.rev !items)
+
 let record_local t ~gid ~site ~compensation accesses =
   let hist =
     match Hashtbl.find_opt t.histories site with
@@ -94,7 +115,7 @@ let record_local t ~gid ~site ~compensation accesses =
       Hashtbl.replace t.histories site h;
       h
   in
-  hist := { gid; compensation; kinds = kinds_of accesses } :: !hist;
+  hist := { gid; compensation; kinds = intern_kinds t accesses } :: !hist;
   t.locals <- t.locals + 1
 
 let record_outcome t ~gid ~committed = Hashtbl.replace t.outcomes gid committed
@@ -111,15 +132,15 @@ let edges t =
   let edges = Hashtbl.create 256 in
   Hashtbl.iter
     (fun _site hist ->
-      let index : (string, int list ref * int list ref * int list ref) Hashtbl.t =
+      let index : (Symbol.t, int list ref * int list ref * int list ref) Hashtbl.t =
         Hashtbl.create 64
       in
       let emit_from g2 g1 = if g1 <> g2 then Hashtbl.replace edges (g1, g2) () in
       List.iter
         (fun l ->
           if committed_of t l.gid && not l.compensation then
-            Hashtbl.iter
-              (fun key kind ->
+            Array.iter
+              (fun (key, kind) ->
                 let reads, incrs, writes =
                   match Hashtbl.find_opt index key with
                   | Some buckets -> buckets
@@ -205,7 +226,7 @@ let dirty_reads t =
         if l.compensation then Hashtbl.replace next_comp l.gid i
       done;
       (* key -> open dirty windows (writer position, gid, kind, window end) *)
-      let open_windows : (string, (int * int * kind * int) list ref) Hashtbl.t =
+      let open_windows : (Symbol.t, (int * int * kind * int) list ref) Hashtbl.t =
         Hashtbl.create 64
       in
       let pairs = Hashtbl.create 16 in
@@ -213,8 +234,8 @@ let dirty_reads t =
         let l = ordered.(p) in
         if not l.compensation then begin
           let committed = committed_of t l.gid in
-          Hashtbl.iter
-            (fun key kind ->
+          Array.iter
+            (fun (key, kind) ->
               match Hashtbl.find_opt open_windows key with
               | None ->
                 if (not committed) && kind <> KRead then

@@ -9,6 +9,7 @@ module Lock = Icdb_lock.Lock_table
 module Mode = Icdb_lock.Mode
 module Rng = Icdb_util.Rng
 module Btree = Icdb_util.Btree
+module Symbol = Icdb_util.Symbol
 
 type abort_reason =
   | Deadlock_victim
@@ -103,11 +104,11 @@ type txn = {
   mutable last_lsn : Log.lsn;
   mutable acc : access list; (* reversed *)
   mutable index_ops : index_op list; (* reversed *)
-  (* optimistic state *)
+  (* optimistic state; keys are interned against the engine's symbol table *)
   start_serial : int;
-  reads : (string, unit) Hashtbl.t;
-  buf : (string, buf_entry) Hashtbl.t;
-  mutable buf_keys : string list; (* first-touch order, reversed *)
+  reads : (Symbol.t, unit) Hashtbl.t;
+  buf : (Symbol.t, buf_entry) Hashtbl.t;
+  mutable buf_keys : Symbol.t list; (* first-touch order, reversed *)
 }
 
 type gc_waiter = { gw_lsn : int; gw_txn : txn; gw_resume : unit Fiber.resumer }
@@ -115,6 +116,14 @@ type gc_waiter = { gw_lsn : int; gw_txn : txn; gw_resume : unit Fiber.resumer }
 type t = {
   engine : Sim.t;
   config : config;
+  (* per-site interner: every lock object and optimistic read/write-set key
+     is a dense int against this table; strings come back only at report
+     and trace boundaries *)
+  syms : Symbol.table;
+  (* page number -> interned "page:N" symbol, so page-granularity sites
+     don't rebuild the string on every access *)
+  page_syms : (int, Symbol.t) Hashtbl.t;
+  page_alloc_sym : Symbol.t;
   rng : Rng.t;
   disk : Disk.t;
   log : Log.t;
@@ -126,12 +135,16 @@ type t = {
   mutable next_txn : int;
   live : (int, txn) Hashtbl.t; (* running and prepared *)
   in_doubt_tbl : (int, Log.lsn) Hashtbl.t;
-  (* optimistic bookkeeping: committed (serial, write-set) history *)
+  (* optimistic bookkeeping: per-key serial of the last committed writer.
+     First-committer-wins only ever compares a read key against the *newest*
+     committed write of that key, so the full (serial, write-set) history the
+     seed kept — and rescanned per commit — collapses into one table probe
+     per read-set key. *)
   mutable commit_serial : int;
-  mutable committed_writes : (int * (string, unit) Hashtbl.t) list;
+  last_writer : (Symbol.t, int) Hashtbl.t;
   mutable commits : int;
   abort_tally : (abort_reason, int) Hashtbl.t;
-  mutable hold_hook : obj:string -> duration:float -> unit;
+  mutable hold_hook : obj:Symbol.t -> duration:float -> unit;
   (* stored so [restart]'s fresh lock table keeps feeding the same listener *)
   mutable lock_observer : Lock.observer_event -> unit;
   mutable state_hook : [ `Crash | `Recovered ] -> unit;
@@ -157,9 +170,9 @@ let checkpoint_impl : (t -> unit) ref = ref (fun _ -> ())
 let name t = t.config.site_name
 let capabilities t = t.config.capabilities
 
-let new_lock_table t_engine hold_hook =
+let new_lock_table t_engine syms hold_hook =
   let locks =
-    Lock.create t_engine ~compatible:Mode.compatible ~combine:Mode.combine
+    Lock.create t_engine ~syms ~compatible:Mode.compatible ~combine:Mode.combine
   in
   Lock.set_hold_time_hook locks (fun ~obj ~duration -> hold_hook ~obj ~duration);
   locks
@@ -176,23 +189,27 @@ let create engine config =
   let pool = Bp.create ~capacity:config.buffer_capacity disk in
   let heap = Heap.create disk pool in
   let hold_hook = ref (fun ~obj:_ ~duration:_ -> ()) in
+  let syms = Symbol.create ~capacity:256 () in
   let t =
     {
       engine;
       config;
+      syms;
+      page_syms = Hashtbl.create 16;
+      page_alloc_sym = Symbol.intern syms "page:alloc";
       rng = Rng.create config.seed;
       disk;
       log = Log.create ();
       pool;
       heap;
-      locks = new_lock_table engine (fun ~obj ~duration -> !hold_hook ~obj ~duration);
+      locks = new_lock_table engine syms (fun ~obj ~duration -> !hold_hook ~obj ~duration);
       index = Btree.create ();
       up = true;
       next_txn = 0;
       live = Hashtbl.create 64;
       in_doubt_tbl = Hashtbl.create 8;
       commit_serial = 0;
-      committed_writes = [];
+      last_writer = Hashtbl.create 64;
       commits = 0;
       abort_tally = Hashtbl.create 8;
       hold_hook = (fun ~obj:_ ~duration:_ -> ());
@@ -345,18 +362,26 @@ let consume t txn d =
    delay of their own. *)
 let op_cost t key = if internal_key key then 0.0 else t.config.op_delay
 
+let page_sym t page =
+  match Hashtbl.find_opt t.page_syms page with
+  | Some s -> s
+  | None ->
+    let s = Symbol.intern t.syms ("page:" ^ string_of_int page) in
+    Hashtbl.replace t.page_syms page s;
+    s
+
 (* Maps a key access to the lock object and mode the site's granularity
    dictates. Page-level sites have no record or increment locks: everything
    but a read takes an exclusive page lock. *)
 let lock_target t key mode =
   match t.config.capabilities.granularity with
-  | Record_level -> (key, mode)
-  | Page_level when internal_key key -> (key, mode)
+  | Record_level -> (Symbol.intern t.syms key, mode)
+  | Page_level when internal_key key -> (Symbol.intern t.syms key, mode)
   | Page_level ->
     let obj =
       match Btree.find t.index key with
-      | Some (rid : Icdb_storage.Heap.rid) -> "page:" ^ string_of_int rid.page
-      | None -> "page:alloc"
+      | Some (rid : Icdb_storage.Heap.rid) -> page_sym t rid.page
+      | None -> t.page_alloc_sym
     in
     let mode =
       match mode with
@@ -395,15 +420,17 @@ let buf_note txn key entry =
   if not (Hashtbl.mem txn.buf key) then txn.buf_keys <- key :: txn.buf_keys;
   Hashtbl.replace txn.buf key entry
 
-let occ_visible t txn key =
-  match Hashtbl.find_opt txn.buf key with
+(* [key] is the raw string (for the heap/index lookup), [sym] its interned
+   id — callers intern once per operation. *)
+let occ_visible t txn ~key ~sym =
+  match Hashtbl.find_opt txn.buf sym with
   | Some (Put v) -> Some v
   | Some Del -> None
   | Some (Add d) -> (
-    Hashtbl.replace txn.reads key ();
+    Hashtbl.replace txn.reads sym ();
     match heap_value t key with Some v -> Some (v + d) | None -> Some d)
   | None ->
-    Hashtbl.replace txn.reads key ();
+    Hashtbl.replace txn.reads sym ();
     heap_value t key
 
 (* --- public operations -------------------------------------------------- *)
@@ -417,7 +444,7 @@ let read t txn key =
       let value =
         match t.config.capabilities.cc with
         | Locking _ -> heap_value t key
-        | Optimistic -> occ_visible t txn key
+        | Optimistic -> occ_visible t txn ~key ~sym:(Symbol.intern t.syms key)
       in
       note txn (Read { key; value });
       value)
@@ -439,10 +466,11 @@ let write t txn ~key ~value =
         | Optimistic ->
           (* A blind write must stay blind: looking up the before-image for
              the access record must not enlarge the validation read set. *)
-          let was_read = Hashtbl.mem txn.reads key in
-          let before = occ_visible t txn key in
-          if not was_read then Hashtbl.remove txn.reads key;
-          buf_note txn key (Put value);
+          let sym = Symbol.intern t.syms key in
+          let was_read = Hashtbl.mem txn.reads sym in
+          let before = occ_visible t txn ~key ~sym in
+          if not was_read then Hashtbl.remove txn.reads sym;
+          buf_note txn sym (Put value);
           before
       in
       note txn (Wrote { key; before; after = Some value }))
@@ -462,10 +490,11 @@ let delete t txn key =
           note txn (Wrote { key; before = Some value; after = None })
         | None -> note txn (Wrote { key; before = None; after = None }))
       | Optimistic ->
-        let was_read = Hashtbl.mem txn.reads key in
-        let before = occ_visible t txn key in
-        if not was_read then Hashtbl.remove txn.reads key;
-        buf_note txn key Del;
+        let sym = Symbol.intern t.syms key in
+        let was_read = Hashtbl.mem txn.reads sym in
+        let before = occ_visible t txn ~key ~sym in
+        if not was_read then Hashtbl.remove txn.reads sym;
+        buf_note txn sym Del;
         note txn (Wrote { key; before; after = None })))
 
 let increment t txn ~key ~delta =
@@ -485,32 +514,39 @@ let increment t txn ~key ~delta =
         | Some rid -> do_incr t txn rid ~key ~delta
         | None -> invalid_arg "Engine.increment: unknown key")
       | Optimistic ->
+        let sym = Symbol.intern t.syms key in
         let entry =
-          match Hashtbl.find_opt txn.buf key with
+          match Hashtbl.find_opt txn.buf sym with
           | Some (Add d) -> Add (d + delta)
           | Some (Put v) -> Put (v + delta)
           | Some Del -> Put delta
           | None -> Add delta
         in
-        buf_note txn key entry);
+        buf_note txn sym entry);
       note txn (Incremented { key; delta }))
 
 (* Backward validation: fail if any transaction that committed after we
-   started wrote something we read. *)
+   started wrote something we read. Only the newest committed write of each
+   key matters (an older one implies a newer-or-equal serial in the table),
+   so this is one probe per read-set key instead of a scan over the
+   committed-write history. *)
 let occ_validate t txn =
-  List.for_all
-    (fun (serial, wset) ->
-      serial <= txn.start_serial
-      || not (Hashtbl.fold (fun k () hit -> hit || Hashtbl.mem wset k) txn.reads false))
-    t.committed_writes
+  not
+    (Hashtbl.fold
+       (fun k () hit ->
+         hit
+         ||
+         match Hashtbl.find_opt t.last_writer k with
+         | Some serial -> serial > txn.start_serial
+         | None -> false)
+       txn.reads false)
 
 let occ_apply t txn =
   ignore (Log.append t.log (Begin txn.id));
-  let wset = Hashtbl.create 8 in
   List.iter
-    (fun key ->
-      Hashtbl.replace wset key ();
-      match Hashtbl.find txn.buf key with
+    (fun sym ->
+      let key = Symbol.name t.syms sym in
+      match Hashtbl.find txn.buf sym with
       | Put value -> (
         match Btree.find t.index key with
         | Some rid ->
@@ -529,13 +565,7 @@ let occ_apply t txn =
         | None -> do_insert t txn ~key ~value:delta))
     (List.rev txn.buf_keys);
   t.commit_serial <- t.commit_serial + 1;
-  t.committed_writes <- (t.commit_serial, wset) :: t.committed_writes;
-  (* Prune validation history nobody can conflict with anymore. *)
-  let min_start =
-    Hashtbl.fold (fun _ live acc -> min live.start_serial acc) t.live t.commit_serial
-  in
-  t.committed_writes <-
-    List.filter (fun (serial, _) -> serial > min_start) t.committed_writes
+  List.iter (fun sym -> Hashtbl.replace t.last_writer sym t.commit_serial) txn.buf_keys
 
 (* Make the transaction's commit record durable. With group commit the
    caller blocks until the batch's single force; a crash inside the window
@@ -681,7 +711,7 @@ let crash t =
       t.live;
     Hashtbl.reset t.live;
     Hashtbl.reset t.in_doubt_tbl;
-    t.committed_writes <- [];
+    Hashtbl.reset t.last_writer;
     Lock.reset t.locks
   end
 
@@ -704,7 +734,7 @@ let restart t =
   t.heap <- Heap.recover t.disk t.pool;
   let outcome = Recovery.restart t.log t.pool in
   rebuild_index t;
-  t.locks <- new_lock_table t.engine (fun ~obj ~duration -> t.hold_hook ~obj ~duration);
+  t.locks <- new_lock_table t.engine t.syms (fun ~obj ~duration -> t.hold_hook ~obj ~duration);
   Lock.set_observer t.locks (fun e -> t.lock_observer e);
   List.iter
     (fun (txn_id, last) ->
@@ -767,6 +797,7 @@ let abort_counts t =
   |> List.sort compare
 
 let wal t = t.log
+let symbols t = t.syms
 let flush_buffers t = Bp.flush_all t.pool
 let set_hold_time_hook t f = t.hold_hook <- f
 let set_lock_observer t f = t.lock_observer <- f

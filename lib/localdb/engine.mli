@@ -227,9 +227,16 @@ val flush_buffers : t -> unit
     [Invalid_argument] while the site is down. *)
 val checkpoint : t -> unit
 
+(** The site's symbol table: lock objects and optimistic read/write-set keys
+    are interned against it; observers resolve symbols carried by lock
+    events back to names with {!Icdb_util.Symbol.name}. *)
+val symbols : t -> Icdb_util.Symbol.table
+
 (** [set_hold_time_hook t f] forwards to the lock table: [f] observes every
-    lock-release with its hold duration. *)
-val set_hold_time_hook : t -> (obj:string -> duration:float -> unit) -> unit
+    lock-release with its hold duration. [obj] is the interned lock
+    object. *)
+val set_hold_time_hook :
+  t -> (obj:Icdb_util.Symbol.t -> duration:float -> unit) -> unit
 
 (** [set_lock_observer t f] forwards lock-lifecycle events to [f]. The
     listener survives {!crash}/{!restart} even though the lock table itself

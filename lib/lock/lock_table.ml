@@ -1,20 +1,28 @@
 module Engine = Icdb_sim.Engine
 module Fiber = Icdb_sim.Fiber
+module Symbol = Icdb_util.Symbol
 
 type outcome = Granted | Timeout | Deadlock
 
 exception Lock_revoked
 
+(* Objects are interned symbols: callers intern once (typically at workload
+   generation or at the operation boundary) and every structure below is
+   int-keyed — the dense-id [entries] array makes the per-acquire lookup an
+   array index instead of a string hash. Observer events carry the symbol;
+   listeners resolve it to a string only when they actually materialize a
+   label (e.g. with tracing on). *)
+
 type observer_event =
-  | Wait_started of { owner : int; obj : string }
+  | Wait_started of { owner : int; obj : Symbol.t }
   | Wait_ended of {
       owner : int;
-      obj : string;
+      obj : Symbol.t;
       outcome : [ `Granted | `Timeout | `Deadlock | `Cancelled ];
       waited : float;
     }
-  | Acquired of { owner : int; obj : string }
-  | Released of { owner : int; obj : string; held : float }
+  | Acquired of { owner : int; obj : Symbol.t }
+  | Released of { owner : int; obj : Symbol.t; held : float }
 
 type 'mode holder = { h_owner : int; mutable h_mode : 'mode; mutable acquired_at : float }
 
@@ -31,14 +39,25 @@ type 'mode entry = { mutable holders : 'mode holder list; waiters : 'mode waiter
 
 type 'mode t = {
   engine : Engine.t;
+  syms : Symbol.table;
   compatible : 'mode -> 'mode -> bool;
   combine : 'mode -> 'mode -> 'mode;
-  entries : (string, 'mode entry) Hashtbl.t;
-  (* owner -> set of objects held, for O(held) release_all *)
-  owned : (int, (string, unit) Hashtbl.t) Hashtbl.t;
+  (* dense symbol id -> entry; symbols come from one per-federation (or
+     per-site) table, so the array stays compact *)
+  mutable entries : 'mode entry option array;
+  (* owner -> objects held. The inner table is keyed by the object's
+     *string* name (mapping to its symbol) on purpose: release order during
+     [release_all] is this table's iteration order, which feeds fiber
+     wake-ups — keeping the seed's string-keyed layout keeps simulation
+     schedules, and therefore reports, byte-identical. *)
+  owned : (int, (string, Symbol.t) Hashtbl.t) Hashtbl.t;
   (* owner -> the single wait it is currently blocked in *)
-  waiting_on : (int, string * 'mode waiter) Hashtbl.t;
-  mutable hold_time_hook : obj:string -> duration:float -> unit;
+  waiting_on : (int, Symbol.t * 'mode waiter) Hashtbl.t;
+  (* scratch visited-set for [would_deadlock], generation-stamped so checks
+     reuse it without a per-check allocation or clear *)
+  dd_visited : (int, int) Hashtbl.t;
+  mutable dd_gen : int;
+  mutable hold_time_hook : obj:Symbol.t -> duration:float -> unit;
   mutable observer : observer_event -> unit;
   mutable acquisitions : int;
   mutable waits : int;
@@ -46,14 +65,17 @@ type 'mode t = {
   mutable timeouts : int;
 }
 
-let create engine ~compatible ~combine =
+let create engine ~syms ~compatible ~combine =
   {
     engine;
+    syms;
     compatible;
     combine;
-    entries = Hashtbl.create 256;
+    entries = Array.make 256 None;
     owned = Hashtbl.create 64;
     waiting_on = Hashtbl.create 64;
+    dd_visited = Hashtbl.create 64;
+    dd_gen = 0;
     hold_time_hook = (fun ~obj:_ ~duration:_ -> ());
     observer = (fun _ -> ());
     acquisitions = 0;
@@ -62,12 +84,27 @@ let create engine ~compatible ~combine =
     timeouts = 0;
   }
 
+let symbols t = t.syms
+let intern t s = Symbol.intern t.syms s
+let obj_name t obj = Symbol.name t.syms obj
+
+let entry_slot t obj =
+  if obj >= Array.length t.entries then begin
+    let n = Array.length t.entries in
+    let bigger = Array.make (max (2 * n) (obj + 1)) None in
+    Array.blit t.entries 0 bigger 0 n;
+    t.entries <- bigger
+  end;
+  t.entries.(obj)
+
+let find_entry t obj = if obj < Array.length t.entries then t.entries.(obj) else None
+
 let entry_of t obj =
-  match Hashtbl.find_opt t.entries obj with
+  match entry_slot t obj with
   | Some e -> e
   | None ->
     let e = { holders = []; waiters = Queue.create () } in
-    Hashtbl.replace t.entries obj e;
+    t.entries.(obj) <- Some e;
     e
 
 let find_holder entry owner = List.find_opt (fun h -> h.h_owner = owner) entry.holders
@@ -81,7 +118,7 @@ let note_owned t owner obj =
       Hashtbl.replace t.owned owner objs;
       objs
   in
-  Hashtbl.replace objs obj ()
+  Hashtbl.replace objs (obj_name t obj) obj
 
 let active_waiters entry =
   Queue.fold (fun acc w -> if w.w_active then w :: acc else acc) [] entry.waiters
@@ -143,7 +180,7 @@ let grant_pass t obj entry =
       end
       else continue := false
   done;
-  if entry.holders = [] && Queue.is_empty entry.waiters then Hashtbl.remove t.entries obj
+  if entry.holders = [] && Queue.is_empty entry.waiters then t.entries.(obj) <- None
 
 (* Waits-for edges of a blocked owner: the holders of the object it waits
    on, plus active waiters queued ahead of it (they will be granted first). *)
@@ -151,7 +188,7 @@ let blockers t owner =
   match Hashtbl.find_opt t.waiting_on owner with
   | None -> []
   | Some (obj, w) -> (
-    match Hashtbl.find_opt t.entries obj with
+    match find_entry t obj with
     | None -> []
     | Some entry ->
       let from_holders =
@@ -169,7 +206,9 @@ let blockers t owner =
        with Exit -> ());
       from_holders @ List.rev !ahead)
 
-(* Would blocking [owner] on [entry] close a waits-for cycle back to it? *)
+(* Would blocking [owner] on [entry] close a waits-for cycle back to it?
+   The visited-set is the table's generation-stamped scratch table, so the
+   check allocates nothing beyond the transient blocker lists. *)
 let would_deadlock t entry ~owner ~upgrade =
   let initial =
     let from_holders =
@@ -184,12 +223,13 @@ let would_deadlock t entry ~owner ~upgrade =
           (fun w -> if w.w_owner <> owner then Some w.w_owner else None)
           (active_waiters entry)
   in
-  let visited = Hashtbl.create 16 in
+  t.dd_gen <- t.dd_gen + 1;
+  let gen = t.dd_gen in
   let rec reaches_owner node =
     if node = owner then true
-    else if Hashtbl.mem visited node then false
+    else if Hashtbl.find_opt t.dd_visited node = Some gen then false
     else begin
-      Hashtbl.replace visited node ();
+      Hashtbl.replace t.dd_visited node gen;
       List.exists reaches_owner (blockers t node)
     end
   in
@@ -258,7 +298,7 @@ let try_acquire t ~owner ~obj ~mode =
     true
   end
   else begin
-    if entry.holders = [] && Queue.is_empty entry.waiters then Hashtbl.remove t.entries obj;
+    if entry.holders = [] && Queue.is_empty entry.waiters then t.entries.(obj) <- None;
     false
   end
 
@@ -272,12 +312,12 @@ let drop_holder t obj entry owner =
     t.observer (Released { owner; obj; held })
 
 let release t ~owner ~obj =
-  match Hashtbl.find_opt t.entries obj with
+  match find_entry t obj with
   | None -> ()
   | Some entry ->
     drop_holder t obj entry owner;
     (match Hashtbl.find_opt t.owned owner with
-    | Some objs -> Hashtbl.remove objs obj
+    | Some objs -> Hashtbl.remove objs (obj_name t obj)
     | None -> ());
     grant_pass t obj entry
 
@@ -292,7 +332,7 @@ let cancel_wait t owner =
          { owner; obj; outcome = `Cancelled;
            waited = Engine.now t.engine -. w.w_since });
     w.w_resume (Error Lock_revoked);
-    (match Hashtbl.find_opt t.entries obj with
+    (match find_entry t obj with
     | Some entry -> grant_pass t obj entry
     | None -> ())
 
@@ -303,8 +343,8 @@ let release_all t ~owner =
   | Some objs ->
     Hashtbl.remove t.owned owner;
     Hashtbl.iter
-      (fun obj () ->
-        match Hashtbl.find_opt t.entries obj with
+      (fun _name obj ->
+        match find_entry t obj with
         | None -> ()
         | Some entry ->
           drop_holder t obj entry owner;
@@ -315,7 +355,7 @@ let reset t =
   let pending =
     Hashtbl.fold (fun _ (_, w) acc -> w :: acc) t.waiting_on []
   in
-  Hashtbl.reset t.entries;
+  Array.fill t.entries 0 (Array.length t.entries) None;
   Hashtbl.reset t.owned;
   Hashtbl.reset t.waiting_on;
   List.iter
@@ -331,18 +371,18 @@ let held t ~owner =
   | None -> []
   | Some objs ->
     Hashtbl.fold
-      (fun obj () acc ->
-        match Hashtbl.find_opt t.entries obj with
+      (fun name obj acc ->
+        match find_entry t obj with
         | None -> acc
         | Some entry -> (
           match find_holder entry owner with
-          | Some h -> (obj, h.h_mode) :: acc
+          | Some h -> (name, h.h_mode) :: acc
           | None -> acc))
       objs []
     |> List.sort compare
 
 let holders t ~obj =
-  match Hashtbl.find_opt t.entries obj with
+  match find_entry t obj with
   | None -> []
   | Some entry ->
     List.map (fun h -> (h.h_owner, h.h_mode)) entry.holders |> List.sort compare

@@ -6,6 +6,12 @@
     commutativity relation of the paper's section 4.1. Compatibility and
     combination are supplied as plain functions at {!create} time.
 
+    Lock objects are interned {!Icdb_util.Symbol.t} ids against the table's
+    symbol table (supplied at {!create} time and usually shared with the
+    owning site or federation): the hot acquire/release path indexes a dense
+    array instead of hashing strings, and object names are only resolved
+    back to strings at report/trace boundaries via {!obj_name}.
+
     Semantics:
     - requests are granted immediately when compatible with all holders and
       no earlier waiter is queued (FIFO fairness);
@@ -17,33 +23,46 @@
     - an optional timeout turns a long wait into [`Timeout] — the paper's
       "aborted by the local transaction manager, e.g. because of time out". *)
 
+module Symbol = Icdb_util.Symbol
+
 type 'mode t
 
 type outcome = Granted | Timeout | Deadlock
 
-(** [create engine ~compatible ~combine] builds an empty table. [combine]
-    must return a mode at least as strong as both arguments; [compatible]
-    need not be reflexive (X is incompatible with X). *)
+(** [create engine ~syms ~compatible ~combine] builds an empty table whose
+    objects are symbols of [syms]. [combine] must return a mode at least as
+    strong as both arguments; [compatible] need not be reflexive (X is
+    incompatible with X). *)
 val create :
   Icdb_sim.Engine.t ->
+  syms:Symbol.table ->
   compatible:('mode -> 'mode -> bool) ->
   combine:('mode -> 'mode -> 'mode) ->
   'mode t
 
+(** The symbol table supplied at creation. *)
+val symbols : 'mode t -> Symbol.table
+
+(** [intern t s] interns an object name against the table's symbols. *)
+val intern : 'mode t -> string -> Symbol.t
+
+(** [obj_name t obj] resolves a lock object back to its name. *)
+val obj_name : 'mode t -> Symbol.t -> string
+
 (** [acquire t ~owner ~obj ~mode ?timeout ()] blocks the calling fiber until
     the lock is granted, the optional virtual-time [timeout] expires, or a
     deadlock is detected. Owners are small integers (transaction ids);
-    objects are strings. *)
+    objects are interned symbols. *)
 val acquire :
-  'mode t -> owner:int -> obj:string -> mode:'mode -> ?timeout:float -> unit -> outcome
+  'mode t -> owner:int -> obj:Symbol.t -> mode:'mode -> ?timeout:float -> unit -> outcome
 
 (** [try_acquire t ~owner ~obj ~mode] grants without ever blocking; [false]
     when the lock would have to wait. *)
-val try_acquire : 'mode t -> owner:int -> obj:string -> mode:'mode -> bool
+val try_acquire : 'mode t -> owner:int -> obj:Symbol.t -> mode:'mode -> bool
 
 (** [release t ~owner ~obj] drops one owner's lock on [obj] (no-op if not
     held) and wakes newly grantable waiters. *)
-val release : 'mode t -> owner:int -> obj:string -> unit
+val release : 'mode t -> owner:int -> obj:Symbol.t -> unit
 
 (** [release_all t ~owner] drops everything the owner holds — the unlock
     phase of strict two-phase locking. Also cancels any wait the owner still
@@ -60,30 +79,32 @@ exception Lock_revoked
     volatile lock table in a crash. *)
 val reset : 'mode t -> unit
 
-(** [held t ~owner] lists [(obj, mode)] currently held. *)
+(** [held t ~owner] lists [(name, mode)] currently held, sorted by name. *)
 val held : 'mode t -> owner:int -> (string * 'mode) list
 
 (** [holders t ~obj] lists [(owner, mode)] granted on [obj]. *)
-val holders : 'mode t -> obj:string -> (int * 'mode) list
+val holders : 'mode t -> obj:Symbol.t -> (int * 'mode) list
 
 (** [set_hold_time_hook t f] installs [f ~obj ~duration], invoked whenever a
     lock is released, with the virtual time it was held — the V1 experiment's
     raw data. *)
-val set_hold_time_hook : 'mode t -> (obj:string -> duration:float -> unit) -> unit
+val set_hold_time_hook : 'mode t -> (obj:Symbol.t -> duration:float -> unit) -> unit
 
 (** Fine-grained lock-lifecycle events for the observability layer. A wait
     that is denied by deadlock detection still emits the [Wait_started] /
-    [Wait_ended] pair (with [waited = 0.]) so every start has an end. *)
+    [Wait_ended] pair (with [waited = 0.]) so every start has an end.
+    Events carry the interned object; listeners resolve it with {!obj_name}
+    only when they materialize a label. *)
 type observer_event =
-  | Wait_started of { owner : int; obj : string }
+  | Wait_started of { owner : int; obj : Symbol.t }
   | Wait_ended of {
       owner : int;
-      obj : string;
+      obj : Symbol.t;
       outcome : [ `Granted | `Timeout | `Deadlock | `Cancelled ];
       waited : float;
     }
-  | Acquired of { owner : int; obj : string }
-  | Released of { owner : int; obj : string; held : float }
+  | Acquired of { owner : int; obj : Symbol.t }
+  | Released of { owner : int; obj : Symbol.t; held : float }
 
 (** [set_observer t f] installs a lock-event listener. Default: no-op;
     installing replaces the previous listener. *)

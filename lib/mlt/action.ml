@@ -7,12 +7,13 @@ type t = {
   clazz : Conflict.clazz;
   program : Program.t;
   inverse : Program.t;
+  l1_obj : string; (* site ^ "/" ^ target, built once at construction *)
 }
 
 let make ~name ~site ~target ~clazz ~program ~inverse =
-  { name; site; target; clazz; program; inverse }
+  { name; site; target; clazz; program; inverse; l1_obj = site ^ "/" ^ target }
 
-let l1_object t = t.site ^ "/" ^ t.target
+let l1_object t = t.l1_obj
 
 let pp fmt t = Format.fprintf fmt "%s@%s[%s:%s]" t.name t.site t.target t.clazz
 

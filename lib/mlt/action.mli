@@ -18,6 +18,9 @@ type t = {
   clazz : Conflict.clazz;
   program : Icdb_localdb.Program.t;
   inverse : Icdb_localdb.Program.t;
+  l1_obj : string;
+      (** [site ^ "/" ^ target], built once by {!make} so the L1 lock path
+          never rebuilds it per acquisition *)
 }
 
 val make :

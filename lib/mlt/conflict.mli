@@ -18,6 +18,13 @@ val of_commuting_pairs : (clazz * clazz) list -> t
 (** [commute t c1 c2]. Unknown classes commute with nothing. *)
 val commute : t -> clazz -> clazz -> bool
 
+(** [memoized t] is [t] with a private memo: commutativity and combination
+    answers are cached under the packed pair of interned class ids, so the
+    L1 lock manager's hot compatibility checks skip the '+'-class splitting
+    after first sight. The memo is per-instance (the federation takes one),
+    keeping the shared module-level relations immutable and Domain-safe. *)
+val memoized : t -> t
+
 (** The relation for read/write/increment actions:
     - [read] commutes with [read];
     - [increment] commutes with [increment] (and [decrement], its alias);

@@ -10,6 +10,16 @@ let phase_name = function
 
 let all_phases = [ Execute; Vote; Decide; Local_commit; Redo; Compensate ]
 
+let num_phases = 6
+
+let phase_index = function
+  | Execute -> 0
+  | Vote -> 1
+  | Decide -> 2
+  | Local_commit -> 3
+  | Redo -> 4
+  | Compensate -> 5
+
 type direction = Send | Recv | Drop
 
 let direction_name = function Send -> "send" | Recv -> "recv" | Drop -> "drop"

@@ -16,6 +16,12 @@ val phase_name : phase -> string
 (** Canonical report order. *)
 val all_phases : phase list
 
+(** Dense index of a phase in {!all_phases} — lets hot consumers keep
+    pre-resolved per-phase handles in a plain array. *)
+val phase_index : phase -> int
+
+val num_phases : int
+
 type direction = Send | Recv | Drop
 
 val direction_name : direction -> string

@@ -69,12 +69,36 @@ let push t ev =
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
+(* Keep the backing array within 4x of the live size so a burst of
+   scheduling (e.g. a retry storm) does not pin memory for the rest of
+   the run. 64 matches the initial capacity. *)
+let maybe_shrink t =
+  let cap = Array.length t.heap in
+  if cap > 64 && t.size < cap / 4 then begin
+    let smaller = Array.make (max 64 (cap / 2)) dummy in
+    Array.blit t.heap 0 smaller 0 t.size;
+    t.heap <- smaller
+  end
+
 let pop t =
   let ev = t.heap.(0) in
-  t.size <- t.size - 1;
-  t.heap.(0) <- t.heap.(t.size);
-  t.heap.(t.size) <- dummy;
-  if t.size > 0 then sift_down t 0;
+  (* Refill the root from the tail. Cancelled tail events are dead weight:
+     drop them here instead of sifting them to the root one pop at a time.
+     Sound because (time, seq) is a strict total order, so the heap shape
+     never affects which live event is the minimum. *)
+  let rec refill () =
+    t.size <- t.size - 1;
+    let last = t.heap.(t.size) in
+    t.heap.(t.size) <- dummy;
+    if t.size > 0 then
+      if last.cancelled then refill ()
+      else begin
+        t.heap.(0) <- last;
+        sift_down t 0
+      end
+  in
+  refill ();
+  maybe_shrink t;
   ev
 
 let schedule t ~delay thunk =

@@ -114,6 +114,8 @@ type spec = Flat of Global.spec | Mlt of Global.mlt_spec
    the property the equivalence test checks. *)
 let gen_specs cfg =
   let rng = Rng.create cfg.seed in
+  let sites_arr = Array.init cfg.n_sites site_name in
+  let accts_arr = Array.init cfg.accounts_per_site account_name in
   let zipf = Zipf.create ~n:cfg.accounts_per_site ~theta:cfg.zipf_theta in
   let branches_n = min cfg.branches_per_txn cfg.n_sites in
   let n_ops = branches_n * cfg.ops_per_branch in
@@ -129,8 +131,8 @@ let gen_specs cfg =
             (List.mapi
                (fun bi site_idx ->
                  List.init cfg.ops_per_branch (fun oi ->
-                     let site = site_name site_idx in
-                     let account = account_name (Zipf.sample zipf rng) in
+                     let site = sites_arr.(site_idx) in
+                     let account = accts_arr.(Zipf.sample zipf rng) in
                      let delta = deltas.((bi * cfg.ops_per_branch) + oi) in
                      if delta >= 0 then Action.deposit ~site ~account delta
                      else Action.withdraw ~site ~account (-delta)))
@@ -149,12 +151,12 @@ let gen_specs cfg =
             (fun bi site_idx ->
               let program =
                 List.init cfg.ops_per_branch (fun oi ->
-                    let account = account_name (Zipf.sample zipf rng) in
+                    let account = accts_arr.(Zipf.sample zipf rng) in
                     Program.Increment (account, deltas.((bi * cfg.ops_per_branch) + oi)))
               in
               Global.branch
                 ~vote_commit:(abort_branch <> Some bi)
-                ~site:(site_name site_idx) program)
+                ~site:sites_arr.(site_idx) program)
             sites
         in
         Flat { Global.gid; branches })

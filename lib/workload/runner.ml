@@ -177,7 +177,18 @@ let balanced_deltas rng ~n =
   deltas.(n - 1) <- deltas.(n - 1) - total;
   deltas
 
-let flat_spec cfg fed rng zipf =
+(* Site and account name strings are formatted once per run and indexed
+   thereafter: the generators run per transaction, and formatting every
+   object name was one of the top per-transaction allocators. *)
+type names = { ns_sites : string array; ns_accounts : string array }
+
+let make_names cfg =
+  {
+    ns_sites = Array.init cfg.n_sites site_name;
+    ns_accounts = Array.init cfg.accounts_per_site account_name;
+  }
+
+let flat_spec cfg names fed rng zipf =
   let gid = Federation.fresh_gid fed in
   let branches_n = min cfg.branches_per_txn cfg.n_sites in
   let sites = Rng.sample_distinct rng ~n:branches_n ~bound:cfg.n_sites in
@@ -191,19 +202,19 @@ let flat_spec cfg fed rng zipf =
       (fun bi site_idx ->
         let program =
           List.init cfg.ops_per_branch (fun oi ->
-              let account = account_name (Zipf.sample zipf rng) in
+              let account = names.ns_accounts.(Zipf.sample zipf rng) in
               if cfg.use_increments then
                 Program.Increment (account, deltas.((bi * cfg.ops_per_branch) + oi))
               else if Rng.bernoulli rng cfg.read_fraction then Program.Read account
               else Program.Write (account, Rng.int rng 10_000))
         in
-        Global.branch ~vote_commit:(abort_branch <> Some bi) ~site:(site_name site_idx)
+        Global.branch ~vote_commit:(abort_branch <> Some bi) ~site:names.ns_sites.(site_idx)
           program)
       sites
   in
   { Global.gid; branches }
 
-let mlt_spec cfg fed rng zipf =
+let mlt_spec cfg names fed rng zipf =
   let gid = Federation.fresh_gid fed in
   let branches_n = min cfg.branches_per_txn cfg.n_sites in
   let sites = Rng.sample_distinct rng ~n:branches_n ~bound:cfg.n_sites in
@@ -214,8 +225,8 @@ let mlt_spec cfg fed rng zipf =
       (List.mapi
          (fun bi site_idx ->
            List.init cfg.ops_per_branch (fun oi ->
-               let site = site_name site_idx in
-               let account = account_name (Zipf.sample zipf rng) in
+               let site = names.ns_sites.(site_idx) in
+               let account = names.ns_accounts.(Zipf.sample zipf rng) in
                if cfg.use_increments then begin
                  let delta = deltas.((bi * cfg.ops_per_branch) + oi) in
                  if delta >= 0 then Action.deposit ~site ~account delta
@@ -278,6 +289,7 @@ let run ?registry ?tracer cfg =
   let rows = List.init cfg.accounts_per_site (fun i -> (account_name i, cfg.initial_balance)) in
   List.iter (fun (_, site) -> Db.load (Site.db site) rows) fed.sites;
   let money_before = cfg.n_sites * cfg.accounts_per_site * cfg.initial_balance in
+  let names = make_names cfg in
   let master_rng = Rng.create cfg.seed in
   let zipf = Zipf.create ~n:cfg.accounts_per_site ~theta:cfg.zipf_theta in
   let issued = ref 0 in
@@ -307,8 +319,8 @@ let run ?registry ?tracer cfg =
         | Protocol.Before_mlt ->
           ignore
             (Icdb_core.Commit_before_mlt.run ~action_retries:cfg.mlt_action_retries fed
-               (mlt_spec cfg fed rng zipf))
-        | flat -> ignore (Protocol.run_flat flat fed (flat_spec cfg fed rng zipf)));
+               (mlt_spec cfg names fed rng zipf))
+        | flat -> ignore (Protocol.run_flat flat fed (flat_spec cfg names fed rng zipf)));
         loop ()
       end
     in

@@ -797,6 +797,125 @@ let prop_abort_atomicity =
       List.for_all (fun (k, v) -> Db.committed_value db k = Some v) initial
       && List.length (Db.committed_keys db) = 3)
 
+(* Oracle equivalence for the interned OCC fast path: the engine now keeps
+   one last-committer serial per key, the seed kept the full committed-write
+   history and scanned it. This property replays random interleaved
+   transactions against an oracle implementing the *seed* algorithm
+   (history list + scan) plus a committed-state model, and demands identical
+   commit/abort outcomes, read results and final state. *)
+let prop_occ_oracle =
+  QCheck2.Test.make ~name:"occ validation matches history-scan oracle" ~count:150
+    QCheck2.Gen.(
+      list_size (int_range 1 60)
+        (tup4 (int_range 0 3) (int_range 0 5) (int_range 0 4) (int_range (-5) 5)))
+    (fun ops ->
+      let eng = Sim.create () in
+      let db = Db.create eng (occ_config "o") in
+      let n_slots = 4 and n_keys = 5 in
+      let key_of i = Printf.sprintf "k%d" i in
+      (* oracle state *)
+      let serial = ref 0 in
+      let history = ref [] (* (serial, write-set) — newest first *) in
+      let state : (string, int) Hashtbl.t = Hashtbl.create 8 in
+      let module M = struct
+        type kind = Put of int | Del | Add of int
+
+        type slot = {
+          mutable txn : Db.txn;
+          mutable start : int;
+          mutable reads : string list;
+          buf : (string, kind) Hashtbl.t;
+        }
+      end in
+      let open M in
+      let good = ref true in
+      let check what cond = if not cond then (ignore what; good := false) in
+      Fiber.spawn eng (fun () ->
+          let fresh_slot () =
+            { txn = Db.begin_txn db; start = !serial; reads = []; buf = Hashtbl.create 8 }
+          in
+          let slots = Array.init n_slots (fun _ -> fresh_slot ()) in
+          let reopen s =
+            s.txn <- Db.begin_txn db;
+            s.start <- !serial;
+            s.reads <- [];
+            Hashtbl.reset s.buf
+          in
+          let note_read s k = if not (List.mem k s.reads) then s.reads <- k :: s.reads in
+          let model_read s k =
+            match Hashtbl.find_opt s.buf k with
+            | Some (Put v) -> Some v
+            | Some Del -> None
+            | Some (Add d) -> (
+              note_read s k;
+              match Hashtbl.find_opt state k with Some v -> Some (v + d) | None -> Some d)
+            | None ->
+              note_read s k;
+              Hashtbl.find_opt state k
+          in
+          List.iter
+            (fun (slot_i, action, key_i, v) ->
+              let s = slots.(slot_i) in
+              let k = key_of key_i in
+              match action with
+              | 0 ->
+                let got = ok (Db.read db s.txn k) in
+                check "read value" (got = model_read s k)
+              | 1 ->
+                ok (Db.write db s.txn ~key:k ~value:v);
+                Hashtbl.replace s.buf k (Put v)
+              | 2 ->
+                ok (Db.delete db s.txn k);
+                Hashtbl.replace s.buf k Del
+              | 3 ->
+                ok (Db.increment db s.txn ~key:k ~delta:v);
+                let entry =
+                  match Hashtbl.find_opt s.buf k with
+                  | Some (Add d) -> Add (d + v)
+                  | Some (Put w) -> Put (w + v)
+                  | Some Del -> Put v
+                  | None -> Add v
+                in
+                Hashtbl.replace s.buf k entry
+              | 4 ->
+                (* seed validation: scan the full history for a committed
+                   write newer than our start that hits our read set *)
+                let valid =
+                  List.for_all
+                    (fun (ser, keys) ->
+                      ser <= s.start || not (List.exists (fun k -> List.mem k s.reads) keys))
+                    !history
+                in
+                (match Db.commit db s.txn with
+                | Ok () ->
+                  check "oracle predicted commit" valid;
+                  incr serial;
+                  history := (!serial, Hashtbl.fold (fun k _ acc -> k :: acc) s.buf []) :: !history;
+                  Hashtbl.iter
+                    (fun k kind ->
+                      match kind with
+                      | Put v -> Hashtbl.replace state k v
+                      | Del -> Hashtbl.remove state k
+                      | Add d ->
+                        Hashtbl.replace state k
+                          (match Hashtbl.find_opt state k with Some v -> v + d | None -> d))
+                    s.buf
+                | Error Db.Validation_failed -> check "oracle predicted abort" (not valid)
+                | Error r -> Alcotest.failf "unexpected abort: %s" (Db.abort_reason_to_string r));
+                reopen s
+              | _ ->
+                Db.abort db s.txn;
+                reopen s)
+            ops);
+      Sim.run eng;
+      (* final committed state must match the model exactly *)
+      List.iter
+        (fun i ->
+          let k = key_of i in
+          check "final state" (Db.committed_value db k = Hashtbl.find_opt state k))
+        (List.init n_keys Fun.id);
+      !good)
+
 let () =
   Alcotest.run "localdb"
     [
@@ -878,5 +997,6 @@ let () =
           Alcotest.test_case "metrics" `Quick test_metrics;
           Alcotest.test_case "load and keys" `Quick test_load_and_keys;
           QCheck_alcotest.to_alcotest prop_abort_atomicity;
+          QCheck_alcotest.to_alcotest prop_occ_oracle;
         ] );
     ]

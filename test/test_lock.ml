@@ -37,7 +37,10 @@ let test_mode_combine () =
 
 (* --- Lock table helpers --- *)
 
-let make_table eng = Lock.create eng ~compatible:Mode.compatible ~combine:Mode.combine
+let make_table eng =
+  Lock.create eng
+    ~syms:(Icdb_util.Symbol.create ())
+    ~compatible:Mode.compatible ~combine:Mode.combine
 
 let run_engine f =
   let eng = Engine.create () in
@@ -53,28 +56,28 @@ let test_shared_locks_coexist () =
       let done_count = ref 0 in
       for owner = 1 to 3 do
         Fiber.spawn eng (fun () ->
-            match Lock.acquire t ~owner ~obj:"k" ~mode:Mode.Shared () with
+            match Lock.acquire t ~owner ~obj:(Lock.intern t "k") ~mode:Mode.Shared () with
             | Lock.Granted -> incr done_count
             | _ -> Alcotest.fail "shared should grant")
       done;
       ignore
         (Engine.schedule eng ~delay:1.0 (fun () ->
              Alcotest.(check int) "all granted" 3 !done_count;
-             Alcotest.(check int) "three holders" 3 (List.length (Lock.holders t ~obj:"k")))))
+             Alcotest.(check int) "three holders" 3 (List.length (Lock.holders t ~obj:(Lock.intern t "k"))))))
 
 let test_exclusive_blocks_until_release () =
   run_engine (fun eng ->
       let t = make_table eng in
       let order = ref [] in
       Fiber.spawn eng (fun () ->
-          ignore (Lock.acquire t ~owner:1 ~obj:"k" ~mode:Mode.Exclusive ());
+          ignore (Lock.acquire t ~owner:1 ~obj:(Lock.intern t "k") ~mode:Mode.Exclusive ());
           order := "t1-granted" :: !order;
           Fiber.sleep eng 10.0;
-          Lock.release t ~owner:1 ~obj:"k";
+          Lock.release t ~owner:1 ~obj:(Lock.intern t "k");
           order := "t1-released" :: !order);
       Fiber.spawn eng (fun () ->
           Fiber.sleep eng 1.0;
-          match Lock.acquire t ~owner:2 ~obj:"k" ~mode:Mode.Exclusive () with
+          match Lock.acquire t ~owner:2 ~obj:(Lock.intern t "k") ~mode:Mode.Exclusive () with
           | Lock.Granted -> order := "t2-granted" :: !order
           | _ -> Alcotest.fail "should eventually grant");
       ignore
@@ -88,17 +91,17 @@ let test_fifo_fairness () =
       let t = make_table eng in
       let order = ref [] in
       Fiber.spawn eng (fun () ->
-          ignore (Lock.acquire t ~owner:1 ~obj:"k" ~mode:Mode.Exclusive ());
+          ignore (Lock.acquire t ~owner:1 ~obj:(Lock.intern t "k") ~mode:Mode.Exclusive ());
           Fiber.sleep eng 5.0;
-          Lock.release t ~owner:1 ~obj:"k");
+          Lock.release t ~owner:1 ~obj:(Lock.intern t "k"));
       for owner = 2 to 4 do
         Fiber.spawn eng (fun () ->
             (* Stagger arrival so queue order is 2,3,4. *)
             Fiber.sleep eng (float_of_int owner *. 0.1);
-            ignore (Lock.acquire t ~owner ~obj:"k" ~mode:Mode.Exclusive ());
+            ignore (Lock.acquire t ~owner ~obj:(Lock.intern t "k") ~mode:Mode.Exclusive ());
             order := owner :: !order;
             Fiber.sleep eng 1.0;
-            Lock.release t ~owner ~obj:"k")
+            Lock.release t ~owner ~obj:(Lock.intern t "k"))
       done;
       ignore
         (Engine.schedule eng ~delay:30.0 (fun () ->
@@ -110,19 +113,19 @@ let test_shared_must_wait_behind_queued_exclusive () =
       let t = make_table eng in
       let order = ref [] in
       Fiber.spawn eng (fun () ->
-          ignore (Lock.acquire t ~owner:1 ~obj:"k" ~mode:Mode.Shared ());
+          ignore (Lock.acquire t ~owner:1 ~obj:(Lock.intern t "k") ~mode:Mode.Shared ());
           Fiber.sleep eng 5.0;
-          Lock.release t ~owner:1 ~obj:"k");
+          Lock.release t ~owner:1 ~obj:(Lock.intern t "k"));
       Fiber.spawn eng (fun () ->
           Fiber.sleep eng 1.0;
-          ignore (Lock.acquire t ~owner:2 ~obj:"k" ~mode:Mode.Exclusive ());
+          ignore (Lock.acquire t ~owner:2 ~obj:(Lock.intern t "k") ~mode:Mode.Exclusive ());
           order := "x" :: !order;
           Fiber.sleep eng 1.0;
-          Lock.release t ~owner:2 ~obj:"k");
+          Lock.release t ~owner:2 ~obj:(Lock.intern t "k"));
       Fiber.spawn eng (fun () ->
           Fiber.sleep eng 2.0;
           (* S would be compatible with holder 1, but X is queued first. *)
-          ignore (Lock.acquire t ~owner:3 ~obj:"k" ~mode:Mode.Shared ());
+          ignore (Lock.acquire t ~owner:3 ~obj:(Lock.intern t "k") ~mode:Mode.Shared ());
           order := "s" :: !order);
       ignore
         (Engine.schedule eng ~delay:30.0 (fun () ->
@@ -134,7 +137,7 @@ let test_increment_locks_coexist () =
       let granted = ref 0 in
       for owner = 1 to 4 do
         Fiber.spawn eng (fun () ->
-            match Lock.acquire t ~owner ~obj:"ctr" ~mode:Mode.Increment () with
+            match Lock.acquire t ~owner ~obj:(Lock.intern t "ctr") ~mode:Mode.Increment () with
             | Lock.Granted -> incr granted
             | _ -> Alcotest.fail "increment locks must coexist")
       done;
@@ -146,28 +149,28 @@ let test_reentrant_and_upgrade () =
   run_engine (fun eng ->
       let t = make_table eng in
       Fiber.spawn eng (fun () ->
-          ignore (Lock.acquire t ~owner:1 ~obj:"k" ~mode:Mode.Shared ());
+          ignore (Lock.acquire t ~owner:1 ~obj:(Lock.intern t "k") ~mode:Mode.Shared ());
           (* Re-entrant shared: immediate. *)
           Alcotest.check outcome_testable "reentrant S" Lock.Granted
-            (Lock.acquire t ~owner:1 ~obj:"k" ~mode:Mode.Shared ());
+            (Lock.acquire t ~owner:1 ~obj:(Lock.intern t "k") ~mode:Mode.Shared ());
           (* Upgrade to X with no other holder: immediate. *)
           Alcotest.check outcome_testable "upgrade to X" Lock.Granted
-            (Lock.acquire t ~owner:1 ~obj:"k" ~mode:Mode.Exclusive ());
+            (Lock.acquire t ~owner:1 ~obj:(Lock.intern t "k") ~mode:Mode.Exclusive ());
           Alcotest.(check (list (pair int (Alcotest.testable Mode.pp ( = )))))
-            "holds X" [ (1, Mode.Exclusive) ] (Lock.holders t ~obj:"k")))
+            "holds X" [ (1, Mode.Exclusive) ] (Lock.holders t ~obj:(Lock.intern t "k"))))
 
 let test_upgrade_waits_for_other_reader () =
   run_engine (fun eng ->
       let t = make_table eng in
       let upgraded_at = ref 0.0 in
       Fiber.spawn eng (fun () ->
-          ignore (Lock.acquire t ~owner:1 ~obj:"k" ~mode:Mode.Shared ());
+          ignore (Lock.acquire t ~owner:1 ~obj:(Lock.intern t "k") ~mode:Mode.Shared ());
           Fiber.sleep eng 5.0;
-          Lock.release t ~owner:1 ~obj:"k");
+          Lock.release t ~owner:1 ~obj:(Lock.intern t "k"));
       Fiber.spawn eng (fun () ->
-          ignore (Lock.acquire t ~owner:2 ~obj:"k" ~mode:Mode.Shared ());
+          ignore (Lock.acquire t ~owner:2 ~obj:(Lock.intern t "k") ~mode:Mode.Shared ());
           Fiber.sleep eng 1.0;
-          (match Lock.acquire t ~owner:2 ~obj:"k" ~mode:Mode.Exclusive () with
+          (match Lock.acquire t ~owner:2 ~obj:(Lock.intern t "k") ~mode:Mode.Exclusive () with
           | Lock.Granted -> upgraded_at := Engine.now eng
           | _ -> Alcotest.fail "upgrade should grant eventually"));
       ignore
@@ -178,11 +181,11 @@ let test_try_acquire () =
   run_engine (fun eng ->
       let t = make_table eng in
       Alcotest.(check bool) "free grant" true
-        (Lock.try_acquire t ~owner:1 ~obj:"k" ~mode:Mode.Exclusive);
+        (Lock.try_acquire t ~owner:1 ~obj:(Lock.intern t "k") ~mode:Mode.Exclusive);
       Alcotest.(check bool) "conflicting refused" false
-        (Lock.try_acquire t ~owner:2 ~obj:"k" ~mode:Mode.Shared);
+        (Lock.try_acquire t ~owner:2 ~obj:(Lock.intern t "k") ~mode:Mode.Shared);
       Alcotest.(check bool) "reentrant ok" true
-        (Lock.try_acquire t ~owner:1 ~obj:"k" ~mode:Mode.Shared))
+        (Lock.try_acquire t ~owner:1 ~obj:(Lock.intern t "k") ~mode:Mode.Shared))
 
 (* --- Deadlock / timeout --- *)
 
@@ -191,15 +194,15 @@ let test_deadlock_detected () =
       let t = make_table eng in
       let outcomes = ref [] in
       Fiber.spawn eng (fun () ->
-          ignore (Lock.acquire t ~owner:1 ~obj:"a" ~mode:Mode.Exclusive ());
+          ignore (Lock.acquire t ~owner:1 ~obj:(Lock.intern t "a") ~mode:Mode.Exclusive ());
           Fiber.sleep eng 1.0;
-          let o = Lock.acquire t ~owner:1 ~obj:"b" ~mode:Mode.Exclusive () in
+          let o = Lock.acquire t ~owner:1 ~obj:(Lock.intern t "b") ~mode:Mode.Exclusive () in
           outcomes := (1, o) :: !outcomes;
           if o = Lock.Deadlock then Lock.release_all t ~owner:1);
       Fiber.spawn eng (fun () ->
-          ignore (Lock.acquire t ~owner:2 ~obj:"b" ~mode:Mode.Exclusive ());
+          ignore (Lock.acquire t ~owner:2 ~obj:(Lock.intern t "b") ~mode:Mode.Exclusive ());
           Fiber.sleep eng 2.0;
-          let o = Lock.acquire t ~owner:2 ~obj:"a" ~mode:Mode.Exclusive () in
+          let o = Lock.acquire t ~owner:2 ~obj:(Lock.intern t "a") ~mode:Mode.Exclusive () in
           outcomes := (2, o) :: !outcomes);
       ignore
         (Engine.schedule eng ~delay:60.0 (fun () ->
@@ -215,12 +218,12 @@ let test_timeout () =
       let result = ref Lock.Granted in
       let finished_at = ref 0.0 in
       Fiber.spawn eng (fun () ->
-          ignore (Lock.acquire t ~owner:1 ~obj:"k" ~mode:Mode.Exclusive ());
+          ignore (Lock.acquire t ~owner:1 ~obj:(Lock.intern t "k") ~mode:Mode.Exclusive ());
           Fiber.sleep eng 100.0;
           Lock.release_all t ~owner:1);
       Fiber.spawn eng (fun () ->
           Fiber.sleep eng 1.0;
-          result := Lock.acquire t ~owner:2 ~obj:"k" ~mode:Mode.Exclusive ~timeout:5.0 ();
+          result := Lock.acquire t ~owner:2 ~obj:(Lock.intern t "k") ~mode:Mode.Exclusive ~timeout:5.0 ();
           finished_at := Engine.now eng);
       ignore
         (Engine.schedule eng ~delay:200.0 (fun () ->
@@ -232,16 +235,16 @@ let test_timed_out_waiter_does_not_hold () =
   run_engine (fun eng ->
       let t = make_table eng in
       Fiber.spawn eng (fun () ->
-          ignore (Lock.acquire t ~owner:1 ~obj:"k" ~mode:Mode.Exclusive ());
+          ignore (Lock.acquire t ~owner:1 ~obj:(Lock.intern t "k") ~mode:Mode.Exclusive ());
           Fiber.sleep eng 10.0;
           Lock.release_all t ~owner:1);
       Fiber.spawn eng (fun () ->
           Fiber.sleep eng 1.0;
-          ignore (Lock.acquire t ~owner:2 ~obj:"k" ~mode:Mode.Exclusive ~timeout:2.0 ()));
+          ignore (Lock.acquire t ~owner:2 ~obj:(Lock.intern t "k") ~mode:Mode.Exclusive ~timeout:2.0 ()));
       ignore
         (Engine.schedule eng ~delay:50.0 (fun () ->
              Alcotest.(check (list (pair int (Alcotest.testable Mode.pp ( = )))))
-               "no stale holder" [] (Lock.holders t ~obj:"k"))))
+               "no stale holder" [] (Lock.holders t ~obj:(Lock.intern t "k")))))
 
 (* --- release_all / reset --- *)
 
@@ -249,8 +252,8 @@ let test_release_all () =
   run_engine (fun eng ->
       let t = make_table eng in
       Fiber.spawn eng (fun () ->
-          ignore (Lock.acquire t ~owner:1 ~obj:"a" ~mode:Mode.Exclusive ());
-          ignore (Lock.acquire t ~owner:1 ~obj:"b" ~mode:Mode.Shared ());
+          ignore (Lock.acquire t ~owner:1 ~obj:(Lock.intern t "a") ~mode:Mode.Exclusive ());
+          ignore (Lock.acquire t ~owner:1 ~obj:(Lock.intern t "b") ~mode:Mode.Shared ());
           Alcotest.(check int) "holds two" 2 (List.length (Lock.held t ~owner:1));
           Lock.release_all t ~owner:1;
           Alcotest.(check int) "holds none" 0 (List.length (Lock.held t ~owner:1))))
@@ -260,12 +263,12 @@ let test_release_all_cancels_wait () =
       let t = make_table eng in
       let revoked = ref false in
       Fiber.spawn eng (fun () ->
-          ignore (Lock.acquire t ~owner:1 ~obj:"k" ~mode:Mode.Exclusive ());
+          ignore (Lock.acquire t ~owner:1 ~obj:(Lock.intern t "k") ~mode:Mode.Exclusive ());
           Fiber.sleep eng 50.0;
           Lock.release_all t ~owner:1);
       Fiber.spawn eng (fun () ->
           Fiber.sleep eng 1.0;
-          match Lock.acquire t ~owner:2 ~obj:"k" ~mode:Mode.Exclusive () with
+          match Lock.acquire t ~owner:2 ~obj:(Lock.intern t "k") ~mode:Mode.Exclusive () with
           | _ -> Alcotest.fail "should have been revoked"
           | exception Lock.Lock_revoked -> revoked := true);
       (* A third party aborts owner 2 while it waits. *)
@@ -279,12 +282,12 @@ let test_reset_wakes_everyone () =
       let t = make_table eng in
       let revoked = ref 0 in
       Fiber.spawn eng (fun () ->
-          ignore (Lock.acquire t ~owner:1 ~obj:"k" ~mode:Mode.Exclusive ());
+          ignore (Lock.acquire t ~owner:1 ~obj:(Lock.intern t "k") ~mode:Mode.Exclusive ());
           Fiber.sleep eng 50.0);
       for owner = 2 to 4 do
         Fiber.spawn eng (fun () ->
             Fiber.sleep eng 1.0;
-            match Lock.acquire t ~owner ~obj:"k" ~mode:Mode.Exclusive () with
+            match Lock.acquire t ~owner ~obj:(Lock.intern t "k") ~mode:Mode.Exclusive () with
             | _ -> ()
             | exception Lock.Lock_revoked -> incr revoked)
       done;
@@ -292,7 +295,7 @@ let test_reset_wakes_everyone () =
       ignore
         (Engine.schedule eng ~delay:100.0 (fun () ->
              Alcotest.(check int) "all waiters revoked" 3 !revoked;
-             Alcotest.(check int) "table empty" 0 (List.length (Lock.holders t ~obj:"k")))))
+             Alcotest.(check int) "table empty" 0 (List.length (Lock.holders t ~obj:(Lock.intern t "k"))))))
 
 (* --- metrics --- *)
 
@@ -302,9 +305,9 @@ let test_hold_time_hook () =
       let durations = ref [] in
       Lock.set_hold_time_hook t (fun ~obj:_ ~duration -> durations := duration :: !durations);
       Fiber.spawn eng (fun () ->
-          ignore (Lock.acquire t ~owner:1 ~obj:"k" ~mode:Mode.Exclusive ());
+          ignore (Lock.acquire t ~owner:1 ~obj:(Lock.intern t "k") ~mode:Mode.Exclusive ());
           Fiber.sleep eng 7.0;
-          Lock.release t ~owner:1 ~obj:"k");
+          Lock.release t ~owner:1 ~obj:(Lock.intern t "k"));
       ignore
         (Engine.schedule eng ~delay:20.0 (fun () ->
              Alcotest.(check (list (float 1e-9))) "held for 7" [ 7.0 ] !durations)))
@@ -313,12 +316,12 @@ let test_counters () =
   run_engine (fun eng ->
       let t = make_table eng in
       Fiber.spawn eng (fun () ->
-          ignore (Lock.acquire t ~owner:1 ~obj:"k" ~mode:Mode.Exclusive ());
+          ignore (Lock.acquire t ~owner:1 ~obj:(Lock.intern t "k") ~mode:Mode.Exclusive ());
           Fiber.sleep eng 2.0;
           Lock.release_all t ~owner:1);
       Fiber.spawn eng (fun () ->
           Fiber.sleep eng 1.0;
-          ignore (Lock.acquire t ~owner:2 ~obj:"k" ~mode:Mode.Exclusive ()));
+          ignore (Lock.acquire t ~owner:2 ~obj:(Lock.intern t "k") ~mode:Mode.Exclusive ()));
       ignore
         (Engine.schedule eng ~delay:20.0 (fun () ->
              Alcotest.(check int) "two acquisitions" 2 (Lock.acquisition_count t);
@@ -344,13 +347,13 @@ let prop_holders_pairwise_compatible =
       let ok = ref true in
       List.iter
         (fun (op, owner, obj_i, mode_i) ->
-          let obj = Printf.sprintf "o%d" obj_i in
+          let obj = Lock.intern t (Printf.sprintf "o%d" obj_i) in
           (match op with
           | 0 -> ignore (Lock.try_acquire t ~owner ~obj ~mode:(mode_of mode_i))
           | 1 -> Lock.release t ~owner ~obj
           | _ -> Lock.release_all t ~owner);
           for oi = 0 to 3 do
-            let holders = Lock.holders t ~obj:(Printf.sprintf "o%d" oi) in
+            let holders = Lock.holders t ~obj:(Lock.intern t (Printf.sprintf "o%d" oi)) in
             List.iter
               (fun (o1, m1) ->
                 List.iter
@@ -358,6 +361,78 @@ let prop_holders_pairwise_compatible =
                     if o1 < o2 && not (Mode.compatible m1 m2) then ok := false)
                   holders)
               holders
+          done)
+        ops;
+      !ok)
+
+(* Equivalence with the pre-interning string-keyed table: a reference model
+   keyed directly by object *names* replays the same try_acquire / release /
+   release_all sequence and must agree with the symbol-keyed table on every
+   outcome and every holder set. This pins down that interning changed the
+   representation only, not the grant semantics. *)
+module StrMap = Map.Make (String)
+
+let prop_interned_matches_string_model =
+  QCheck2.Test.make ~name:"interned table matches string-keyed model" ~count:300
+    QCheck2.Gen.(
+      list_size (int_range 1 80)
+        (tup4 (int_range 0 2) (int_range 1 5) (int_range 0 4) (int_range 0 2)))
+    (fun ops ->
+      let eng = Engine.create () in
+      let t = make_table eng in
+      let model = ref StrMap.empty in
+      let mode_of = function
+        | 0 -> Mode.Shared
+        | 1 -> Mode.Exclusive
+        | _ -> Mode.Increment
+      in
+      let model_holders name = try StrMap.find name !model with Not_found -> [] in
+      (* Seed grant rule: reentrant requests combine with the held mode and
+         are checked only against *other* holders. No fiber ever blocks in
+         this sequence, so the no-active-waiters side condition is vacuous. *)
+      let model_try_acquire ~owner ~name ~mode =
+        let holders = model_holders name in
+        let held = List.assoc_opt owner holders in
+        let want = match held with Some hm -> Mode.combine hm mode | None -> mode in
+        let ok =
+          List.for_all (fun (o, hm) -> o = owner || Mode.compatible hm want) holders
+        in
+        if ok then begin
+          let holders' =
+            match held with
+            | Some _ ->
+              List.map (fun (o, hm) -> if o = owner then (o, want) else (o, hm)) holders
+            | None -> (owner, mode) :: holders
+          in
+          model := StrMap.add name holders' !model
+        end;
+        ok
+      in
+      let model_release ~owner ~name =
+        model :=
+          StrMap.add name (List.filter (fun (o, _) -> o <> owner) (model_holders name)) !model
+      in
+      let ok = ref true in
+      List.iter
+        (fun (op, owner, obj_i, mode_i) ->
+          let name = Printf.sprintf "o%d" obj_i in
+          (match op with
+          | 0 ->
+            let mode = mode_of mode_i in
+            let got = Lock.try_acquire t ~owner ~obj:(Lock.intern t name) ~mode in
+            let want = model_try_acquire ~owner ~name ~mode in
+            if got <> want then ok := false
+          | 1 ->
+            Lock.release t ~owner ~obj:(Lock.intern t name);
+            model_release ~owner ~name
+          | _ ->
+            Lock.release_all t ~owner;
+            StrMap.iter (fun name _ -> model_release ~owner ~name) !model);
+          for oi = 0 to 5 do
+            let name = Printf.sprintf "o%d" oi in
+            let got = Lock.holders t ~obj:(Lock.intern t name) in
+            let want = List.sort compare (model_holders name) in
+            if got <> want then ok := false
           done)
         ops;
       !ok)
@@ -399,5 +474,9 @@ let () =
           Alcotest.test_case "hold time hook" `Quick test_hold_time_hook;
           Alcotest.test_case "counters" `Quick test_counters;
         ] );
-      ("properties", [ QCheck_alcotest.to_alcotest prop_holders_pairwise_compatible ]);
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_holders_pairwise_compatible;
+          QCheck_alcotest.to_alcotest prop_interned_matches_string_model;
+        ] );
     ]

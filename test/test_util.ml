@@ -402,6 +402,62 @@ let test_pool_propagates_exception () =
 let test_pool_more_jobs_than_tasks () =
   Alcotest.(check (list int)) "jobs > tasks" [ 7 ] (Pool.run ~jobs:16 [ (fun () -> 7) ])
 
+(* --- Symbol interner --- *)
+
+module Symbol = Icdb_util.Symbol
+
+let test_symbol_roundtrip () =
+  let tbl = Symbol.create () in
+  let keys = [ "alpha"; "beta"; "gamma"; "site-a/x"; "" ] in
+  let ids = List.map (Symbol.intern tbl) keys in
+  List.iter2
+    (fun key id -> Alcotest.(check string) "name round-trips" key (Symbol.name tbl id))
+    keys ids;
+  Alcotest.(check int) "count" (List.length keys) (Symbol.count tbl)
+
+let test_symbol_dedup_and_density () =
+  let tbl = Symbol.create ~capacity:2 () in
+  let a = Symbol.intern tbl "a" in
+  let b = Symbol.intern tbl "b" in
+  Alcotest.(check int) "first id is 0" 0 a;
+  Alcotest.(check int) "ids are dense" 1 b;
+  Alcotest.(check int) "re-intern returns same id" a (Symbol.intern tbl "a");
+  Alcotest.(check int) "no growth on re-intern" 2 (Symbol.count tbl);
+  Alcotest.(check (option int)) "find existing" (Some b) (Symbol.find tbl "b");
+  Alcotest.(check (option int)) "find missing assigns nothing" None (Symbol.find tbl "c");
+  Alcotest.(check bool) "mem" true (Symbol.mem tbl "a");
+  Alcotest.(check bool) "mem missing" false (Symbol.mem tbl "c")
+
+let test_symbol_snapshot () =
+  let tbl = Symbol.create () in
+  List.iter (fun s -> ignore (Symbol.intern tbl s)) [ "x"; "y"; "z" ];
+  let snap = Symbol.snapshot tbl in
+  Alcotest.(check (array string)) "snapshot in id order" [| "x"; "y"; "z" |] snap;
+  (* The snapshot is a copy: later interns must not show up in it. *)
+  ignore (Symbol.intern tbl "w");
+  Alcotest.(check int) "snapshot unchanged" 3 (Array.length snap)
+
+let test_symbol_unknown_id () =
+  let tbl = Symbol.create () in
+  ignore (Symbol.intern tbl "only");
+  Alcotest.(check bool) "unknown id raises" true
+    (match Symbol.name tbl 7 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* The property the parallel sweep relies on: each domain builds its own
+   table, and the same intern sequence yields the same ids everywhere. *)
+let test_symbol_deterministic_across_domains () =
+  let keys = List.init 200 (fun i -> Printf.sprintf "obj-%d/p%d" (i mod 17) i) in
+  let intern_all () =
+    let tbl = Symbol.create () in
+    List.map (Symbol.intern tbl) keys
+  in
+  let d1 = Domain.spawn intern_all and d2 = Domain.spawn intern_all in
+  let ids1 = Domain.join d1 and ids2 = Domain.join d2 in
+  Alcotest.(check (list int)) "same ids on every domain" (intern_all ()) ids1;
+  Alcotest.(check (list int)) "domains agree" ids1 ids2
+
 (* --- Sample sort cache --- *)
 
 let test_sample_percentile_cache_invalidation () =
@@ -453,6 +509,15 @@ let () =
           Alcotest.test_case "percentile cache invalidation" `Quick
             test_sample_percentile_cache_invalidation;
           Alcotest.test_case "histogram" `Quick test_histogram;
+        ] );
+      ( "symbol",
+        [
+          Alcotest.test_case "round-trip" `Quick test_symbol_roundtrip;
+          Alcotest.test_case "dedup + dense ids" `Quick test_symbol_dedup_and_density;
+          Alcotest.test_case "snapshot" `Quick test_symbol_snapshot;
+          Alcotest.test_case "unknown id" `Quick test_symbol_unknown_id;
+          Alcotest.test_case "deterministic across domains" `Quick
+            test_symbol_deterministic_across_domains;
         ] );
       ( "pool",
         [
