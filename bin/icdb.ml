@@ -10,6 +10,8 @@ open Cmdliner
 module Runner = Icdb_workload.Runner
 module Protocol = Icdb_workload.Protocol
 module Experiments = Icdb_workload.Experiments
+module Plan = Icdb_fault.Plan
+module Campaign = Icdb_fault.Campaign
 module Registry = Icdb_obs.Registry
 module Tracer = Icdb_obs.Tracer
 module Export = Icdb_obs.Export
@@ -23,10 +25,17 @@ let protocol_conv =
   let parse s = Result.map_error (fun e -> `Msg e) (Protocol.of_string s) in
   Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (Protocol.name p))
 
+(* Experiments living outside Icdb_workload.Experiments (the fault campaign
+   needs Icdb_fault, which depends on the workload library). *)
+let extra_experiments =
+  [ ("r1", "fault-injection campaign: violations per protocol and fault class") ]
+
 let list_cmd =
   let doc = "List the reproduced experiments (figures F2-F8, claims V1-V7)." in
   let run () =
-    List.iter (fun (id, descr) -> Printf.printf "%-4s %s\n" id descr) Experiments.all
+    List.iter
+      (fun (id, descr) -> Printf.printf "%-4s %s\n" id descr)
+      (Experiments.all @ extra_experiments)
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
@@ -43,7 +52,12 @@ let exp_cmd =
              output is byte-identical for any $(docv).")
   in
   let run id jobs =
-    if id = "all" then print_string (Experiments.run_all ~jobs ())
+    if id = "all" then begin
+      print_string (Experiments.run_all ~jobs ());
+      print_newline ();
+      ignore (Campaign.experiment_r1 ())
+    end
+    else if id = "r1" then ignore (Campaign.experiment_r1 ())
     else
       match Experiments.run id with
       | report -> print_string report
@@ -365,7 +379,79 @@ let check_cmd =
   in
   Cmd.v (Cmd.info "check" ~doc) Term.(const run $ txns $ seed $ metrics_out)
 
+let chaos_cmd =
+  let doc =
+    "Run the fault-injection campaign: seeded fault plans (site crashes, central \
+     crashes at protocol instants, loss bursts, latency spikes, duplicated \
+     deliveries) against every protocol, with the full invariant suite evaluated \
+     after each run. Deterministic in the seed. Exits non-zero on any violation."
+  in
+  let protocol =
+    Arg.(
+      value
+      & opt (some protocol_conv) None
+      & info [ "p"; "protocol" ] ~docv:"PROTO"
+          ~doc:"Campaign a single protocol instead of all six.")
+  in
+  let plans =
+    Arg.(
+      value & opt int 50
+      & info [ "plans" ] ~docv:"N" ~doc:"Fault plans generated per protocol.")
+  in
+  let seed = Arg.(value & opt int64 42L & info [ "seed" ]) in
+  let shrink =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:"Minimise every violating plan to a locally minimal reproducer.")
+  in
+  let reproducers_out =
+    Arg.(
+      value
+      & opt string "chaos-reproducers.txt"
+      & info [ "reproducers-out" ] ~docv:"FILE"
+          ~doc:"Where to write violating plans (only written when there are any).")
+  in
+  let run protocol plans seed shrink reproducers_out =
+    let protocols =
+      match protocol with Some p -> [ p ] | None -> Protocol.all
+    in
+    let stats = Campaign.run_campaign ~shrink_failures:shrink ~seed ~plans protocols in
+    Icdb_util.Table.print (Campaign.stats_table ~plans ~seed stats);
+    let violations = Campaign.total_violations stats in
+    if violations > 0 then begin
+      let b = Buffer.create 1024 in
+      List.iter
+        (fun (s : Campaign.protocol_stats) ->
+          List.iter
+            (fun (o : Campaign.outcome) ->
+              Buffer.add_string b
+                (Printf.sprintf "%s under %s\n"
+                   (Protocol.obs_name s.cp_protocol)
+                   (Plan.to_string o.plan));
+              List.iter
+                (fun v ->
+                  Buffer.add_string b
+                    (Printf.sprintf "  %s\n"
+                       (Format.asprintf "%a" Campaign.pp_violation v)))
+                o.violations)
+            s.cp_failures)
+        stats;
+      print_newline ();
+      print_string (Buffer.contents b);
+      write_file reproducers_out (Buffer.contents b);
+      Printf.printf "\nwrote %d violating plan(s) to %s\n" violations reproducers_out;
+      print_endline "CHAOS CAMPAIGN FOUND VIOLATIONS";
+      exit 1
+    end
+    else print_endline "all invariants hold under every plan."
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(const run $ protocol $ plans $ seed $ shrink $ reproducers_out)
+
 let () =
   let doc = "atomic commitment for integrated database systems (Muth & Rakow, ICDE 1991)" in
   let info = Cmd.info "icdb" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; exp_cmd; run_cmd; trace_cmd; check_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ list_cmd; exp_cmd; run_cmd; trace_cmd; check_cmd; chaos_cmd ]))

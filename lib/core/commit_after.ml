@@ -64,7 +64,7 @@ let run (fed : Federation.t) (spec : Global.spec) =
              match status with
              | Exec_failed r -> (b, No (Global.Local_abort { site = b.site; reason = r }))
              | Exec_ok txn ->
-               Link.rpc (Site.link site) ~label:"prepare" (fun () ->
+               Link.rpc ~gid (Site.link site) ~label:"prepare" (fun () ->
                    if not b.vote_commit then begin
                      Db.abort db txn;
                      ("abort-vote", (b, No (Global.Voted_abort b.site)))
@@ -104,7 +104,7 @@ let run (fed : Federation.t) (spec : Global.spec) =
                         let site = Federation.site fed b.site in
                         let db = Site.db site in
                         if decide_commit then
-                          decision_rpc fed ~site:b.site ~label:"commit" (fun () ->
+                          decision_rpc fed ~gid ~site:b.site ~label:"commit" (fun () ->
                               (match Db.commit db txn with
                               | Ok () ->
                                 graph_local fed ~gid ~site:b.site ~compensation:false
@@ -116,7 +116,7 @@ let run (fed : Federation.t) (spec : Global.spec) =
                               Trace.record fed.trace ~actor:b.site (ev gid "committed");
                               "finished")
                         else
-                          decision_rpc fed ~site:b.site ~label:"abort" (fun () ->
+                          decision_rpc fed ~gid ~site:b.site ~label:"abort" (fun () ->
                               Db.abort db txn;
                               Trace.record fed.trace ~actor:b.site (ev gid "aborted");
                               "finished"))

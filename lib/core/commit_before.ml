@@ -52,15 +52,15 @@ let run (fed : Federation.t) (spec : Global.spec) =
            (fun (b : Global.branch) () ->
              let site = Federation.site fed b.site in
              let db = Site.db site in
-             Link.rpc (Site.link site) ~label:"execute" (fun () ->
-                 if not (Db.is_up db) then
+             Link.rpc ~gid (Site.link site) ~label:"execute" (fun () ->
+                 match Db.begin_txn_opt db with
+                 | None ->
                    ( "execute-failed",
                      ( b,
                        Locally_aborted
                          (Global.Local_abort { site = b.site; reason = Db.Site_crashed })
                      ) )
-                 else begin
-                   let txn = Db.begin_txn db in
+                 | Some txn -> (
                    Federation.journal_branch fed ~gid ~site:b.site
                      ~txn_id:(Db.txn_id txn);
                    (* The commit marker materialises "this local committed"
@@ -96,8 +96,7 @@ let run (fed : Federation.t) (spec : Global.spec) =
                            ( b,
                              Locally_aborted
                                (Global.Local_abort { site = b.site; reason = r }) ) )
-                     end
-                 end))
+                     end)))
            spec.branches)
     in
     fed.central_fail ~gid "executed";
@@ -111,7 +110,7 @@ let run (fed : Federation.t) (spec : Global.spec) =
            (fun (result : Global.branch * local_state) () ->
              let b, st = result in
              let site = Federation.site fed b.site in
-             Link.rpc (Site.link site) ~label:"prepare" (fun () ->
+             Link.rpc ~gid (Site.link site) ~label:"prepare" (fun () ->
                  Site.await_up site;
                  match st with
                  | Locally_committed -> ("committed", (b, st))
@@ -139,7 +138,7 @@ let run (fed : Federation.t) (spec : Global.spec) =
                 | (b : Global.branch), Locally_committed ->
                   Some
                     (fun () ->
-                      decision_rpc fed ~site:b.site ~label:"undo" (fun () ->
+                      decision_rpc fed ~gid ~site:b.site ~label:"undo" (fun () ->
                           undo_until_done fed ~gid ~obs b;
                           Trace.record fed.trace ~actor:b.site (ev gid "undone");
                           "finished"))

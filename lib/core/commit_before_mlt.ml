@@ -28,12 +28,12 @@ let action_marker ~gid ~seq = "__am:" ^ string_of_int gid ^ ":" ^ string_of_int 
 let execute_action (fed : Federation.t) ~gid ~seq (action : Action.t) =
   let site = Federation.site fed action.site in
   let db = Site.db site in
-  Link.rpc (Site.link site) ~label:"execute-action" (fun () ->
-      if not (Db.is_up db) then
+  Link.rpc ~gid (Site.link site) ~label:"execute-action" (fun () ->
+      match Db.begin_txn_opt db with
+      | None ->
         ( "action-failed",
           Error (Global.Local_abort { site = action.site; reason = Db.Site_crashed }) )
-      else begin
-        let txn = Db.begin_txn db in
+      | Some txn -> (
         Federation.journal_branch fed ~gid ~site:action.site ~txn_id:(Db.txn_id txn);
         match
           Program.run db txn
@@ -54,8 +54,7 @@ let execute_action (fed : Federation.t) ~gid ~seq (action : Action.t) =
             ("action-done", Ok ())
           | Error r ->
             ( "action-failed",
-              Error (Global.Local_abort { site = action.site; reason = r }) ))
-      end)
+              Error (Global.Local_abort { site = action.site; reason = r }) ))))
 
 let run ?(action_retries = 0) (fed : Federation.t) (spec : Global.mlt_spec) =
   let gid = spec.mlt_gid in
@@ -78,6 +77,7 @@ let run ?(action_retries = 0) (fed : Federation.t) (spec : Global.mlt_spec) =
             ~mode:action.Action.clazz ?timeout:fed.global_lock_timeout ()
         with
         | Lock.Timeout | Lock.Deadlock -> Error Global.Global_cc_denied
+        | exception Lock.Lock_revoked -> Error Global.Global_cc_denied
         | Lock.Granted ->
           Metrics.l1_lock_acquired fed.metrics;
           (* An aborted L0 action left no trace, so it can simply be
@@ -118,7 +118,7 @@ let run ?(action_retries = 0) (fed : Federation.t) (spec : Global.mlt_spec) =
       (* Undo completed actions in reverse order via inverse actions. *)
       List.iter
         (fun (seq, action) ->
-          decision_rpc fed ~site:action.Action.site ~label:"undo-action" (fun () ->
+          decision_rpc fed ~gid ~site:action.Action.site ~label:"undo-action" (fun () ->
               undo_action fed ~gid ~obs ~seq action;
               "finished"))
         !completed;

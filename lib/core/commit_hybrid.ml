@@ -63,14 +63,14 @@ let run (fed : Federation.t) (spec : Global.spec) =
              else
                ( b,
                  `Before
-                   (Link.rpc (Site.link site) ~label:"execute" (fun () ->
-                        if not (Db.is_up db) then
+                   (Link.rpc ~gid (Site.link site) ~label:"execute" (fun () ->
+                        match Db.begin_txn_opt db with
+                        | None ->
                           ( "execute-failed",
                             Failed_leg
                               (Global.Local_abort
                                  { site = b.site; reason = Db.Site_crashed }) )
-                        else begin
-                          let txn = Db.begin_txn db in
+                        | Some txn -> (
                           Federation.journal_branch fed ~gid ~site:b.site
                             ~txn_id:(Db.txn_id txn);
                           match
@@ -103,8 +103,7 @@ let run (fed : Federation.t) (spec : Global.spec) =
                                 ( "execute-failed",
                                   Failed_leg
                                     (Global.Local_abort { site = b.site; reason = r }) )
-                            end
-                        end)) ))
+                            end))) ))
            spec.branches)
     in
     fed.central_fail ~gid "executed";
@@ -122,7 +121,7 @@ let run (fed : Federation.t) (spec : Global.spec) =
              | `Tpc (Exec_failed r) ->
                (b, Failed_leg (Global.Local_abort { site = b.site; reason = r }))
              | `Tpc (Exec_ok txn) ->
-               Link.rpc (Site.link site) ~label:"prepare" (fun () ->
+               Link.rpc ~gid (Site.link site) ~label:"prepare" (fun () ->
                    if not b.vote_commit then begin
                      Db.abort db txn;
                      ("abort-vote", (b, Failed_leg (Global.Voted_abort b.site)))
@@ -137,7 +136,7 @@ let run (fed : Federation.t) (spec : Global.spec) =
                          (b, Failed_leg (Global.Local_abort { site = b.site; reason = r }))
                        ))
              | `Before leg ->
-               Link.rpc (Site.link site) ~label:"prepare" (fun () ->
+               Link.rpc ~gid (Site.link site) ~label:"prepare" (fun () ->
                    Site.await_up site;
                    match leg with
                    | Committed_leg -> ("committed", (b, leg))
@@ -168,12 +167,10 @@ let run (fed : Federation.t) (spec : Global.spec) =
                   | (b : Global.branch), Prepared_leg txn ->
                     Some
                       (fun () ->
-                        let site = Federation.site fed b.site in
                         let label = if decide_commit then "commit" else "abort" in
-                        decision_rpc fed ~site:b.site ~label (fun () ->
-                            Site.await_up site;
-                            Db.resolve_prepared (Site.db site) ~txn_id:(Db.txn_id txn)
-                              ~commit:decide_commit;
+                        decision_rpc fed ~gid ~site:b.site ~label (fun () ->
+                            resolve_prepared_durably fed ~site:b.site
+                              ~txn_id:(Db.txn_id txn) ~commit:decide_commit;
                             if decide_commit then begin
                               graph_local fed ~gid ~site:b.site ~compensation:false txn;
                               Trace.record fed.trace ~actor:b.site (ev gid "committed")
@@ -183,7 +180,7 @@ let run (fed : Federation.t) (spec : Global.spec) =
                   | b, Committed_leg when not decide_commit ->
                     Some
                       (fun () ->
-                        decision_rpc fed ~site:b.site ~label:"undo" (fun () ->
+                        decision_rpc fed ~gid ~site:b.site ~label:"undo" (fun () ->
                             undo_leg fed ~gid ~obs b;
                             Trace.record fed.trace ~actor:b.site (ev gid "undone");
                             "finished"))

@@ -386,7 +386,12 @@ let journal_decide t ~gid ~commit =
   t.central_decisions <- t.central_decisions + 1;
   force_decision t
 
-let journal_close t ~gid = Hashtbl.remove t.journal gid
+let journal_close t ~gid =
+  Hashtbl.remove t.journal gid;
+  (* The transaction is finished at the coordinator: any receiver-side dedup
+     state its wire exchanges left behind (orphans from capped retries) can
+     never be consulted again — evict it. *)
+  List.iter (fun (_, site) -> Link.evict_gid (Site.link site) ~gid) t.sites
 
 let batcher t name = Hashtbl.find_opt t.batchers name
 

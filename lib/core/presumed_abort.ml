@@ -51,7 +51,7 @@ let run (fed : Federation.t) (spec : Global.spec) =
              match status with
              | Exec_failed r -> (b, No (Global.Local_abort { site = b.site; reason = r }))
              | Exec_ok txn ->
-               Link.rpc (Site.link site) ~label:"prepare" (fun () ->
+               Link.rpc ~gid (Site.link site) ~label:"prepare" (fun () ->
                    if not b.vote_commit then begin
                      Db.abort db txn;
                      ("abort-vote", (b, No (Global.Voted_abort b.site)))
@@ -100,11 +100,9 @@ let run (fed : Federation.t) (spec : Global.spec) =
                 | (b : Global.branch), Ready txn ->
                   Some
                     (fun () ->
-                      let site = Federation.site fed b.site in
-                      decision_rpc fed ~site:b.site ~label:"commit" (fun () ->
-                          Site.await_up site;
-                          Db.resolve_prepared (Site.db site) ~txn_id:(Db.txn_id txn)
-                            ~commit:true;
+                      decision_rpc fed ~gid ~site:b.site ~label:"commit" (fun () ->
+                          resolve_prepared_durably fed ~site:b.site
+                            ~txn_id:(Db.txn_id txn) ~commit:true;
                           graph_local fed ~gid ~site:b.site ~compensation:false txn;
                           Trace.record fed.trace ~actor:b.site (ev gid "committed");
                           "finished"))
@@ -122,11 +120,9 @@ let run (fed : Federation.t) (spec : Global.spec) =
                     | (b : Global.branch), Ready txn ->
                       Some
                         (fun () ->
-                          let site = Federation.site fed b.site in
-                          decision_send fed ~site:b.site ~label:"abort" (fun () ->
-                              Site.await_up site;
-                              Db.resolve_prepared (Site.db site) ~txn_id:(Db.txn_id txn)
-                                ~commit:false;
+                          decision_send fed ~gid ~site:b.site ~label:"abort" (fun () ->
+                              resolve_prepared_durably fed ~site:b.site
+                                ~txn_id:(Db.txn_id txn) ~commit:false;
                               Trace.record fed.trace ~actor:b.site (ev gid "aborted")))
                     | _, (Read_only | No _) -> None)
                   votes)));

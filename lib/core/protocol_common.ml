@@ -45,7 +45,12 @@ let acquire_global_locks (fed : Federation.t) ~gid (spec : Global.spec) =
         | Lock.Granted ->
           Metrics.global_lock_acquired fed.metrics;
           go rest
-        | Lock.Timeout | Lock.Deadlock -> false)
+        | Lock.Timeout | Lock.Deadlock -> false
+        (* A central crash resets the additional CC module and wakes every
+           waiter with [Lock_revoked]; to this transaction that is just a
+           denial — it must abort cleanly, not die with an escaping
+           exception. *)
+        | exception Lock.Lock_revoked -> false)
     in
     let ok = go wanted in
     if not ok then Lock.release_all fed.global_cc ~owner:gid;
@@ -119,10 +124,10 @@ let execute_branch (fed : Federation.t) ~gid ?(parent = -1) (b : Global.branch)
     else -1
   in
   let body () =
-    Link.rpc (Site.link site) ~label:"execute" (fun () ->
-        if not (Db.is_up db) then ("execute-failed", Exec_failed Db.Site_crashed)
-        else begin
-          let txn = Db.begin_txn db in
+    Link.rpc ~gid (Site.link site) ~label:"execute" (fun () ->
+        match Db.begin_txn_opt db with
+        | None -> ("execute-failed", Exec_failed Db.Site_crashed)
+        | Some txn -> (
           Federation.journal_branch fed ~gid ~site:b.site ~txn_id:(Db.txn_id txn);
           match Program.run db txn (b.program @ extra_ops) with
           | Ok () ->
@@ -130,8 +135,7 @@ let execute_branch (fed : Federation.t) ~gid ?(parent = -1) (b : Global.branch)
             ("executed", Exec_ok txn)
           | Error r ->
             Db.abort db txn;
-            ("execute-failed", Exec_failed r)
-        end)
+            ("execute-failed", Exec_failed r)))
   in
   match body () with
   | r ->
@@ -149,19 +153,19 @@ let execute_branch (fed : Federation.t) ~gid ?(parent = -1) (b : Global.branch)
    share a wire envelope. With batching off they are exactly the plain
    [Link.rpc]/[Link.send] the protocols used before. *)
 
-let decision_rpc (fed : Federation.t) ~site ~label f =
+let decision_rpc (fed : Federation.t) ~gid ~site ~label f =
   match Federation.batcher fed site with
   | Some b -> Icdb_net.Batcher.rpc b ~label f
   | None ->
     let s = Federation.site fed site in
-    Link.rpc (Site.link s) ~label (fun () -> (f (), ()))
+    Link.rpc ~gid (Site.link s) ~label (fun () -> (f (), ()))
 
-let decision_send (fed : Federation.t) ~site ~label f =
+let decision_send (fed : Federation.t) ~gid ~site ~label f =
   match Federation.batcher fed site with
   | Some b -> Icdb_net.Batcher.send b ~label f
   | None ->
     let s = Federation.site fed site in
-    Link.send (Site.link s) ~label f
+    Link.send ~gid (Site.link s) ~label f
 
 let graph_local (fed : Federation.t) ~gid ~site ~compensation txn =
   Serialization_graph.record_local fed.graph ~gid ~site ~compensation (Db.accesses txn)
@@ -175,19 +179,43 @@ let persistently_apply (fed : Federation.t) ~gid ~site ~marker ~compensation ~on
     Site.await_up site_t;
     if Db.committed_value db marker = Some 1 then did_work
     else begin
-      on_attempt ();
-      let txn = Db.begin_txn db in
-      match Program.run db txn full_program with
-      | Error _ -> loop true
-      | Ok () -> (
-        match Db.commit db txn with
-        | Ok () ->
-          graph_local fed ~gid ~site ~compensation txn;
-          true
-        | Error _ -> loop true)
+      (* [begin_txn_opt], not [begin_txn]: another crash event can fire at
+         the very instant the restart woke this fiber, and the retry loop —
+         not an escaping exception — is the § 3.2/3.3 answer to that. *)
+      match Db.begin_txn_opt db with
+      | None -> loop did_work
+      | Some txn -> (
+        on_attempt ();
+        match Program.run db txn full_program with
+        | Error _ -> loop true
+        | Ok () -> (
+          match Db.commit db txn with
+          | Ok () ->
+            graph_local fed ~gid ~site ~compensation txn;
+            true
+          | Error _ -> loop true))
     end
   in
   loop false
+
+(* Deliver a global decision to a prepared local, riding out crashes: the
+   paper's communication manager keeps the decision until the local system
+   has durably applied it. [resolve_prepared] can fail if the site crashed
+   again between the wake-up from [await_up] and this fiber's resumption
+   (the in-doubt table is volatile until restart recovery rebuilds it from
+   the log) — in that case wait the outage out and redeliver. A failure
+   while the site is up is real (the transaction is already finished) and
+   propagates. *)
+let resolve_prepared_durably (fed : Federation.t) ~site ~txn_id ~commit =
+  let site_t = Federation.site fed site in
+  let db = Site.db site_t in
+  let rec deliver () =
+    Site.await_up site_t;
+    match Db.resolve_prepared db ~txn_id ~commit with
+    | () -> ()
+    | exception Failure _ when not (Db.is_up db) -> deliver ()
+  in
+  deliver ()
 
 let finish (fed : Federation.t) ~gid ~start ?obs outcome =
   (match obs with

@@ -76,13 +76,17 @@ val execute_branch :
     envelope (one wire message, one latency charge, coalesced acks); off,
     these are exactly [Link.rpc] / [Link.send]. *)
 
-(** [decision_rpc fed ~site ~label f] — request/reply; [f] runs at the site
-    and returns the reply label (usually ["finished"]). *)
-val decision_rpc : Federation.t -> site:string -> label:string -> (unit -> string) -> unit
+(** [decision_rpc fed ~gid ~site ~label f] — request/reply; [f] runs at the
+    site and returns the reply label (usually ["finished"]). [gid] tags the
+    wire exchange with its global transaction (retry-cap orphan
+    accounting, see {!Icdb_net.Link}). *)
+val decision_rpc :
+  Federation.t -> gid:int -> site:string -> label:string -> (unit -> string) -> unit
 
-(** [decision_send fed ~site ~label f] — one-way, no acknowledgement
+(** [decision_send fed ~gid ~site ~label f] — one-way, no acknowledgement
     (presumed-abort's abort path). *)
-val decision_send : Federation.t -> site:string -> label:string -> (unit -> unit) -> unit
+val decision_send :
+  Federation.t -> gid:int -> site:string -> label:string -> (unit -> unit) -> unit
 
 (** Record a committed local transaction in the serialization graph. *)
 val graph_local :
@@ -107,6 +111,16 @@ val persistently_apply :
   on_attempt:(unit -> unit) ->
   Program.t ->
   bool
+
+(** [resolve_prepared_durably fed ~site ~txn_id ~commit] delivers the global
+    decision to a prepared local transaction, waiting out site outages and
+    redelivering when a crash raced the delivery (the in-doubt table is
+    volatile until restart recovery rebuilds it from the log, so a
+    [resolve_prepared] that fails on a down site just means "deliver
+    again"). A failure with the site up propagates — the local really has
+    finished. *)
+val resolve_prepared_durably :
+  Federation.t -> site:string -> txn_id:int -> commit:bool -> unit
 
 (** [finish fed ~gid ~start ?obs outcome] records metrics, the graph outcome
     and the trace end-marker, closes the run's [Txn] span when [obs] is

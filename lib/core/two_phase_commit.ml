@@ -59,7 +59,7 @@ let run (fed : Federation.t) (spec : Global.spec) =
                       Some
                         (fun () ->
                           let site = Federation.site fed b.site in
-                          decision_rpc fed ~site:b.site ~label:"abort" (fun () ->
+                          decision_rpc fed ~gid ~site:b.site ~label:"abort" (fun () ->
                               Db.abort (Site.db site) txn;
                               "finished"))
                     | _, Exec_failed _ -> None)
@@ -81,7 +81,7 @@ let run (fed : Federation.t) (spec : Global.spec) =
                    | Exec_failed r ->
                      (b, No (Global.Local_abort { site = b.site; reason = r }))
                    | Exec_ok txn ->
-                     Link.rpc (Site.link site) ~label:"prepare" (fun () ->
+                     Link.rpc ~gid (Site.link site) ~label:"prepare" (fun () ->
                          if not b.vote_commit then begin
                            Db.abort db txn;
                            ("abort-vote", (b, No (Global.Voted_abort b.site)))
@@ -118,8 +118,6 @@ let run (fed : Federation.t) (spec : Global.spec) =
                     | (b : Global.branch), Ready ->
                       Some
                         (fun () ->
-                          let site = Federation.site fed b.site in
-                          let db = Site.db site in
                           let txn =
                             List.find_map
                               (function
@@ -129,10 +127,9 @@ let run (fed : Federation.t) (spec : Global.spec) =
                             |> Option.get
                           in
                           let label = if decide_commit then "commit" else "abort" in
-                          decision_rpc fed ~site:b.site ~label (fun () ->
-                              Site.await_up site;
-                              Db.resolve_prepared db ~txn_id:(Db.txn_id txn)
-                                ~commit:decide_commit;
+                          decision_rpc fed ~gid ~site:b.site ~label (fun () ->
+                              resolve_prepared_durably fed ~site:b.site
+                                ~txn_id:(Db.txn_id txn) ~commit:decide_commit;
                               if decide_commit then begin
                                 graph_local fed ~gid ~site:b.site ~compensation:false
                                   txn;

@@ -1,0 +1,87 @@
+(** Fault-injection campaign: runs seeded {!Plan}s against the banking
+    workload over every protocol and checks a global invariant suite after
+    each run — global atomicity (money conservation), serializability,
+    journal/decision-log agreement, the §3.2/§3.3 no-double-work marker
+    rules, log drainage, buffer-pin balance, transaction accounting, and
+    the idempotence of {!Icdb_core.Central_recovery.recover}. Violating
+    plans can be shrunk to locally minimal reproducers. Deterministic in
+    the seed: same seed, byte-identical results. *)
+
+exception Central_crash_injected
+(** Raised inside a coordinator fiber when an armed {!Plan.Central_crash}
+    fires; the runner's worker counts and swallows it. *)
+
+(** Fixed chaos workload for one protocol (small federation, hot accounts,
+    commuting increments, intended aborts). *)
+val base_config : Icdb_workload.Protocol.t -> seed:int64 -> Icdb_workload.Runner.config
+
+(** Virtual-time window plan events are drawn from. *)
+val horizon : float
+
+type violation =
+  | Money_not_conserved of { before : int; after : int }
+  | Not_serializable of string list
+  | Journal_not_empty of int
+  | Log_not_drained of { log : string; pending : int }
+  | Marker_rule of { site : string; gid : int; detail : string }
+  | Pins_leaked of { site : string; pins : int }
+  | Accounting of { started : int; committed : int; aborted : int; killed : int }
+  | Recovery_not_idempotent of string
+  | Run_crashed of string
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type outcome = {
+  plan : Plan.t;
+  report : Icdb_workload.Runner.report option;  (** [None] when the run crashed *)
+  killed : int;  (** coordinator fibers killed by injected central crashes *)
+  violations : violation list;  (** empty = all invariants held *)
+}
+
+(** [run_plan ~protocol plan] runs the chaos workload with the plan armed,
+    recovers the central system (twice — idempotence is an invariant) and
+    evaluates the invariant suite. *)
+val run_plan :
+  ?registry:Icdb_obs.Registry.t ->
+  ?seed:int64 ->
+  protocol:Icdb_workload.Protocol.t ->
+  Plan.t ->
+  outcome
+
+(** Greedy one-event-removal minimisation of a violating plan, to fixpoint. *)
+val shrink :
+  ?seed:int64 -> protocol:Icdb_workload.Protocol.t -> Plan.t -> Plan.t
+
+type protocol_stats = {
+  cp_protocol : Icdb_workload.Protocol.t;
+  cp_plans : int;
+  cp_events : int;
+  cp_by_class : (string * int) list;  (** events injected per fault class *)
+  cp_failures : outcome list;  (** outcomes with at least one violation *)
+}
+
+(** [run_protocol ~plans p] generates and runs [plans] plans against
+    protocol [p]; with [shrink_failures] each violating plan is re-reported
+    shrunk. *)
+val run_protocol :
+  ?shrink_failures:bool ->
+  ?seed:int64 ->
+  plans:int ->
+  Icdb_workload.Protocol.t ->
+  protocol_stats
+
+val run_campaign :
+  ?shrink_failures:bool ->
+  ?seed:int64 ->
+  plans:int ->
+  Icdb_workload.Protocol.t list ->
+  protocol_stats list
+
+(** Violations per protocol × fault class — the R1 table. *)
+val stats_table : plans:int -> seed:int64 -> protocol_stats list -> Icdb_util.Table.t
+
+val total_violations : protocol_stats list -> int
+
+(** Experiment R1: the campaign over all six protocols (expected all-zero
+    violation column). Prints the table plus any violating plans. *)
+val experiment_r1 : ?plans:int -> ?seed:int64 -> unit -> protocol_stats list

@@ -1,0 +1,93 @@
+module Rng = Icdb_util.Rng
+
+type event =
+  | Site_crash of { site : int; at : float; duration : float }
+  | Central_crash of { txn : int; phase_idx : int }
+  | Loss_burst of { site : int; at : float; duration : float; loss : float }
+  | Latency_spike of { site : int; at : float; duration : float; factor : float }
+  | Duplication of { site : int; at : float; duration : float; probability : float }
+
+type t = { plan_seed : int64; events : event list }
+
+let empty = { plan_seed = 0L; events = [] }
+let length t = List.length t.events
+
+(* Protocol-instant names the central-crash injector targets. The flat
+   protocols call [central_fail] at "executed" / "voted" / "decided"; MLT
+   calls it after each action and at the decision. *)
+let flat_phases = [| "executed"; "voted"; "decided" |]
+let mlt_phases = [| "action-0"; "action-1"; "decided" |]
+let n_phases = 3
+
+let phase_name ~mlt idx =
+  let table = if mlt then mlt_phases else flat_phases in
+  table.(idx mod n_phases)
+
+let classify = function
+  | Site_crash _ -> "site-crash"
+  | Central_crash _ -> "central-crash"
+  | Loss_burst _ -> "loss"
+  | Latency_spike _ -> "latency"
+  | Duplication _ -> "duplication"
+
+let fault_classes = [ "site-crash"; "central-crash"; "loss"; "latency"; "duplication" ]
+
+let pp_event ppf = function
+  | Site_crash { site; at; duration } ->
+    Format.fprintf ppf "site-crash site=%d at=%.1f dur=%.1f" site at duration
+  | Central_crash { txn; phase_idx } ->
+    Format.fprintf ppf "central-crash txn=%d phase=%d" txn phase_idx
+  | Loss_burst { site; at; duration; loss } ->
+    Format.fprintf ppf "loss-burst site=%d at=%.1f dur=%.1f p=%.2f" site at duration loss
+  | Latency_spike { site; at; duration; factor } ->
+    Format.fprintf ppf "latency-spike site=%d at=%.1f dur=%.1f x=%.1f" site at duration
+      factor
+  | Duplication { site; at; duration; probability } ->
+    Format.fprintf ppf "duplication site=%d at=%.1f dur=%.1f p=%.2f" site at duration
+      probability
+
+let pp ppf t =
+  Format.fprintf ppf "plan seed=%Ld events=%d" t.plan_seed (List.length t.events);
+  List.iter (fun e -> Format.fprintf ppf "@\n  %a" pp_event e) t.events
+
+let to_string t = Format.asprintf "%a" pp t
+
+(* Seeded generator. Event times land inside [0, horizon); durations are
+   short relative to the horizon so faults overlap the workload rather than
+   outlasting it. *)
+let gen_event rng ~n_sites ~n_txns ~horizon =
+  let site = Rng.int rng n_sites in
+  let at = Rng.float rng horizon in
+  match Rng.int rng 5 with
+  | 0 -> Site_crash { site; at; duration = 10.0 +. Rng.float rng 40.0 }
+  | 1 -> Central_crash { txn = Rng.int rng n_txns; phase_idx = Rng.int rng n_phases }
+  | 2 ->
+    Loss_burst
+      { site; at; duration = 10.0 +. Rng.float rng 30.0; loss = 0.1 +. Rng.float rng 0.4 }
+  | 3 ->
+    Latency_spike
+      {
+        site;
+        at;
+        duration = 10.0 +. Rng.float rng 30.0;
+        factor = 2.0 +. Rng.float rng 8.0;
+      }
+  | _ ->
+    Duplication
+      {
+        site;
+        at;
+        duration = 10.0 +. Rng.float rng 30.0;
+        probability = 0.1 +. Rng.float rng 0.4;
+      }
+
+let generate ~seed ~n_sites ~n_txns ~horizon =
+  let rng = Rng.create seed in
+  let n_events = Rng.int rng 7 in
+  {
+    plan_seed = seed;
+    events = List.init n_events (fun _ -> gen_event rng ~n_sites ~n_txns ~horizon);
+  }
+
+let remove_nth t n =
+  { t with events = List.filteri (fun i _ -> i <> n) t.events }

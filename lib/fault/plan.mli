@@ -1,0 +1,53 @@
+(** Seeded fault plans: the campaign's unit of chaos.
+
+    A plan is a small list of fault events to arm against one workload run —
+    site crashes and restarts, central-system crashes at named protocol
+    instants, message-loss bursts, latency spikes, and duplicated
+    deliveries. Plans are generated deterministically from a seed, printed
+    for reproducers, and shrunk by removing events one at a time. *)
+
+type event =
+  | Site_crash of { site : int; at : float; duration : float }
+      (** crash site [site mod n_sites] at virtual time [at]; a restart is
+          scheduled [duration] later *)
+  | Central_crash of { txn : int; phase_idx : int }
+      (** crash the central system when the [txn]-th issued global
+          transaction reaches protocol instant [phase_idx] (0 = after
+          execution, 1 = after the votes / second action, 2 = after the
+          decision) *)
+  | Loss_burst of { site : int; at : float; duration : float; loss : float }
+      (** raise the site link's per-copy drop probability to [loss] during
+          [\[at, at+duration)] *)
+  | Latency_spike of { site : int; at : float; duration : float; factor : float }
+      (** multiply the site link's latency by [factor] during the window *)
+  | Duplication of { site : int; at : float; duration : float; probability : float }
+      (** deliver each message twice with [probability] during the window *)
+
+type t = { plan_seed : int64; events : event list }
+
+val empty : t
+val length : t -> int
+
+(** [phase_name ~mlt idx] — the [central_fail] instant name a
+    {!Central_crash} with [phase_idx = idx] targets. Flat protocols:
+    "executed" / "voted" / "decided"; MLT: "action-0" / "action-1" /
+    "decided". *)
+val phase_name : mlt:bool -> int -> string
+
+val n_phases : int
+
+(** Fault class of one event ("site-crash", "central-crash", "loss",
+    "latency", "duplication") — the columns of the R1 table. *)
+val classify : event -> string
+
+val fault_classes : string list
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** [generate ~seed ~n_sites ~n_txns ~horizon] draws 0–6 events from the
+    seed. Deterministic. *)
+val generate : seed:int64 -> n_sites:int -> n_txns:int -> horizon:float -> t
+
+(** Plan with the [n]-th event removed (shrinking step). *)
+val remove_nth : t -> int -> t

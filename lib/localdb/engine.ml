@@ -344,6 +344,13 @@ let begin_txn t =
   | Some _ | None -> ());
   txn
 
+(* Crash-race-safe begin: a caller resumed by a restart can be overtaken by
+   another crash event at the same instant, so "the site was up when I was
+   woken" does not imply "the site is up now". Returning [None] instead of
+   raising lets protocol code turn that race into an ordinary branch
+   failure. *)
+let begin_txn_opt t = if not t.up then None else Some (begin_txn t)
+
 (* --- guarded operation plumbing ---------------------------------------- *)
 
 let check_alive t txn =
@@ -799,6 +806,7 @@ let abort_counts t =
 let wal t = t.log
 let symbols t = t.syms
 let flush_buffers t = Bp.flush_all t.pool
+let buffer_pins t = Bp.pin_count t.pool
 let set_hold_time_hook t f = t.hold_hook <- f
 let set_lock_observer t f = t.lock_observer <- f
 let set_state_hook t f = t.state_hook <- f

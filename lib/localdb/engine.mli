@@ -123,6 +123,14 @@ val load : t -> (string * int) list -> unit
 (** {1 Transaction interface} *)
 
 val begin_txn : t -> txn
+
+(** [begin_txn_opt t] is [Some (begin_txn t)] when the site is up, [None]
+    when it is down — where {!begin_txn} raises. Use this at protocol branch
+    starts: a fiber woken by a restart can be overtaken by another crash at
+    the same instant, and the race must surface as a branch failure, not an
+    escaping exception. *)
+val begin_txn_opt : t -> txn option
+
 val txn_id : txn -> int
 val state : txn -> [ `Running | `Prepared | `Committed | `Aborted of abort_reason ]
 
@@ -218,6 +226,10 @@ val wal : t -> Icdb_wal.Log.t
 
 (** Force all dirty buffered pages to disk (exercises the WAL-rule hook). *)
 val flush_buffers : t -> unit
+
+(** Outstanding buffer-pool pins; zero between operations (pin-balance
+    invariant — see {!Icdb_storage.Buffer_pool.pin_count}). *)
+val buffer_pins : t -> int
 
 (** [checkpoint t] takes a sharp checkpoint: every dirty page is forced to
     disk (log first, per the WAL rule), a checkpoint record listing the live

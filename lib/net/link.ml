@@ -7,29 +7,46 @@ type observer_event =
   | Msg_received of { label : string }
   | Msg_dropped of { label : string }
 
+exception Unreachable of string
+
 type t = {
   engine : Sim.t;
-  latency : float;
-  loss : float;
+  mutable latency : float;
+  mutable loss : float;
+  mutable dup : float;
+  mutable max_retries : int option;
   rng : Rng.t;
   retry_timeout : float;
   counts : (string, int ref) Hashtbl.t;
+  (* Receiver-side dedup state orphaned by a sender that exhausted its retry
+     budget: the receiver keeps the memoized reply for the abandoned request
+     id (a late copy could still arrive) until the owning global transaction
+     closes its journal entry and {!evict_gid} reclaims it. gid -> label,
+     multi-binding. *)
+  orphans : (int, string) Hashtbl.t;
   mutable total : int;
   mutable dropped : int;
   mutable observer : observer_event -> unit;
 }
 
-let create engine ~latency ?(loss = 0.0) ?(loss_seed = 7L) ?retry_timeout () =
+let create engine ~latency ?(loss = 0.0) ?(loss_seed = 7L) ?retry_timeout
+    ?max_retries () =
   if latency < 0.0 then invalid_arg "Link.create: negative latency";
   if loss < 0.0 || loss >= 1.0 then invalid_arg "Link.create: loss must be in [0,1)";
+  (match max_retries with
+  | Some n when n < 0 -> invalid_arg "Link.create: negative max_retries"
+  | Some _ | None -> ());
   {
     engine;
     latency;
     loss;
+    dup = 0.0;
+    max_retries;
     rng = Rng.create loss_seed;
     retry_timeout =
       (match retry_timeout with Some r -> r | None -> (6.0 *. latency) +. 1.0);
     counts = Hashtbl.create 16;
+    orphans = Hashtbl.create 4;
     total = 0;
     dropped = 0;
     observer = (fun _ -> ());
@@ -68,21 +85,49 @@ let lost t ~label =
   end;
   drop
 
+(* Fault injection: a duplicated delivery is an extra copy of a message that
+   already got through — counted on the wire and delivered, but deduplicated
+   by the receiver (no second handler run, no extra latency charge: the copy
+   travels alongside the original). The guard keeps the rng untouched when
+   duplication is off, so default runs are byte-identical. *)
+let maybe_duplicate t ~label =
+  if t.dup > 0.0 && Rng.bernoulli t.rng t.dup then begin
+    count t label;
+    t.observer (Msg_received { label })
+  end
+
+(* [retry ~gid ~delivered label n] either waits out the retransmission timer
+   or — with the retry budget exhausted — gives the exchange up. A receiver
+   that did see a request copy keeps its memoized reply; record the orphan so
+   journal-close can evict it. *)
+let check_budget t ?gid ~delivered label n =
+  match t.max_retries with
+  | Some cap when n > cap ->
+    (match gid with
+    | Some g when delivered -> Hashtbl.add t.orphans g label
+    | Some _ | None -> ());
+    raise (Unreachable label)
+  | Some _ | None -> ()
+
 (* At-least-once request/reply with receiver-side dedup: the handler runs on
    the first request copy that arrives; later copies replay the memoized
    reply. Every copy pays a latency and is counted. *)
-let rpc t ~label f =
+let rpc ?gid t ~label f =
   let executed = ref None in
-  let rec attempt () =
+  let delivered = ref false in
+  let rec attempt n =
     count t label;
     if lost t ~label then begin
       (* request copy dropped: wait out the retransmission timer *)
+      check_budget t ?gid ~delivered:!delivered label n;
       Fiber.sleep t.engine t.retry_timeout;
-      attempt ()
+      attempt (n + 1)
     end
     else begin
       Fiber.sleep t.engine t.latency;
       t.observer (Msg_received { label });
+      delivered := true;
+      maybe_duplicate t ~label;
       let reply_label, value =
         match !executed with
         | Some reply -> reply
@@ -94,34 +139,41 @@ let rpc t ~label f =
       count t reply_label;
       if lost t ~label:reply_label then begin
         (* reply copy dropped *)
+        check_budget t ?gid ~delivered:!delivered label n;
         Fiber.sleep t.engine t.retry_timeout;
-        attempt ()
+        attempt (n + 1)
       end
       else begin
         Fiber.sleep t.engine t.latency;
         t.observer (Msg_received { label = reply_label });
+        maybe_duplicate t ~label:reply_label;
         value
       end
     end
   in
-  attempt ()
+  attempt 1
 
 (* One-way datagram, retransmitted blindly until a copy gets through; the
-   effect runs once (on the first delivered copy). *)
-let send t ~label f =
-  let rec attempt () =
+   effect runs once (on the first delivered copy). An exhausted retry budget
+   leaves no receiver state behind (nothing was ever delivered), so no
+   orphan is recorded. *)
+let send ?gid t ~label f =
+  ignore gid;
+  let rec attempt n =
     count t label;
     if lost t ~label then begin
+      check_budget t ~delivered:false label n;
       Fiber.sleep t.engine t.retry_timeout;
-      attempt ()
+      attempt (n + 1)
     end
     else begin
       Fiber.sleep t.engine t.latency;
       t.observer (Msg_received { label });
+      maybe_duplicate t ~label;
       f ()
     end
   in
-  attempt ()
+  attempt 1
 
 let message_count t = t.total
 
@@ -141,4 +193,31 @@ let reset_counters t =
   t.dropped <- 0
 
 let latency t = t.latency
+
+let set_latency t l =
+  if l < 0.0 then invalid_arg "Link.set_latency: negative latency";
+  t.latency <- l
+
+let set_loss t p =
+  if p < 0.0 || p >= 1.0 then invalid_arg "Link.set_loss: loss must be in [0,1)";
+  t.loss <- p
+
+let set_duplication t p =
+  if p < 0.0 || p >= 1.0 then
+    invalid_arg "Link.set_duplication: probability must be in [0,1)";
+  t.dup <- p
+
+let set_max_retries t n =
+  (match n with
+  | Some n when n < 0 -> invalid_arg "Link.set_max_retries: negative cap"
+  | Some _ | None -> ());
+  t.max_retries <- n
+
+let orphan_count t = Hashtbl.length t.orphans
+
+let evict_gid t ~gid =
+  while Hashtbl.mem t.orphans gid do
+    Hashtbl.remove t.orphans gid
+  done
+
 let set_observer t f = t.observer <- f

@@ -16,20 +16,46 @@
     counters show) every retransmission. This is the regime in which the
     protocols' database-resident markers earn their keep. One-way
     {!send}s are retransmitted blindly until one copy gets through (no
-    acknowledgement — the receiver-side effect runs once). *)
+    acknowledgement — the receiver-side effect runs once).
+
+    {1 Retry bound}
+
+    By default the sender retransmits forever — the right model for
+    decision-phase traffic, whose eventual delivery atomicity depends on.
+    With [?max_retries] set, an exchange still undelivered after that many
+    retransmissions raises {!Unreachable} instead: a timeout outcome the
+    caller must handle. A receiver that saw a request copy of an abandoned
+    exchange still holds the memoized reply for its request id; such
+    orphaned dedup entries are tracked per global transaction (the [?gid]
+    argument of {!rpc}) and reclaimed by {!evict_gid} when the transaction's
+    journal entry closes.
+
+    {1 Fault injection}
+
+    {!set_loss}, {!set_latency} and {!set_duplication} retune the wire at
+    run time (loss bursts, latency spikes, duplicated deliveries). All
+    default to the values given at creation ([0] for duplication); while
+    they are at their defaults the random stream is untouched, so runs
+    without injected faults are byte-identical to earlier builds. *)
 
 type t
+
+exception Unreachable of string
+(** Raised by {!rpc}/{!send} when [max_retries] retransmissions were
+    exhausted without completing the exchange; carries the request label. *)
 
 (** [create engine ~latency] with [latency >= 0] per direction.
     [loss] is the per-copy drop probability (default [0.]); [loss_seed]
     makes drops deterministic. [retry_timeout] is the sender's
-    retransmission deadline (default [6 x latency + 1]). *)
+    retransmission deadline (default [6 x latency + 1]). [max_retries]
+    bounds retransmissions per exchange (default: unbounded). *)
 val create :
   Icdb_sim.Engine.t ->
   latency:float ->
   ?loss:float ->
   ?loss_seed:int64 ->
   ?retry_timeout:float ->
+  ?max_retries:int ->
   unit ->
   t
 
@@ -37,13 +63,16 @@ val create :
     site processes it with [f]; the site replies". Costs two messages and
     two latencies on a clean wire (more under loss). The reply is counted
     with the label returned by [f] (so a "prepare" request can be answered
-    by "ready" or "aborted"). Must run in a fiber. *)
-val rpc : t -> label:string -> (unit -> string * 'a) -> 'a
+    by "ready" or "aborted"). Must run in a fiber. [gid] tags the exchange
+    with its global transaction for {!evict_gid} accounting. Raises
+    {!Unreachable} when a retry cap is set and exhausted. *)
+val rpc : ?gid:int -> t -> label:string -> (unit -> string * 'a) -> 'a
 
 (** [send t ~label f] is a one-way message; [f] runs once when the first
     copy arrives. Returns after the effect has happened (retransmissions
-    are simulated inline). *)
-val send : t -> label:string -> (unit -> unit) -> unit
+    are simulated inline). Raises {!Unreachable} when a retry cap is set
+    and every copy was lost. *)
+val send : ?gid:int -> t -> label:string -> (unit -> unit) -> unit
 
 (** Total messages carried (including retransmitted copies), and per-label
     counts (sorted by label). *)
@@ -63,6 +92,21 @@ val dropped_count : t -> int
 
 val reset_counters : t -> unit
 val latency : t -> float
+
+(** Run-time fault injection; see the module preamble. [set_latency] does
+    not retune the retransmission deadline fixed at creation. *)
+val set_latency : t -> float -> unit
+
+val set_loss : t -> float -> unit
+val set_duplication : t -> float -> unit
+val set_max_retries : t -> int option -> unit
+
+(** Orphaned receiver-side dedup entries (abandoned exchanges whose request
+    reached the receiver), and their eviction once the owning global
+    transaction's journal entry closes. *)
+val orphan_count : t -> int
+
+val evict_gid : t -> gid:int -> unit
 
 (** Wire-level events for the observability layer: a copy entering the wire,
     a copy delivered after the latency, a copy dropped by the lossy wire.

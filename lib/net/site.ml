@@ -7,6 +7,13 @@ type t = {
   db : Db.t;
   link : Link.t;
   mutable up_waiters : unit Fiber.resumer list;
+  (* Crash-schedule guarding: [crash_for] schedules a delayed restart, but a
+     second crash can land before it fires. The pending event is cancelled on
+     every up/down transition, and the incarnation stamp makes any event that
+     escaped cancellation a no-op — a stale restart must never revive a site
+     that a later schedule step just crashed. *)
+  mutable pending_restart : Sim.event_id option;
+  mutable incarnation : int;
 }
 
 let create engine ?(latency = 1.0) ?(loss = 0.0) config =
@@ -17,6 +24,8 @@ let create engine ?(latency = 1.0) ?(loss = 0.0) config =
       Link.create engine ~latency ~loss
         ~loss_seed:(Int64.add config.Db.seed 77L) ();
     up_waiters = [];
+    pending_restart = None;
+    incarnation = 0;
   }
 
 let name t = Db.name t.db
@@ -24,9 +33,21 @@ let db t = t.db
 let link t = t.link
 let engine t = t.engine
 
-let crash t = Db.crash t.db
+let cancel_pending_restart t =
+  match t.pending_restart with
+  | None -> ()
+  | Some ev ->
+    Sim.cancel t.engine ev;
+    t.pending_restart <- None
+
+let crash t =
+  cancel_pending_restart t;
+  t.incarnation <- t.incarnation + 1;
+  Db.crash t.db
 
 let restart t =
+  cancel_pending_restart t;
+  t.incarnation <- t.incarnation + 1;
   let outcome = Db.restart t.db in
   let waiters = List.rev t.up_waiters in
   t.up_waiters <- [];
@@ -35,7 +56,12 @@ let restart t =
 
 let crash_for t ~duration =
   crash t;
-  ignore (Sim.schedule t.engine ~delay:duration (fun () -> ignore (restart t)))
+  let inc = t.incarnation in
+  t.pending_restart <-
+    Some
+      (Sim.schedule t.engine ~delay:duration (fun () ->
+           t.pending_restart <- None;
+           if t.incarnation = inc && not (Db.is_up t.db) then ignore (restart t)))
 
 let await_up t =
   if not (Db.is_up t.db) then

@@ -23,15 +23,23 @@ val db : t -> Icdb_localdb.Engine.t
 val link : t -> Link.t
 val engine : t -> Icdb_sim.Engine.t
 
-(** [crash t] takes the site down immediately (volatile state lost). *)
+(** [crash t] takes the site down immediately (volatile state lost). Any
+    restart still pending from an earlier {!crash_for} is cancelled: the new
+    outage is in force until somebody restarts the site again. *)
 val crash : t -> unit
 
 (** [restart t] runs restart recovery, reopens the site and wakes every
-    fiber blocked in {!await_up}. Returns the recovery report. *)
+    fiber blocked in {!await_up}. Returns the recovery report. Cancels a
+    pending {!crash_for} restart (the site is already up). *)
 val restart : t -> Icdb_wal.Recovery.outcome
 
 (** [crash_for t ~duration] crashes now and schedules the restart [duration]
-    virtual-time units later. Callable from anywhere (no fiber needed). *)
+    virtual-time units later. Callable from anywhere (no fiber needed).
+
+    Overlapping schedules are safe: a later {!crash} or {!crash_for} cancels
+    the pending restart (and an incarnation stamp neutralises it even if the
+    event was already dispatched), so a stale restart can neither revive a
+    site that a newer step just crashed nor double-restart an up site. *)
 val crash_for : t -> duration:float -> unit
 
 (** [await_up t] returns immediately when the site is up, otherwise blocks

@@ -69,16 +69,26 @@ let fetch t pid =
     Hashtbl.replace t.frames pid frame;
     frame
 
+(* Unpin via an explicit exception match, not [Fun.protect]: the finaliser
+   pattern is not effect-safe (a fiber suspending inside [f] would leave the
+   pin held if the continuation were dropped), and [Finally_raised] would
+   mask the original exception. [f] either returns or raises; the pin is
+   balanced — and the frame marked dirty, its content may have been touched —
+   on both paths. *)
 let with_page t pid ~write f =
   let frame = fetch t pid in
   frame.pins <- frame.pins + 1;
   t.tick <- t.tick + 1;
   frame.last_used <- t.tick;
-  Fun.protect
-    ~finally:(fun () ->
-      frame.pins <- frame.pins - 1;
-      if write then frame.dirty <- true)
-    (fun () -> f frame.page)
+  match f frame.page with
+  | v ->
+    frame.pins <- frame.pins - 1;
+    if write then frame.dirty <- true;
+    v
+  | exception e ->
+    frame.pins <- frame.pins - 1;
+    if write then frame.dirty <- true;
+    raise e
 
 let flush_page t pid =
   match Hashtbl.find_opt t.frames pid with
@@ -92,6 +102,11 @@ let drop_all t = Hashtbl.reset t.frames
 let dirty_pages t =
   Hashtbl.fold (fun pid frame acc -> if frame.dirty then pid :: acc else acc) t.frames []
   |> List.sort compare
+
+(* Outstanding pins across every frame. Steady-state invariant: zero — every
+   pin is scoped to a [with_page] call, so a nonzero count between
+   operations is a leak. *)
+let pin_count t = Hashtbl.fold (fun _ frame acc -> acc + frame.pins) t.frames 0
 
 let capacity t = t.capacity
 let hit_count t = t.hits

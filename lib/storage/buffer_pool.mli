@@ -23,8 +23,16 @@ val set_wal_hook : t -> (lsn:int64 -> unit) -> unit
 (** [with_page t pid ~write f] pins the page (fetching from disk on a miss),
     applies [f], marks the frame dirty when [write], unpins, and returns
     [f]'s result. The page value must not escape [f]. Raises [Failure] if
-    every frame is pinned. *)
+    every frame is pinned. Exception-safe: when [f] raises, the pin is
+    released (and the frame still marked dirty under [write] — [f] may have
+    touched the page before failing) and the exception is re-raised
+    unwrapped. *)
 val with_page : t -> Disk.page_id -> write:bool -> (Page.t -> 'a) -> 'a
+
+(** Outstanding pins summed over all frames. Zero between operations: every
+    pin is scoped to a {!with_page} call, so a persistent nonzero count is a
+    pin leak (and will eventually make eviction fail). *)
+val pin_count : t -> int
 
 (** [flush_page t pid] writes the frame to disk if present and dirty. *)
 val flush_page : t -> Disk.page_id -> unit

@@ -266,7 +266,7 @@ let phase_breakdown registry ~protocol =
         of_protocol)
     Span.all_phases
 
-let run ?registry ?tracer cfg =
+let run ?registry ?tracer ?on_setup ?on_txn_exn ?on_drain cfg =
   if cfg.n_sites <= 0 || cfg.n_txns < 0 || cfg.concurrency <= 0 then
     invalid_arg "Runner.run: bad configuration";
   let engine = Sim.create () in
@@ -290,6 +290,9 @@ let run ?registry ?tracer cfg =
   List.iter (fun (_, site) -> Db.load (Site.db site) rows) fed.sites;
   let money_before = cfg.n_sites * cfg.accounts_per_site * cfg.initial_balance in
   let names = make_names cfg in
+  (* Fault-campaign hook: runs with the federation built and preloaded but
+     before any fiber is spawned, so injectors it arms see the whole run. *)
+  Option.iter (fun f -> f engine fed) on_setup;
   let master_rng = Rng.create cfg.seed in
   let zipf = Zipf.create ~n:cfg.accounts_per_site ~theta:cfg.zipf_theta in
   let issued = ref 0 in
@@ -315,12 +318,21 @@ let run ?registry ?tracer cfg =
     let rec loop () =
       if !issued < cfg.n_txns then begin
         incr issued;
-        (match cfg.protocol with
-        | Protocol.Before_mlt ->
-          ignore
-            (Icdb_core.Commit_before_mlt.run ~action_retries:cfg.mlt_action_retries fed
-               (mlt_spec cfg names fed rng zipf))
-        | flat -> ignore (Protocol.run_flat flat fed (flat_spec cfg names fed rng zipf)));
+        (let run_one () =
+           match cfg.protocol with
+           | Protocol.Before_mlt ->
+             ignore
+               (Icdb_core.Commit_before_mlt.run ~action_retries:cfg.mlt_action_retries fed
+                  (mlt_spec cfg names fed rng zipf))
+           | flat -> ignore (Protocol.run_flat flat fed (flat_spec cfg names fed rng zipf))
+         in
+         match on_txn_exn with
+         | None -> run_one ()
+         | Some handler -> (
+           (* Injected central crashes abandon the protocol run mid-flight;
+              the handler decides whether the worker survives to issue the
+              next transaction. *)
+           try run_one () with e when handler e -> ()));
         loop ()
       end
     in
@@ -340,6 +352,14 @@ let run ?registry ?tracer cfg =
   List.iter
     (fun (_, site) -> if not (Site.is_up site) then ignore (Site.restart site))
     fed.sites;
+  (* Fault-campaign drain hook: runs as a fiber after the workload settled
+     and all sites restarted — the place for central recovery and
+     invariant probes that need the simulated clock. *)
+  Option.iter
+    (fun f ->
+      Fiber.spawn engine f;
+      Sim.run engine)
+    on_drain;
   let elapsed = if !finished_at > 0.0 then !finished_at else Sim.now engine in
   let m = fed.metrics in
   let committed = Metrics.committed m in

@@ -113,6 +113,28 @@ type report = {
     default each run gets a fresh registry and a disabled tracer. When a
     shared [registry] is supplied, the per-run counters are reset at the
     start of the run (labelled metrics such as phase-latency histograms
-    accumulate across runs by design). *)
+    accumulate across runs by design).
+
+    The three hooks exist for the fault-injection campaign
+    ({!Icdb_fault.Campaign}):
+
+    - [on_setup engine fed] runs once the federation is built and the
+      accounts preloaded, before any worker or crash-injector fiber spawns
+      — the place to arm fault plans (scheduled site crashes, loss bursts,
+      a [central_fail] hook).
+    - [on_txn_exn exn] is consulted when a protocol run raises inside a
+      worker fiber; returning [true] swallows the exception (the worker
+      issues the next transaction), [false] lets it propagate. Default:
+      propagate everything.
+    - [on_drain] runs as a fresh fiber after the workload settled and every
+      site was restarted, with the engine drained again afterwards — the
+      place for {!Icdb_core.Central_recovery.recover} and invariant probes
+      that need the simulated clock. *)
 val run :
-  ?registry:Icdb_obs.Registry.t -> ?tracer:Icdb_obs.Tracer.t -> config -> report
+  ?registry:Icdb_obs.Registry.t ->
+  ?tracer:Icdb_obs.Tracer.t ->
+  ?on_setup:(Icdb_sim.Engine.t -> Icdb_core.Federation.t -> unit) ->
+  ?on_txn_exn:(exn -> bool) ->
+  ?on_drain:(unit -> unit) ->
+  config ->
+  report

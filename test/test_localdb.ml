@@ -916,6 +916,21 @@ let prop_occ_oracle =
         (List.init n_keys Fun.id);
       !good)
 
+(* Regression: communication managers race site crashes; [begin_txn] on a
+   down site raises, [begin_txn_opt] reports the outage as an outcome. *)
+let test_begin_txn_opt_down_site () =
+  let eng = Sim.create () in
+  let db = Db.create eng (locking_config "site-a") in
+  (match Db.begin_txn_opt db with
+  | Some txn -> Db.abort db txn
+  | None -> Alcotest.fail "up site must hand out transactions");
+  Db.crash db;
+  Alcotest.(check bool) "down site yields None" true (Db.begin_txn_opt db = None);
+  ignore (Db.restart db);
+  match Db.begin_txn_opt db with
+  | Some txn -> Db.abort db txn
+  | None -> Alcotest.fail "restarted site must hand out transactions"
+
 let () =
   Alcotest.run "localdb"
     [
@@ -957,6 +972,8 @@ let () =
           Alcotest.test_case "crash semantics" `Quick
             test_crash_preserves_committed_loses_running;
           Alcotest.test_case "crash before any flush" `Quick test_crash_before_any_flush;
+          Alcotest.test_case "begin_txn_opt on down site" `Quick
+            test_begin_txn_opt_down_site;
           Alcotest.test_case "double crash idempotent" `Quick
             test_double_crash_recovery_idempotent;
         ] );

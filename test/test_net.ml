@@ -115,6 +115,40 @@ let test_site_multiple_waiters () =
   Sim.run eng;
   Alcotest.(check int) "all waiters woken" 3 !woken
 
+(* Regression: two overlapping [crash_for] outages on one site. The first
+   outage's scheduled restart used to fire mid-way through the second outage
+   and revive the site ~90 time units early. *)
+let test_site_overlapping_crash_for () =
+  let eng = Sim.create () in
+  let site = Site.create eng (Db.default_config ~site_name:"s1") in
+  ignore (Sim.schedule eng ~delay:5.0 (fun () -> Site.crash_for site ~duration:10.0));
+  ignore (Sim.schedule eng ~delay:10.0 (fun () -> Site.crash_for site ~duration:100.0));
+  let up_at_16 = ref true in
+  ignore (Sim.schedule eng ~delay:16.0 (fun () -> up_at_16 := Site.is_up site));
+  let woke_at = ref 0.0 in
+  Fiber.spawn eng (fun () ->
+      Fiber.sleep eng 6.0;
+      Site.await_up site;
+      woke_at := Sim.now eng);
+  Sim.run eng;
+  Alcotest.(check bool) "stale restart did not fire" false !up_at_16;
+  Alcotest.(check (float 1e-9)) "second outage runs its course" 110.0 !woke_at;
+  Alcotest.(check bool) "up at end" true (Site.is_up site)
+
+(* Regression: a manual restart inside a [crash_for] window cancels the
+   pending restart, and a later plain crash must not be undone by it. *)
+let test_site_restart_cancels_pending () =
+  let eng = Sim.create () in
+  let site = Site.create eng (Db.default_config ~site_name:"s1") in
+  ignore (Sim.schedule eng ~delay:0.0 (fun () -> Site.crash_for site ~duration:10.0));
+  ignore (Sim.schedule eng ~delay:2.0 (fun () -> ignore (Site.restart site)));
+  ignore (Sim.schedule eng ~delay:5.0 (fun () -> Site.crash site));
+  let up_mid = ref false in
+  ignore (Sim.schedule eng ~delay:3.0 (fun () -> up_mid := Site.is_up site));
+  Sim.run eng;
+  Alcotest.(check bool) "manual restart took effect" true !up_mid;
+  Alcotest.(check bool) "crash after cancelled restart sticks" false (Site.is_up site)
+
 (* --- lossy links --- *)
 
 let test_link_lossy_rpc_exactly_once_effect () =
@@ -153,6 +187,59 @@ let test_link_lossy_send_effect_once () =
       done);
   Sim.run eng;
   Alcotest.(check int) "each datagram delivered once" 10 !effects
+
+(* Retry cap: a wire bad enough to eat every copy makes [rpc] give up with
+   [Unreachable] instead of retransmitting forever. Nothing was delivered,
+   so no receiver dedup state is orphaned. *)
+let test_link_retry_cap_unreachable () =
+  let eng = Sim.create () in
+  let link = Link.create eng ~latency:1.0 ~loss:0.99 ~loss_seed:5L ~max_retries:2 () in
+  let raised = ref false in
+  Fiber.spawn eng (fun () ->
+      try ignore (Link.rpc ~gid:9 link ~label:"q" (fun () -> ("r", ())))
+      with Link.Unreachable "q" -> raised := true);
+  Sim.run eng;
+  Alcotest.(check bool) "unreachable after cap" true !raised;
+  Alcotest.(check int) "request never delivered, no orphan" 0 (Link.orphan_count link)
+
+(* Orphaned receiver dedup state: the request got through (the receiver
+   memoized a reply) but the wire then turned bad and the budget ran out.
+   The orphan stays until its global transaction evicts it. *)
+let test_link_orphan_eviction () =
+  let eng = Sim.create () in
+  let link = Link.create eng ~latency:1.0 ~max_retries:0 () in
+  ignore (Sim.schedule eng ~delay:0.5 (fun () -> Link.set_loss link 0.99));
+  let raised = ref false and executed = ref 0 in
+  Fiber.spawn eng (fun () ->
+      try
+        ignore
+          (Link.rpc ~gid:7 link ~label:"q" (fun () ->
+               incr executed;
+               ("r", 1)))
+      with Link.Unreachable _ -> raised := true);
+  Sim.run eng;
+  Alcotest.(check bool) "reply lost, budget spent" true !raised;
+  Alcotest.(check int) "handler did run" 1 !executed;
+  Alcotest.(check int) "dedup entry orphaned" 1 (Link.orphan_count link);
+  Link.evict_gid link ~gid:7;
+  Alcotest.(check int) "journal close evicts" 0 (Link.orphan_count link)
+
+(* Duplicated deliveries ride the wire and the counters but never re-run the
+   handler (receiver-side dedup). *)
+let test_link_duplication_deduped () =
+  let eng = Sim.create () in
+  let link = Link.create eng ~latency:1.0 () in
+  Link.set_duplication link 0.99;
+  let executed = ref 0 in
+  Fiber.spawn eng (fun () ->
+      ignore
+        (Link.rpc link ~label:"p" (fun () ->
+             incr executed;
+             ("r", ()))));
+  Sim.run eng;
+  Alcotest.(check int) "handler once" 1 !executed;
+  Alcotest.(check int) "request+reply plus two duplicate copies" 4
+    (Link.message_count link)
 
 let test_link_loss_validation () =
   let eng = Sim.create () in
@@ -331,6 +418,10 @@ let () =
           Alcotest.test_case "rpc dedup under loss" `Quick
             test_link_lossy_rpc_exactly_once_effect;
           Alcotest.test_case "send delivered once" `Quick test_link_lossy_send_effect_once;
+          Alcotest.test_case "retry cap unreachable" `Quick
+            test_link_retry_cap_unreachable;
+          Alcotest.test_case "orphan eviction" `Quick test_link_orphan_eviction;
+          Alcotest.test_case "duplication deduped" `Quick test_link_duplication_deduped;
           Alcotest.test_case "validation" `Quick test_link_loss_validation;
         ] );
       ( "batcher",
@@ -350,6 +441,10 @@ let () =
         [
           Alcotest.test_case "basics" `Quick test_site_basics;
           Alcotest.test_case "crash_for / await_up" `Quick test_site_crash_for_and_await_up;
+          Alcotest.test_case "overlapping crash_for" `Quick
+            test_site_overlapping_crash_for;
+          Alcotest.test_case "restart cancels pending" `Quick
+            test_site_restart_cancels_pending;
           Alcotest.test_case "await_up immediate" `Quick test_site_await_up_immediate;
           Alcotest.test_case "crash durability" `Quick test_site_crash_preserves_committed;
           Alcotest.test_case "multiple waiters" `Quick test_site_multiple_waiters;

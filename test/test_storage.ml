@@ -189,6 +189,23 @@ let test_pool_caches () =
   Alcotest.(check int) "one miss" 1 (Bp.miss_count pool);
   Alcotest.(check int) "one hit" 1 (Bp.hit_count pool)
 
+exception Boom
+
+(* Regression: an exception out of [f] used to leave the frame pinned (and
+   undirtied), so the page could never be evicted again. *)
+let test_pool_pin_balance_on_exception () =
+  let d = Disk.create () in
+  let pid = Disk.allocate d in
+  let pool = Bp.create ~capacity:4 d in
+  Alcotest.check_raises "exception propagates" Boom (fun () ->
+      Bp.with_page pool pid ~write:true (fun _ -> raise Boom));
+  Alcotest.(check int) "no pin leaked" 0 (Bp.pin_count pool);
+  (* The page must still be evictable: touching [capacity] other pages from
+     a full pool only works if the first frame's pin was released. *)
+  let others = List.init 4 (fun _ -> Disk.allocate d) in
+  List.iter (fun p -> Bp.with_page pool p ~write:false (fun _ -> ())) others;
+  Alcotest.(check int) "balanced after traffic" 0 (Bp.pin_count pool)
+
 let test_pool_eviction_writes_dirty () =
   let d = Disk.create () in
   let pids = List.init 5 (fun _ -> Disk.allocate d) in
@@ -422,6 +439,8 @@ let () =
       ( "buffer_pool",
         [
           Alcotest.test_case "caches" `Quick test_pool_caches;
+          Alcotest.test_case "pin balance on exception" `Quick
+            test_pool_pin_balance_on_exception;
           Alcotest.test_case "eviction writes dirty" `Quick test_pool_eviction_writes_dirty;
           Alcotest.test_case "wal hook" `Quick test_pool_wal_hook_fires_before_write;
           Alcotest.test_case "drop_all discards" `Quick test_pool_drop_all_discards;
