@@ -221,10 +221,114 @@ let overhead_snapshot () =
       (protocol, run None, run (Some 3.0)))
     Protocol.all
 
+(* --- pure scheduler kernel ----------------------------------------------
+
+   The classic hold model on the event queue alone, no federation: prefill
+   [pending] events, then run a steady state where every executed event
+   schedules one successor (exponential inter-event gap), so the queue
+   holds ~[pending] events throughout. Run against both the calendar
+   engine and the pre-calendar binary heap (Engine_ref) so BENCH.json
+   records the baseline the calendar is judged against. [drain] pops the
+   queue to empty afterwards — the 10^7-pending entry uses it as a
+   completes-without-pathologies check, and its wall time is included in
+   the rate. *)
+
+module Sim = Icdb_sim.Engine
+module Sim_ref = Icdb_sim.Engine_ref
+module Rng = Icdb_util.Rng
+
+type scaling_row = {
+  s_queue : string;
+  s_pending : int;
+  s_events : int;
+  s_events_per_sec : float;
+}
+
+let hold_model ~pending ~ops ~drain schedule step =
+  let rng = Rng.create 42L in
+  (* untimed warmup steps after the prefill, plus a full collection before
+     the clock starts: the rows claim steady state, so the measured window
+     must not pay the prefill's garbage or first-touch faults *)
+  let warmup = min ops (max 10_000 (ops / 5)) in
+  let remaining = ref (ops + warmup) in
+  let rec thunk () =
+    if !remaining > 0 then begin
+      decr remaining;
+      schedule (Rng.exponential rng ~mean:100.0) thunk
+    end
+  in
+  for _ = 1 to pending do
+    schedule (Rng.exponential rng ~mean:100.0) thunk
+  done;
+  let w = ref warmup in
+  while !w > 0 && step () do
+    decr w
+  done;
+  Gc.full_major ();
+  let t0 = Sys.time () in
+  let executed = ref 0 in
+  while !remaining > 0 && step () do
+    incr executed
+  done;
+  if drain then
+    while step () do
+      incr executed
+    done;
+  let wall = Sys.time () -. t0 in
+  (!executed, wall)
+
+let scheduler_row queue ~pending ~ops ~drain =
+  let executed, wall =
+    match queue with
+    | `Calendar ->
+      let e = Sim.create () in
+      hold_model ~pending ~ops ~drain
+        (fun delay f -> ignore (Sim.schedule e ~delay f))
+        (fun () -> Sim.step e)
+    | `Heap_ref ->
+      let e = Sim_ref.create () in
+      hold_model ~pending ~ops ~drain
+        (fun delay f -> ignore (Sim_ref.schedule e ~delay f))
+        (fun () -> Sim_ref.step e)
+  in
+  {
+    s_queue = (match queue with `Calendar -> "calendar" | `Heap_ref -> "heap-ref");
+    s_pending = pending;
+    s_events = executed;
+    s_events_per_sec = (if wall > 0.0 then float_of_int executed /. wall else 0.0);
+  }
+
+let scheduler_snapshot ~smoke =
+  if smoke then
+    [
+      scheduler_row `Heap_ref ~pending:10_000 ~ops:100_000 ~drain:false;
+      scheduler_row `Calendar ~pending:10_000 ~ops:100_000 ~drain:false;
+      scheduler_row `Calendar ~pending:100_000 ~ops:100_000 ~drain:false;
+    ]
+  else
+    [
+      scheduler_row `Heap_ref ~pending:10_000 ~ops:1_000_000 ~drain:false;
+      scheduler_row `Heap_ref ~pending:1_000_000 ~ops:1_000_000 ~drain:false;
+      scheduler_row `Calendar ~pending:10_000 ~ops:1_000_000 ~drain:false;
+      scheduler_row `Calendar ~pending:1_000_000 ~ops:1_000_000 ~drain:false;
+      (* the acceptance run: 10^7 pending, full drain included in the rate *)
+      scheduler_row `Calendar ~pending:10_000_000 ~ops:1_000_000 ~drain:true;
+    ]
+
+let print_scaling rows =
+  print_endline "Scheduler hold-model (events/sec, steady state at N pending)";
+  print_endline "------------------------------------------------------------";
+  List.iter
+    (fun r ->
+      Printf.printf "%-10s %10d pending %10d events %12.0f events/s\n" r.s_queue
+        r.s_pending r.s_events r.s_events_per_sec)
+    rows;
+  print_newline ()
+
 (* Machine-readable companion to the human table: kernel name -> ms/run plus
    the virtual-time phase-latency breakdown, so future changes have both a
    perf and a behavior trajectory to compare against. *)
-let write_bench_json path rows phases overhead alloc =
+let write_bench_json path rows phases overhead alloc scaling =
   let esc = Icdb_obs.Export.json_escape in
   let oc = open_out path in
   output_string oc "{\n  \"kernels\": {\n";
@@ -266,6 +370,15 @@ let write_bench_json path rows phases overhead alloc =
         (esc r.a_name) r.a_minor_words_per_txn r.a_major_per_run
         (if i < last then "," else ""))
     alloc;
+  output_string oc "  ],\n  \"scaling\": [\n";
+  let last = List.length scaling - 1 in
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"queue\":\"%s\",\"pending\":%d,\"events\":%d,\"events_per_sec\":%.0f}%s\n"
+        (esc r.s_queue) r.s_pending r.s_events r.s_events_per_sec
+        (if i < last then "," else ""))
+    scaling;
   output_string oc "  ]\n}\n";
   close_out oc
 
@@ -297,5 +410,8 @@ let () =
       (List.filter (fun (n, _, _) -> List.mem_assoc n active) alloc_kernels)
   in
   print_alloc alloc;
-  write_bench_json "BENCH.json" rows (phase_snapshot ()) (overhead_snapshot ()) alloc;
+  let scaling = scheduler_snapshot ~smoke in
+  print_scaling scaling;
+  write_bench_json "BENCH.json" rows (phase_snapshot ()) (overhead_snapshot ()) alloc
+    scaling;
   if not smoke then print_string (Experiments.run_all ~jobs:(jobs ()) ())

@@ -28,7 +28,10 @@ let protocol_conv =
 (* Experiments living outside Icdb_workload.Experiments (the fault campaign
    needs Icdb_fault, which depends on the workload library). *)
 let extra_experiments =
-  [ ("r1", "fault-injection campaign: violations per protocol and fault class") ]
+  [
+    ("r1", "fault-injection campaign: violations per protocol and fault class");
+    ("s1", "scaling lab: committed-txns/sec and events/sec vs accounts x sites");
+  ]
 
 let list_cmd =
   let doc = "List the reproduced experiments (figures F2-F8, claims V1-V7)." in
@@ -51,13 +54,22 @@ let exp_cmd =
              experiment is an independent deterministically seeded simulation, so the \
              output is byte-identical for any $(docv).")
   in
-  let run id jobs =
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "With $(b,s1), run the reduced CI-sized ladder instead of the full \
+             million-account one. Ignored by other experiments.")
+  in
+  let run id jobs smoke =
     if id = "all" then begin
       print_string (Experiments.run_all ~jobs ());
       print_newline ();
       ignore (Campaign.experiment_r1 ())
     end
     else if id = "r1" then ignore (Campaign.experiment_r1 ())
+    else if id = "s1" then print_string (Icdb_workload.Scaling.run_s1 ~smoke ())
     else
       match Experiments.run id with
       | report -> print_string report
@@ -65,7 +77,7 @@ let exp_cmd =
         Printf.eprintf "unknown experiment %S; try `icdb list`\n" id;
         exit 1
   in
-  Cmd.v (Cmd.info "exp" ~doc) Term.(const run $ id $ jobs)
+  Cmd.v (Cmd.info "exp" ~doc) Term.(const run $ id $ jobs $ smoke)
 
 let report_to_string ?(central_gc = false) (r : Runner.report) =
   let b = Buffer.create 512 in

@@ -199,7 +199,27 @@ let install_observability t =
   Lock.set_observer t.global_cc (lock_handler t ~table:"global-cc" ~names:t.syms);
   Lock.set_observer t.l1_locks (lock_handler t ~table:"l1" ~names:t.syms);
   let sim_events = Registry.counter t.registry "icdb_sim_events_total" in
-  Sim.set_observer t.engine (fun () -> Registry.inc sim_events)
+  Sim.set_observer t.engine (fun () -> Registry.inc sim_events);
+  (* Calendar-mode engine metrics are materialized on the first rebuild:
+     seed-scale runs never cross the activation threshold, so creating them
+     lazily keeps default-config metric snapshots byte-identical to
+     pre-calendar ones. The counter is seeded with the events this engine
+     already executed so it reads as a true lifetime total. *)
+  let engine_events = ref None in
+  Sim.set_resize_hook t.engine (fun ~buckets ~width:_ ~events ->
+      let occupancy =
+        Registry.histogram t.registry "icdb_engine_bucket_occupancy"
+      in
+      Registry.observe occupancy (float_of_int events /. float_of_int buckets);
+      match !engine_events with
+      | Some _ -> ()
+      | None ->
+        let c = Registry.counter t.registry "icdb_engine_events_total" in
+        Registry.inc ~by:(Sim.executed t.engine) c;
+        engine_events := Some c;
+        Sim.set_observer t.engine (fun () ->
+            Registry.inc sim_events;
+            Registry.inc c))
 
 (* A window of 0 (or less) means "off": the feature must be byte-invisible
    unless positively enabled, so reports with the default config reproduce

@@ -120,6 +120,7 @@ type violation =
   | Pins_leaked of { site : string; pins : int }
   | Accounting of { started : int; committed : int; aborted : int; killed : int }
   | Recovery_not_idempotent of string
+  | Engine_not_drained of { live : int; stored : int }
   | Run_crashed of string
 
 let pp_violation ppf = function
@@ -139,6 +140,8 @@ let pp_violation ppf = function
       started committed aborted killed
   | Recovery_not_idempotent s ->
     Format.fprintf ppf "second recovery repaired again: %s" s
+  | Engine_not_drained { live; stored } ->
+    Format.fprintf ppf "engine not drained: %d live, %d stored events" live stored
   | Run_crashed s -> Format.fprintf ppf "run crashed: %s" s
 
 (* Protocol markers left in the committed local states, keyed by gid. *)
@@ -259,6 +262,11 @@ let check_invariants (fed : Federation.t) (report : Runner.report) ~protocol ~ki
            aborted = report.aborted;
            killed;
          });
+  (* After the run and the recovery drains, the event queue must be truly
+     empty: no live timers left behind by a crashed fiber, and no cancelled
+     carcasses the queue failed to compact away. *)
+  let live = Sim.pending fed.engine and stored = Sim.stored fed.engine in
+  if live <> 0 || stored <> 0 then push (Engine_not_drained { live; stored });
   (match recover2 with
   | Some s2 when not (zero_summary s2) ->
     push

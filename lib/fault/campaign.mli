@@ -27,6 +27,9 @@ type violation =
   | Pins_leaked of { site : string; pins : int }
   | Accounting of { started : int; committed : int; aborted : int; killed : int }
   | Recovery_not_idempotent of string
+  | Engine_not_drained of { live : int; stored : int }
+      (** The event queue still holds events after the drain: [live] pending
+          ones, or cancelled carcasses compaction missed ([stored]). *)
   | Run_crashed of string
 
 val pp_violation : Format.formatter -> violation -> unit

@@ -762,6 +762,12 @@ let committed_keys t =
   Btree.keys t.index
 
 let load t rows =
+  (* Bulk preloads can be a million rows: pre-size the interner and the
+     lock table's dense entry array so the load doesn't pay repeated
+     doubling copies on the way up. *)
+  let n = Symbol.count t.syms + List.length rows in
+  Symbol.ensure_capacity t.syms n;
+  Lock.ensure_capacity t.locks n;
   let txn = fresh_txn t in
   ignore (Log.append t.log (Begin txn.id));
   List.iter (fun (key, value) -> do_insert t txn ~key ~value) rows;

@@ -88,6 +88,16 @@ let symbols t = t.syms
 let intern t s = Symbol.intern t.syms s
 let obj_name t obj = Symbol.name t.syms obj
 
+(* Pre-size the dense entries array for a known object population (e.g. a
+   million preloaded accounts) so the first acquires don't pay log2(n)
+   doubling copies. *)
+let ensure_capacity t n =
+  if n > Array.length t.entries then begin
+    let bigger = Array.make n None in
+    Array.blit t.entries 0 bigger 0 (Array.length t.entries);
+    t.entries <- bigger
+  end
+
 let entry_slot t obj =
   if obj >= Array.length t.entries then begin
     let n = Array.length t.entries in

@@ -43,6 +43,11 @@ val create :
 (** The symbol table supplied at creation. *)
 val symbols : 'mode t -> Symbol.table
 
+(** [ensure_capacity t n] grows the dense symbol->entry array to hold at
+    least [n] objects up front, avoiding doubling copies during a bulk
+    preload. Never shrinks; held locks are unchanged. *)
+val ensure_capacity : 'mode t -> int -> unit
+
 (** [intern t s] interns an object name against the table's symbols. *)
 val intern : 'mode t -> string -> Symbol.t
 

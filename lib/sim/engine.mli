@@ -5,6 +5,15 @@
     together with the explicit {!Icdb_util.Rng} streams — makes every run of
     the federation bit-for-bit reproducible.
 
+    The queue is a hybrid calendar queue: below an activation threshold it
+    is a plain binary min-heap (the exact fallback — seed-scale runs never
+    leave it); past the threshold the far future spills into day-width
+    buckets auto-tuned from the observed inter-event gap, keeping
+    enqueue/dequeue O(1) amortized at millions of pending events. Both
+    regimes pop in the same strict ([time], [seq]) total order, so the
+    switch is invisible to the simulation — see {!Engine_ref} for the
+    reference heap the equivalence tests compare against.
+
     Time is a dimensionless [float]; the experiments interpret one unit as
     "one millisecond" but nothing depends on that. *)
 
@@ -13,8 +22,10 @@ type t
 (** Handle to a scheduled event, usable with {!cancel}. *)
 type event_id
 
-(** A fresh engine at time [0.]. *)
-val create : unit -> t
+(** A fresh engine at time [0.]. [threshold] (default 16384, clamped to at
+    least 64) is the pending-event count at which the calendar activates;
+    tests use a small value to exercise the calendar paths at toy scale. *)
+val create : ?threshold:int -> unit -> t
 
 (** Current virtual time. *)
 val now : t -> float
@@ -25,7 +36,8 @@ val now : t -> float
 val schedule : t -> delay:float -> (unit -> unit) -> event_id
 
 (** [cancel t id] prevents a pending event from firing. Cancelling an event
-    that already fired (or was cancelled) is a no-op. *)
+    that already fired (or was cancelled) is a no-op. Cancelled events are
+    compacted out of the queue once they outnumber live ones. *)
 val cancel : t -> event_id -> unit
 
 (** [step t] fires the single earliest pending event; [false] if none. *)
@@ -42,8 +54,25 @@ val run_until : t -> float -> unit
 (** Number of pending (non-cancelled) events. *)
 val pending : t -> int
 
+(** Number of events physically retained, cancelled ones included. Always
+    [>= pending]; the fault campaign asserts both reach zero after a
+    drain. *)
+val stored : t -> int
+
+(** Events executed since creation. *)
+val executed : t -> int
+
+(** Whether the calendar regime is currently active (diagnostics/tests). *)
+val calendar_active : t -> bool
+
 (** [set_observer t f] installs a hook called once per executed event, just
     before its callback runs (the clock already shows the event's time).
     The observability layer counts scheduler activity through it. Default:
     no-op; installing replaces the previous hook. *)
 val set_observer : t -> (unit -> unit) -> unit
+
+(** [set_resize_hook t f] installs a hook called on every calendar rebuild
+    with the new bucket count, day width and the number of live events
+    redistributed. Never called while the engine stays below the activation
+    threshold. Default: no-op; installing replaces the previous hook. *)
+val set_resize_hook : t -> (buckets:int -> width:float -> events:int -> unit) -> unit

@@ -1,0 +1,21 @@
+(** Reference binary-heap event queue.
+
+    A verbatim copy of the pre-calendar {!Engine} implementation, kept as an
+    executable specification: the QCheck2 equivalence property drives this
+    and the calendar queue through identical push/pop/cancel/clock-advance
+    interleavings and demands identical pop order, and the bench scheduler
+    kernel measures both so BENCH.json records the heap baseline the
+    calendar is compared against. Not used by the simulation itself. *)
+
+type t
+type event_id
+
+val create : unit -> t
+val now : t -> float
+val schedule : t -> delay:float -> (unit -> unit) -> event_id
+val cancel : t -> event_id -> unit
+val step : t -> bool
+val run : t -> unit
+val run_until : t -> float -> unit
+val pending : t -> int
+val set_observer : t -> (unit -> unit) -> unit

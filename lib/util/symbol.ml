@@ -25,6 +25,15 @@ let create ?(capacity = 64) () =
 
 let count tbl = tbl.count
 
+(* Pre-size for a known load (e.g. a million-account preload) so interning
+   does not go through log2(n) doubling copies of the names array. *)
+let ensure_capacity tbl n =
+  if n > Array.length tbl.names then begin
+    let bigger = Array.make n "" in
+    Array.blit tbl.names 0 bigger 0 tbl.count;
+    tbl.names <- bigger
+  end
+
 let intern tbl s =
   match Hashtbl.find_opt tbl.ids s with
   | Some id -> id

@@ -87,7 +87,7 @@ let site_config cfg i =
       };
     op_delay = cfg.op_delay;
     commit_delay = cfg.commit_delay;
-    buffer_capacity = 64;
+    buffer_capacity = max 64 (cfg.accounts_per_site / 4);
     spontaneous = None;
     seed = Int64.add cfg.seed (Int64.of_int (1000 + i));
     group_commit_window = cfg.group_commit_window;

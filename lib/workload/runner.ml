@@ -154,7 +154,10 @@ let site_config cfg i =
       };
     op_delay = cfg.op_delay;
     commit_delay = cfg.commit_delay;
-    buffer_capacity = 64;
+    (* Scale the pool with the preload so million-account sites keep their
+       working set resident (a cold heap scan per insert would dominate).
+       Every seed-scale config stays at exactly 64 frames. *)
+    buffer_capacity = max 64 (cfg.accounts_per_site / 4);
     spontaneous =
       (if cfg.p_spontaneous > 0.0 then
          Some
@@ -285,11 +288,14 @@ let run ?registry ?tracer ?on_setup ?on_txn_exn ?on_drain cfg =
      message counts — accumulate by design.) *)
   if registry <> None then Metrics.reset fed.metrics;
   fed.global_cc_enabled <- cfg.global_cc_enabled;
-  (* Preload accounts. *)
-  let rows = List.init cfg.accounts_per_site (fun i -> (account_name i, cfg.initial_balance)) in
+  let names = make_names cfg in
+  (* Preload accounts, reusing the interned name array instead of
+     re-formatting every account name a second time. *)
+  let rows =
+    List.init cfg.accounts_per_site (fun i -> (names.ns_accounts.(i), cfg.initial_balance))
+  in
   List.iter (fun (_, site) -> Db.load (Site.db site) rows) fed.sites;
   let money_before = cfg.n_sites * cfg.accounts_per_site * cfg.initial_balance in
-  let names = make_names cfg in
   (* Fault-campaign hook: runs with the federation built and preloaded but
      before any fiber is spawned, so injectors it arms see the whole run. *)
   Option.iter (fun f -> f engine fed) on_setup;

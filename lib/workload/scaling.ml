@@ -1,0 +1,128 @@
+(* S1 — million-account scaling lab.
+
+   Where the F/V/A experiments reproduce the paper's figures at the paper's
+   scale, S1 asks how far the same federation carries: each cell preloads
+   accounts_per_site × sites accounts (up to ~10⁶ across 32 sites), runs a
+   fixed transaction mix under every protocol and reports virtual-time
+   committed-txns/sec next to the wall-clock engine events/sec the run
+   sustained. Virtual-time throughput is deterministic (a pure function of
+   the seed, like every other lab); the wall-clock columns are measured on
+   the host and vary — they are the point of the lab, not a regression
+   surface, which is why S1 lives outside [Experiments.run_all] and its
+   byte-identity harness. *)
+
+module Sim = Icdb_sim.Engine
+module Table = Icdb_util.Table
+module Registry = Icdb_obs.Registry
+
+type cell = { sc_sites : int; sc_accounts_per_site : int }
+
+let cells ~smoke =
+  if smoke then
+    [
+      { sc_sites = 2; sc_accounts_per_site = 500 };
+      { sc_sites = 4; sc_accounts_per_site = 2_500 };
+    ]
+  else
+    [
+      { sc_sites = 4; sc_accounts_per_site = 2_500 };
+      { sc_sites = 8; sc_accounts_per_site = 12_500 };
+      { sc_sites = 16; sc_accounts_per_site = 31_250 };
+      { sc_sites = 32; sc_accounts_per_site = 31_250 };
+    ]
+
+let config protocol (c : cell) =
+  {
+    Runner.default with
+    protocol;
+    n_sites = c.sc_sites;
+    accounts_per_site = c.sc_accounts_per_site;
+    n_txns = 150;
+    concurrency = 16;
+    branches_per_txn = 2;
+    ops_per_branch = 2;
+    zipf_theta = 0.8;
+    use_increments = true;
+  }
+
+type row = {
+  r_protocol : Protocol.t;
+  r_sites : int;
+  r_accounts : int; (* total across sites *)
+  r_committed : int;
+  r_throughput : float; (* committed per 1000 virtual time units *)
+  r_load_wall : float; (* host seconds spent building + preloading *)
+  r_wall : float; (* host seconds spent in the transaction phase *)
+  r_events : int; (* engine events executed *)
+  r_events_per_sec : float;
+}
+
+let run_cell protocol (c : cell) =
+  let registry = Registry.create () in
+  let wall0 = Sys.time () in
+  let loaded_at = ref wall0 in
+  (* [on_setup] fires once the federation is built and preloaded, splitting
+     the bulk load from the transaction phase the events/s column rates. *)
+  let on_setup _engine _fed = loaded_at := Sys.time () in
+  let report = Runner.run ~registry ~on_setup (config protocol c) in
+  let wall1 = Sys.time () in
+  let events = Registry.count (Registry.counter registry "icdb_sim_events_total") in
+  let run_wall = wall1 -. !loaded_at in
+  {
+    r_protocol = protocol;
+    r_sites = c.sc_sites;
+    r_accounts = c.sc_sites * c.sc_accounts_per_site;
+    r_committed = report.Runner.committed;
+    r_throughput = report.Runner.throughput;
+    r_load_wall = !loaded_at -. wall0;
+    r_wall = run_wall;
+    r_events = events;
+    r_events_per_sec = (if run_wall > 0.0 then float_of_int events /. run_wall else 0.0);
+  }
+
+let run_s1 ?(smoke = false) () =
+  let cells = cells ~smoke in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf "S1 — scaling lab: %d txns/run, accounts x sites per protocol%s"
+           (config Protocol.Two_phase (List.hd cells)).Runner.n_txns
+           (if smoke then " (smoke)" else ""))
+      [
+        "protocol";
+        "sites";
+        "accounts";
+        "committed";
+        "txn/1000tu";
+        "load s";
+        "run s";
+        "events";
+        "events/s";
+      ]
+  in
+  List.iteri
+    (fun i protocol ->
+      if i > 0 then Table.add_separator table;
+      List.iter
+        (fun cell ->
+          let r = run_cell protocol cell in
+          Table.add_row table
+            [
+              Protocol.name r.r_protocol;
+              Table.fmt_int r.r_sites;
+              Table.fmt_int r.r_accounts;
+              Table.fmt_int r.r_committed;
+              Table.fmt_float ~decimals:2 r.r_throughput;
+              Table.fmt_float ~decimals:2 r.r_load_wall;
+              Table.fmt_float ~decimals:2 r.r_wall;
+              Table.fmt_int r.r_events;
+              Table.fmt_float ~decimals:0 r.r_events_per_sec;
+            ])
+        cells)
+    Protocol.all;
+  "Committed-transaction and engine-event rates as the federation grows from\n\
+   thousands to a million preloaded accounts. The txn/1000tu column is\n\
+   virtual-time throughput (deterministic, seed 42); load s (bulk preload),\n\
+   run s (transaction phase) and events/s are host measurements and vary run\n\
+   to run.\n\n"
+  ^ Table.render table

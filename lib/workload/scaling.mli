@@ -1,0 +1,13 @@
+(** S1 — million-account scaling lab.
+
+    Runs the standard transaction mix for every protocol over a ladder of
+    federation sizes (up to ~10⁶ preloaded accounts across 32 sites) and
+    renders committed-txns per 1000 virtual time units alongside wall-clock
+    engine events/sec. The virtual-time columns are deterministic; the wall
+    columns are host measurements, which is why S1 is invoked explicitly
+    ([icdb exp s1]) and excluded from {!Experiments.run_all} and its
+    byte-identity guarantees. *)
+
+val run_s1 : ?smoke:bool -> unit -> string
+(** [run_s1 ~smoke ()] renders the scaling table. [smoke] (default false)
+    shrinks the size ladder to CI scale. *)

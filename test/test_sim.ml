@@ -72,6 +72,144 @@ let test_engine_step () =
   Alcotest.(check bool) "second step" true (Engine.step eng);
   Alcotest.(check bool) "exhausted" false (Engine.step eng)
 
+(* --- Calendar queue vs reference heap --- *)
+
+module Engine_ref = Icdb_sim.Engine_ref
+module Rng = Icdb_util.Rng
+
+(* Random interleavings of push / pop / cancel / clock-advance, replayed
+   against both the calendar engine (threshold 64, so toy-sized runs still
+   activate it) and the pre-calendar binary heap kept as Engine_ref. Delays
+   are multiples of 0.5 so same-time ties are frequent and float arithmetic
+   is exact; every fired event records (time, push serial), and the two
+   execution logs must match exactly. *)
+type qop = QPush of int | QPop | QCancel of int | QAdvance of int
+
+let prop_calendar_equals_heap =
+  QCheck2.Test.make ~name:"calendar queue = reference heap pop order" ~count:300
+    QCheck2.Gen.(
+      list_size (int_range 0 400)
+        (frequency
+           [
+             (5, map (fun d -> QPush d) (int_range 0 40));
+             (2, return QPop);
+             (1, map (fun i -> QCancel i) (int_range 0 1000));
+             (1, map (fun h -> QAdvance h) (int_range 0 60));
+           ]))
+    (fun ops ->
+      let e = Engine.create ~threshold:64 () in
+      let r = Engine_ref.create () in
+      let seen_e = ref [] and seen_r = ref [] in
+      let ids_e = ref [] and ids_r = ref [] in
+      let n_ids = ref 0 in
+      let pushes = ref 0 in
+      List.iter
+        (fun op ->
+          match op with
+          | QPush d ->
+            let delay = float_of_int d *. 0.5 in
+            let k = !pushes in
+            incr pushes;
+            ids_e :=
+              Engine.schedule e ~delay (fun () -> seen_e := (Engine.now e, k) :: !seen_e)
+              :: !ids_e;
+            ids_r :=
+              Engine_ref.schedule r ~delay (fun () ->
+                  seen_r := (Engine_ref.now r, k) :: !seen_r)
+              :: !ids_r;
+            incr n_ids
+          | QPop ->
+            ignore (Engine.step e);
+            ignore (Engine_ref.step r)
+          | QCancel i ->
+            if !n_ids > 0 then begin
+              let j = i mod !n_ids in
+              Engine.cancel e (List.nth !ids_e j);
+              Engine_ref.cancel r (List.nth !ids_r j)
+            end
+          | QAdvance h ->
+            let horizon = Engine.now e +. (float_of_int h *. 0.5) in
+            Engine.run_until e horizon;
+            Engine_ref.run_until r horizon)
+        ops;
+      Engine.run e;
+      Engine_ref.run r;
+      !seen_e = !seen_r
+      && Engine.pending e = Engine_ref.pending r
+      && Engine.stored e = 0)
+
+(* Deep calendar exercise: tens of thousands of pending events with skewed
+   delays, well past the activation threshold, must drain in exact
+   nondecreasing (time, seq) order with nothing lost. *)
+let test_engine_calendar_scale () =
+  let eng = Engine.create ~threshold:64 () in
+  let rng = Rng.create 7L in
+  let n = 20_000 in
+  let fired = ref 0 in
+  let last = ref (-1.0) in
+  let monotone = ref true in
+  for _ = 1 to n do
+    let delay = Rng.exponential rng ~mean:50.0 in
+    ignore
+      (Engine.schedule eng ~delay (fun () ->
+           let t = Engine.now eng in
+           if t < !last then monotone := false;
+           last := t;
+           incr fired))
+  done;
+  Alcotest.(check bool) "calendar activated" true (Engine.calendar_active eng);
+  Alcotest.(check int) "all pending" n (Engine.pending eng);
+  Engine.run eng;
+  Alcotest.(check int) "all fired" n !fired;
+  Alcotest.(check bool) "time order preserved" true !monotone;
+  Alcotest.(check int) "drained" 0 (Engine.pending eng);
+  Alcotest.(check int) "no carcasses retained" 0 (Engine.stored eng)
+
+(* Cancelling nearly everything must compact the store instead of dragging
+   dead events along until they surface at the root. *)
+let test_engine_cancel_compaction () =
+  let eng = Engine.create ~threshold:64 () in
+  let rng = Rng.create 11L in
+  let n = 10_000 in
+  let ids = Array.make n None in
+  let fired = ref 0 in
+  for i = 0 to n - 1 do
+    let delay = Rng.exponential rng ~mean:20.0 in
+    ids.(i) <- Some (Engine.schedule eng ~delay (fun () -> incr fired))
+  done;
+  for i = 0 to n - 1 do
+    if i mod 100 <> 0 then Engine.cancel eng (Option.get ids.(i))
+  done;
+  let live = Engine.pending eng in
+  Alcotest.(check int) "live after cancels" 100 live;
+  Alcotest.(check bool)
+    (Printf.sprintf "compacted (stored %d <= 2*live + 64)" (Engine.stored eng))
+    true
+    (Engine.stored eng <= (2 * live) + 64);
+  Engine.run eng;
+  Alcotest.(check int) "survivors fired" 100 !fired;
+  Alcotest.(check int) "stored drained" 0 (Engine.stored eng)
+
+let test_engine_resize_hook () =
+  let eng = Engine.create ~threshold:64 () in
+  let rng = Rng.create 3L in
+  let calls = ref 0 in
+  let last_buckets = ref 0 in
+  let last_events = ref 0 in
+  Engine.set_resize_hook eng (fun ~buckets ~width ~events ->
+      incr calls;
+      last_buckets := buckets;
+      last_events := events;
+      Alcotest.(check bool) "positive width" true (width > 0.0));
+  for _ = 1 to 1_000 do
+    ignore (Engine.schedule eng ~delay:(Rng.exponential rng ~mean:100.0) (fun () -> ()))
+  done;
+  Alcotest.(check bool) "hook called on activation" true (!calls >= 1);
+  Alcotest.(check bool) "buckets reported" true (!last_buckets > 0);
+  Alcotest.(check bool) "events reported" true (!last_events > 0);
+  Engine.run eng;
+  Alcotest.(check bool) "calendar off after drain" false (Engine.calendar_active eng)
+
 (* --- Fibers --- *)
 
 let test_fiber_sleep_interleaving () =
@@ -278,6 +416,13 @@ let () =
           Alcotest.test_case "negative delay" `Quick test_engine_negative_delay;
           Alcotest.test_case "run_until" `Quick test_engine_run_until;
           Alcotest.test_case "step" `Quick test_engine_step;
+        ] );
+      ( "calendar",
+        [
+          QCheck_alcotest.to_alcotest prop_calendar_equals_heap;
+          Alcotest.test_case "20k-event drain order" `Quick test_engine_calendar_scale;
+          Alcotest.test_case "cancel compaction" `Quick test_engine_cancel_compaction;
+          Alcotest.test_case "resize hook" `Quick test_engine_resize_hook;
         ] );
       ( "fiber",
         [

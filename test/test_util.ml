@@ -136,6 +136,52 @@ let test_zipf_skew_ordering () =
       (Zipf.probability z k > Zipf.probability z (k + 1))
   done
 
+(* Regression for the fused single-array CDF build: it must reproduce the
+   original three-array construction (weights array, fold, cdf fill)
+   bit-for-bit — probabilities, and therefore every sample drawn through
+   the shared Rng stream, may not move at all. *)
+let test_zipf_matches_reference_build () =
+  List.iter
+    (fun (n, theta) ->
+      let z = Zipf.create ~n ~theta in
+      let weights =
+        Array.init n (fun k -> 1.0 /. (float_of_int (k + 1) ** theta))
+      in
+      let total = Array.fold_left ( +. ) 0.0 weights in
+      let cdf = Array.make n 0.0 in
+      let acc = ref 0.0 in
+      for k = 0 to n - 1 do
+        acc := !acc +. (weights.(k) /. total);
+        cdf.(k) <- !acc
+      done;
+      cdf.(n - 1) <- 1.0;
+      for k = 0 to n - 1 do
+        let expected = if k = 0 then cdf.(0) else cdf.(k) -. cdf.(k - 1) in
+        Alcotest.(check bool)
+          (Printf.sprintf "prob bit-identical n=%d theta=%g k=%d" n theta k)
+          true
+          (Zipf.probability z k = expected)
+      done;
+      (* and the sample stream is unchanged: binary search over an equal
+         cdf consumes the same draws and lands on the same ranks *)
+      let rng = Rng.create 123L in
+      let reference_sample () =
+        let u = Rng.float rng 1.0 in
+        let rec search lo hi =
+          if lo >= hi then lo
+          else
+            let mid = (lo + hi) / 2 in
+            if cdf.(mid) > u then search lo mid else search (mid + 1) hi
+        in
+        search 0 (n - 1)
+      in
+      let rng' = Rng.create 123L in
+      for _ = 1 to 500 do
+        Alcotest.(check int) "sample stream unchanged" (reference_sample ())
+          (Zipf.sample z rng')
+      done)
+    [ (1, 0.5); (7, 0.0); (100, 0.6); (1000, 0.99); (4096, 1.3) ]
+
 let test_zipf_sample_range_and_skew () =
   let z = Zipf.create ~n:10 ~theta:1.2 in
   let rng = Rng.create 9L in
@@ -499,6 +545,8 @@ let () =
           Alcotest.test_case "probabilities sum to 1" `Quick test_zipf_probabilities_sum;
           Alcotest.test_case "skew ordering" `Quick test_zipf_skew_ordering;
           Alcotest.test_case "sample range and skew" `Quick test_zipf_sample_range_and_skew;
+          Alcotest.test_case "matches pre-fusion reference build" `Quick
+            test_zipf_matches_reference_build;
         ] );
       ( "stats",
         [
