@@ -315,6 +315,118 @@ let scheduler_snapshot ~smoke =
       scheduler_row `Calendar ~pending:10_000_000 ~ops:1_000_000 ~drain:true;
     ]
 
+(* --- tracing overhead ----------------------------------------------------
+
+   What does observability cost when it is on? One fixed 12k-transaction
+   kernel (2k in smoke) run three ways: tracing disabled, the chaos
+   campaign's flight-recorder ring (512 events, constant memory), and a
+   sampled streaming sink (5% head sampling into a byte-counting writer).
+   The flight-recorder column is the one with a budget: the campaign flies
+   it on every run, so it must stay within a few percent of disabled. *)
+
+type trace_row = {
+  t_mode : string;
+  t_events : int; (* events that reached the tracer (stored + overwritten) *)
+  t_wall : float; (* best host seconds across interleaved rounds *)
+  t_overhead_pct : float; (* vs the disabled run *)
+}
+
+let trace_overhead_config n_txns =
+  {
+    Runner.default with
+    protocol = Protocol.Before;
+    n_txns;
+    concurrency = 16;
+    accounts_per_site = 64;
+    zipf_theta = 0.6;
+  }
+
+let trace_overhead_snapshot ~smoke =
+  let n_txns = if smoke then 2_000 else 12_000 in
+  let cfg = trace_overhead_config n_txns in
+  let module Tracer = Icdb_obs.Tracer in
+  (* The overhead under measurement is a few percent, smaller than the
+     drift of this host's clock frequency over a multi-second benchmark.
+     Measuring each mode in its own block would fold that drift into the
+     comparison, so instead the three modes run interleaved — one round =
+     one run of each — and each mode keeps its minimum across rounds. The
+     kernels are deterministic, so the minimum is the least-noise estimate
+     of the real cost. *)
+  let rounds = 7 in
+  let make_off () = None in
+  let make_flight () =
+    Some (Tracer.create ~enabled:true ~limit:512 ~clock:(fun () -> 0.0) ())
+  in
+  let last_sink = ref None in
+  let make_stream () =
+    let bytes = ref 0 in
+    let sink = Icdb_obs.Sink.create ~write:(fun s -> bytes := !bytes + String.length s) in
+    last_sink := Some sink;
+    let tr = Tracer.create ~enabled:true ~clock:(fun () -> 0.0) () in
+    Tracer.set_store tr false;
+    Tracer.set_sink tr (Some (Icdb_obs.Sink.on_event sink));
+    Tracer.set_sampler tr
+      (Some (Icdb_obs.Sampling.kind_filter ~seed:cfg.Runner.seed ~rate:0.05));
+    Some tr
+  in
+  let once make =
+    let tracer = make () in
+    let t0 = Sys.time () in
+    ignore (Runner.run ?tracer cfg);
+    (Sys.time () -. t0, tracer)
+  in
+  ignore (once make_off);
+  ignore (once make_flight);
+  ignore (once make_stream);
+  let best = [| infinity; infinity; infinity |] in
+  let flight_tr = ref None in
+  for _ = 1 to rounds do
+    let w, _ = once make_off in
+    if w < best.(0) then best.(0) <- w;
+    let w, tr = once make_flight in
+    if w < best.(1) then best.(1) <- w;
+    flight_tr := tr;
+    let w, _ = once make_stream in
+    if w < best.(2) then best.(2) <- w
+  done;
+  let off_wall = best.(0) and flight_wall = best.(1) and stream_wall = best.(2) in
+  (* Event counts are deterministic run to run; read the last run's state. *)
+  let stream_events =
+    match !last_sink with Some s -> Icdb_obs.Sink.event_count s | None -> 0
+  in
+  let pct w = (if off_wall > 0.0 then (w -. off_wall) /. off_wall *. 100.0 else 0.0) in
+  let flight_events =
+    match !flight_tr with
+    | Some tr -> Tracer.length tr + Tracer.dropped tr
+    | None -> 0
+  in
+  [
+    { t_mode = "off"; t_events = 0; t_wall = off_wall; t_overhead_pct = 0.0 };
+    {
+      t_mode = "flight-512";
+      t_events = flight_events;
+      t_wall = flight_wall;
+      t_overhead_pct = pct flight_wall;
+    };
+    {
+      t_mode = "stream-0.05";
+      t_events = stream_events;
+      t_wall = stream_wall;
+      t_overhead_pct = pct stream_wall;
+    };
+  ]
+
+let print_trace_overhead n_txns rows =
+  Printf.printf "Tracing overhead (%d-txn kernel, best of 7 interleaved rounds)\n"
+    n_txns;
+  print_endline "------------------------------------------------------------";
+  List.iter
+    (fun r ->
+      Printf.printf "%-12s %9d events %9.3f s %+7.1f%%\n" r.t_mode r.t_events r.t_wall
+        r.t_overhead_pct)
+    rows;
+  print_newline ()
+
 let print_scaling rows =
   print_endline "Scheduler hold-model (events/sec, steady state at N pending)";
   print_endline "------------------------------------------------------------";
@@ -328,7 +440,7 @@ let print_scaling rows =
 (* Machine-readable companion to the human table: kernel name -> ms/run plus
    the virtual-time phase-latency breakdown, so future changes have both a
    perf and a behavior trajectory to compare against. *)
-let write_bench_json path rows phases overhead alloc scaling =
+let write_bench_json path rows phases overhead alloc trace scaling =
   let esc = Icdb_obs.Export.json_escape in
   let oc = open_out path in
   output_string oc "{\n  \"kernels\": {\n";
@@ -370,6 +482,15 @@ let write_bench_json path rows phases overhead alloc scaling =
         (esc r.a_name) r.a_minor_words_per_txn r.a_major_per_run
         (if i < last then "," else ""))
     alloc;
+  output_string oc "  ],\n  \"trace_overhead\": [\n";
+  let last = List.length trace - 1 in
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"mode\":\"%s\",\"events\":%d,\"wall_s\":%.4f,\"overhead_pct\":%.2f}%s\n"
+        (esc r.t_mode) r.t_events r.t_wall r.t_overhead_pct
+        (if i < last then "," else ""))
+    trace;
   output_string oc "  ],\n  \"scaling\": [\n";
   let last = List.length scaling - 1 in
   List.iteri
@@ -410,8 +531,10 @@ let () =
       (List.filter (fun (n, _, _) -> List.mem_assoc n active) alloc_kernels)
   in
   print_alloc alloc;
+  let trace = trace_overhead_snapshot ~smoke in
+  print_trace_overhead (if smoke then 2_000 else 12_000) trace;
   let scaling = scheduler_snapshot ~smoke in
   print_scaling scaling;
   write_bench_json "BENCH.json" rows (phase_snapshot ()) (overhead_snapshot ()) alloc
-    scaling;
+    trace scaling;
   if not smoke then print_string (Experiments.run_all ~jobs:(jobs ()) ())

@@ -15,6 +15,9 @@ module Campaign = Icdb_fault.Campaign
 module Registry = Icdb_obs.Registry
 module Tracer = Icdb_obs.Tracer
 module Export = Icdb_obs.Export
+module Sink = Icdb_obs.Sink
+module Sampling = Icdb_obs.Sampling
+module Scaling = Icdb_workload.Scaling
 
 let write_file path contents =
   let oc = open_out path in
@@ -62,14 +65,40 @@ let exp_cmd =
             "With $(b,s1), run the reduced CI-sized ladder instead of the full \
              million-account one. Ignored by other experiments.")
   in
-  let run id jobs smoke =
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"BASE"
+          ~doc:
+            "With $(b,s1), stream a sampled Chrome trace per scaling cell to \
+             $(docv)-<protocol>-<sites>x<accounts>.json (incremental write, bounded \
+             memory — works at the million-account cells). Ignored by other \
+             experiments.")
+  in
+  let trace_sample =
+    Arg.(
+      value & opt float 0.01
+      & info [ "trace-sample" ] ~docv:"R"
+          ~doc:
+            "With $(b,s1) and $(b,--trace-out), keep a seeded head-sampled fraction \
+             $(docv) of transactions in the streamed traces. Default 0.01.")
+  in
+  let run id jobs smoke trace_out trace_sample =
     if id = "all" then begin
       print_string (Experiments.run_all ~jobs ());
       print_newline ();
       ignore (Campaign.experiment_r1 ())
     end
     else if id = "r1" then ignore (Campaign.experiment_r1 ())
-    else if id = "s1" then print_string (Icdb_workload.Scaling.run_s1 ~smoke ())
+    else if id = "s1" then begin
+      let trace =
+        Option.map
+          (fun base -> { Scaling.ts_rate = trace_sample; ts_base = base })
+          trace_out
+      in
+      print_string (Scaling.run_s1 ~smoke ?trace ())
+    end
     else
       match Experiments.run id with
       | report -> print_string report
@@ -77,7 +106,8 @@ let exp_cmd =
         Printf.eprintf "unknown experiment %S; try `icdb list`\n" id;
         exit 1
   in
-  Cmd.v (Cmd.info "exp" ~doc) Term.(const run $ id $ jobs $ smoke)
+  Cmd.v (Cmd.info "exp" ~doc)
+    Term.(const run $ id $ jobs $ smoke $ trace_out $ trace_sample)
 
 let report_to_string ?(central_gc = false) (r : Runner.report) =
   let b = Buffer.create 512 in
@@ -161,6 +191,28 @@ let run_cmd =
             "Record a full span trace and write it as Chrome trace-event JSON to \
              $(docv) (open at https://ui.perfetto.dev). Tracing is off otherwise.")
   in
+  let trace_stream =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-stream" ] ~docv:"FILE"
+          ~doc:
+            "Stream the trace incrementally to $(docv) as Chrome trace-event JSON \
+             while the run executes, holding only open spans in memory. Unlike \
+             $(b,--trace-out) (which buffers every event), memory stays bounded at \
+             any run size; both can be given at once.")
+  in
+  let trace_sample =
+    Arg.(
+      value & opt float 1.0
+      & info [ "trace-sample" ] ~docv:"R"
+          ~doc:
+            "Keep the spans of a seeded pseudo-random fraction $(docv) of \
+             transactions (per-transaction head sampling: a kept transaction keeps \
+             its phases, branches and decision; per-message and lock-wait spans are \
+             dropped whenever $(docv) < 1). Deterministic in $(b,--seed). Default 1 \
+             (trace everything).")
+  in
   let metrics_out =
     Arg.(
       value
@@ -177,14 +229,29 @@ let run_cmd =
   in
   let run protocol n_txns n_sites concurrency seed p_intended_abort p_spontaneous crash_rate
       zipf_theta message_loss group_commit_window msg_batch_window central_gc_window
-      mlt_action_retries trace_out metrics_out prom_out =
+      mlt_action_retries trace_out trace_stream trace_sample metrics_out prom_out =
     let registry = Registry.create () in
     let tracer =
       (* Clock re-wired onto the run's engine by [Runner.run]. *)
-      Option.map
-        (fun _ -> Tracer.create ~enabled:true ~clock:(fun () -> 0.0) ())
-        trace_out
+      if trace_out <> None || trace_stream <> None then
+        Some (Tracer.create ~enabled:true ~clock:(fun () -> 0.0) ())
+      else None
     in
+    let stream =
+      match (trace_stream, tracer) with
+      | Some path, Some tr ->
+        let oc = open_out path in
+        let sink = Sink.create ~write:(output_string oc) in
+        Tracer.set_sink tr (Some (Sink.on_event sink));
+        (* Streaming only: don't also accumulate the events in memory. *)
+        if trace_out = None then Tracer.set_store tr false;
+        Some (path, oc, sink)
+      | _ -> None
+    in
+    (match tracer with
+    | Some tr when trace_sample < 1.0 ->
+      Tracer.set_sampler tr (Some (Sampling.kind_filter ~seed ~rate:trace_sample))
+    | _ -> ());
     let r =
       Runner.run ~registry ?tracer
         {
@@ -214,6 +281,13 @@ let run_cmd =
       Printf.printf "wrote Chrome trace (%d events): %s\n" (Tracer.length tr) path
     | _ -> ());
     Option.iter
+      (fun (path, oc, sink) ->
+        Sink.close sink;
+        close_out oc;
+        Printf.printf "streamed Chrome trace (%d events, %d bytes): %s\n"
+          (Sink.event_count sink) (Sink.byte_count sink) path)
+      stream;
+    Option.iter
       (fun path ->
         write_file path (Export.metrics_json registry);
         Printf.printf "wrote metrics snapshot: %s\n" path)
@@ -228,7 +302,7 @@ let run_cmd =
     Term.(
       const run $ protocol $ txns $ sites $ concurrency $ seed $ p_intended $ p_spont
       $ crash_rate $ theta $ loss $ gc_window $ batch_window $ central_gc $ retries
-      $ trace_out $ metrics_out $ prom_out)
+      $ trace_out $ trace_stream $ trace_sample $ metrics_out $ prom_out)
 
 let trace_cmd =
   let doc =
@@ -424,19 +498,34 @@ let chaos_cmd =
       & info [ "reproducers-out" ] ~docv:"FILE"
           ~doc:"Where to write violating plans (only written when there are any).")
   in
-  let run protocol plans seed shrink reproducers_out =
+  let flight_out =
+    Arg.(
+      value
+      & opt string "chaos-flight"
+      & info [ "flight-out" ] ~docv:"PREFIX"
+          ~doc:
+            "Prefix for flight-recorder dumps: every violating run's last ring of \
+             events is written to $(docv)-<protocol>-<n>.txt (only written when \
+             there are violations).")
+  in
+  let run protocol plans seed shrink reproducers_out flight_out =
     let protocols =
       match protocol with Some p -> [ p ] | None -> Protocol.all
     in
     let stats = Campaign.run_campaign ~shrink_failures:shrink ~seed ~plans protocols in
     Icdb_util.Table.print (Campaign.stats_table ~plans ~seed stats);
+    let trips = Campaign.trips_summary stats in
+    if trips <> "" then begin
+      print_newline ();
+      print_string trips
+    end;
     let violations = Campaign.total_violations stats in
     if violations > 0 then begin
       let b = Buffer.create 1024 in
       List.iter
         (fun (s : Campaign.protocol_stats) ->
-          List.iter
-            (fun (o : Campaign.outcome) ->
+          List.iteri
+            (fun i (o : Campaign.outcome) ->
               Buffer.add_string b
                 (Printf.sprintf "%s under %s\n"
                    (Protocol.obs_name s.cp_protocol)
@@ -446,7 +535,17 @@ let chaos_cmd =
                   Buffer.add_string b
                     (Printf.sprintf "  %s\n"
                        (Format.asprintf "%a" Campaign.pp_violation v)))
-                o.violations)
+                o.violations;
+              Option.iter
+                (fun dump ->
+                  let path =
+                    Printf.sprintf "%s-%s-%d.txt" flight_out
+                      (Protocol.obs_name s.cp_protocol) i
+                  in
+                  write_file path dump;
+                  Buffer.add_string b
+                    (Printf.sprintf "  flight recorder dump: %s\n" path))
+                o.flight)
             s.cp_failures)
         stats;
       print_newline ();
@@ -459,7 +558,7 @@ let chaos_cmd =
     else print_endline "all invariants hold under every plan."
   in
   Cmd.v (Cmd.info "chaos" ~doc)
-    Term.(const run $ protocol $ plans $ seed $ shrink $ reproducers_out)
+    Term.(const run $ protocol $ plans $ seed $ shrink $ reproducers_out $ flight_out)
 
 let () =
   let doc = "atomic commitment for integrated database systems (Muth & Rakow, ICDE 1991)" in

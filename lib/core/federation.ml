@@ -22,6 +22,13 @@ type journal_entry = {
   mutable j_phase : journal_phase;
 }
 
+(* Lifecycle notifications for the online monitors: the three journal
+   choke points every protocol already routes through. *)
+type journal_event =
+  | J_opened of int
+  | J_decided of { gid : int; commit : bool }
+  | J_closed of int
+
 type t = {
   engine : Sim.t;
   sites : (string * Site.t) list;
@@ -45,6 +52,7 @@ type t = {
   mutable next_gid : int;
   mutable global_cc_enabled : bool;
   mutable central_fail : gid:int -> string -> unit;
+  mutable journal_hook : journal_event -> unit;
   global_lock_timeout : float option;
   batchers : (string, Batcher.t) Hashtbl.t;
   central_gc_window : float option;
@@ -119,15 +127,15 @@ let lock_handler t ~table ~names =
         | `Deadlock -> deadlock_c
         | `Cancelled -> cancelled_c);
       if Tracer.enabled t.tracer then
-        Tracer.complete t.tracer ~actor:table
+        Tracer.complete_lock t.tracer ~actor:table
           ~start:(Sim.now t.engine -. waited)
-          (Span.Lock_wait { table; obj = Symbol.name names obj })
+          ~wait:true ~table ~obj:(Symbol.name names obj)
     | Lock.Released { obj; held; _ } ->
       Registry.observe hold_h held;
       if Tracer.enabled t.tracer then
-        Tracer.complete t.tracer ~actor:table
+        Tracer.complete_lock t.tracer ~actor:table
           ~start:(Sim.now t.engine -. held)
-          (Span.Lock_hold { table; obj = Symbol.name names obj })
+          ~wait:false ~table ~obj:(Symbol.name names obj)
 
 let observe_site t site_name site =
   let db = Site.db site in
@@ -154,17 +162,17 @@ let observe_site t site_name site =
       in
       Registry.inc c;
       if Tracer.enabled t.tracer then
-        Tracer.instant t.tracer ~actor:site_name
-          (Span.Message { label; direction = Span.Send })
+        Tracer.instant_message t.tracer ~actor:site_name ~label
+          ~direction:Span.Send
     | Link.Msg_received { label } ->
       if Tracer.enabled t.tracer then
-        Tracer.instant t.tracer ~actor:site_name
-          (Span.Message { label; direction = Span.Recv })
+        Tracer.instant_message t.tracer ~actor:site_name ~label
+          ~direction:Span.Recv
     | Link.Msg_dropped { label } ->
       Registry.inc dropped;
       if Tracer.enabled t.tracer then
-        Tracer.instant t.tracer ~actor:site_name
-          (Span.Message { label; direction = Span.Drop }));
+        Tracer.instant_message t.tracer ~actor:site_name ~label
+          ~direction:Span.Drop);
   (* Local lock table (survives restarts via the stored listener). *)
   Db.set_lock_observer db (lock_handler t ~table:site_name ~names:(Db.symbols db));
   (* WAL forces — the log object itself survives crashes, so wiring once is
@@ -173,9 +181,11 @@ let observe_site t site_name site =
     Registry.counter t.registry ~labels:[ ("site", site_name) ]
       "icdb_wal_forces_total"
   in
+  (* the kind is per-site constant: build it once, not per force *)
+  let wal_kind = Span.Wal_force { site = site_name } in
   Log.set_force_hook (Db.wal db) (fun () ->
       Registry.inc forces;
-      Tracer.instant t.tracer ~actor:site_name (Span.Wal_force { site = site_name }));
+      Tracer.instant t.tracer ~actor:site_name wal_kind);
   (* Site outages: crash opens the window, recovery closes it with a
      retrospective span. A crash with no later restart stays a bare mark. *)
   let crashes =
@@ -279,6 +289,7 @@ let create engine ?(latency = 1.0) ?(loss = 0.0) ?(global_lock_timeout = Some 20
       next_gid = 0;
       global_cc_enabled = true;
       central_fail = (fun ~gid:_ _ -> ());
+      journal_hook = (fun _ -> ());
       global_lock_timeout;
       batchers = Hashtbl.create 16;
       central_gc_window;
@@ -314,10 +325,11 @@ let create engine ?(latency = 1.0) ?(loss = 0.0) ?(global_lock_timeout = Some 20
       Registry.counter registry ~labels:[ ("site", "central") ]
         "icdb_central_decision_forces_total"
     in
+    let wal_kind = Span.Wal_force { site = "central" } in
     t.central_force_hook <-
       (fun () ->
         Registry.inc forces;
-        Tracer.instant tracer ~actor:"central" (Span.Wal_force { site = "central" })));
+        Tracer.instant tracer ~actor:"central" wal_kind));
   t
 
 let site t name =
@@ -365,7 +377,8 @@ let decision t ~gid = Hashtbl.find_opt t.decision_log gid
 
 let journal_open t ~gid ~protocol =
   Hashtbl.replace t.journal gid
-    { j_protocol = protocol; j_branches = []; j_phase = Executing }
+    { j_protocol = protocol; j_branches = []; j_phase = Executing };
+  t.journal_hook (J_opened gid)
 
 let journal_find t gid =
   match Hashtbl.find_opt t.journal gid with
@@ -404,6 +417,7 @@ let journal_decide t ~gid ~commit =
   (journal_find t gid).j_phase <- Decided commit;
   log_decision t ~gid ~commit;
   t.central_decisions <- t.central_decisions + 1;
+  t.journal_hook (J_decided { gid; commit });
   force_decision t
 
 let journal_close t ~gid =
@@ -411,7 +425,9 @@ let journal_close t ~gid =
   (* The transaction is finished at the coordinator: any receiver-side dedup
      state its wire exchanges left behind (orphans from capped retries) can
      never be consulted again — evict it. *)
-  List.iter (fun (_, site) -> Link.evict_gid (Site.link site) ~gid) t.sites
+  List.iter (fun (_, site) -> Link.evict_gid (Site.link site) ~gid) t.sites;
+  (* fired after the removal so a monitor sees the post-close journal *)
+  t.journal_hook (J_closed gid)
 
 let batcher t name = Hashtbl.find_opt t.batchers name
 

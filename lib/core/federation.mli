@@ -22,6 +22,15 @@ type journal_entry = {
   mutable j_phase : journal_phase;
 }
 
+(** Journal lifecycle notifications, fired at the three choke points every
+    protocol routes through ({!journal_open}, {!journal_decide},
+    {!journal_close} — the latter after the entry is removed). The online
+    monitors ({!Monitor}) listen here; default listener is a no-op. *)
+type journal_event =
+  | J_opened of int
+  | J_decided of { gid : int; commit : bool }
+  | J_closed of int
+
 type t = {
   engine : Icdb_sim.Engine.t;
   sites : (string * Icdb_net.Site.t) list;  (** in creation order *)
@@ -59,6 +68,9 @@ type t = {
       (** fault-injection hook called by protocols at named points
           ("executed", "decided", ...); tests make it raise to simulate a
           central-system crash mid-protocol. Default: no-op. *)
+  mutable journal_hook : journal_event -> unit;
+      (** journal lifecycle listener (see {!journal_event}); installing
+          replaces the previous listener. Default: no-op. *)
   global_lock_timeout : float option;
   batchers : (string, Icdb_net.Batcher.t) Hashtbl.t;
       (** per-site decision-traffic batchers; empty unless

@@ -7,9 +7,12 @@ module Db = Icdb_localdb.Engine
 module Federation = Icdb_core.Federation
 module Central_recovery = Icdb_core.Central_recovery
 module Action_log = Icdb_core.Action_log
+module Metrics = Icdb_core.Metrics
+module Monitor = Icdb_core.Monitor
 module Registry = Icdb_obs.Registry
 module Tracer = Icdb_obs.Tracer
 module Span = Icdb_obs.Span
+module Export = Icdb_obs.Export
 module Runner = Icdb_workload.Runner
 module Protocol = Icdb_workload.Protocol
 
@@ -280,18 +283,42 @@ type outcome = {
   report : Runner.report option;
   killed : int;  (** coordinator fibers killed by injected central crashes *)
   violations : violation list;
+  trips : Monitor.trip list;
+  flight : string option;
 }
 
-let run_plan ?registry ?(seed = 42L) ~protocol (plan : Plan.t) =
+(* Every chaos run flies with the recorder on: a ring this size holds the
+   last ~dozen transactions' worth of events — plenty of tail for a
+   forensic read, negligible memory. *)
+let flight_capacity = 512
+
+let run_plan ?registry ?(seed = 42L) ?extra_setup ~protocol (plan : Plan.t) =
   let cfg = base_config protocol ~seed in
   let mlt = not (Protocol.is_flat protocol) in
   let killed = ref 0 in
   let fed_ref = ref None in
+  let monitor_ref = ref None in
   let recover2 = ref None in
   let drain_error = ref None in
+  (* The runner re-points the clock onto its own engine. *)
+  let tracer = Tracer.create ~enabled:true ~limit:flight_capacity ~clock:(fun () -> 0.0) () in
   let on_setup engine (fed : Federation.t) =
     fed_ref := Some fed;
-    arm engine fed ~base_latency:cfg.latency ~base_loss:cfg.message_loss ~mlt plan
+    arm engine fed ~base_latency:cfg.latency ~base_loss:cfg.message_loss ~mlt plan;
+    monitor_ref :=
+      Some
+        (Monitor.attach fed ~finished:(fun () ->
+             (* Every transaction settled: committed, aborted, or its
+                coordinator killed by an injected central crash. Killed
+                coordinators leave open journal entries by design — central
+                recovery (run at drain) resolves them, so the watchdog must
+                not read them as stuck. A genuinely wedged transaction is
+                none of the three and keeps this false. *)
+             Metrics.started fed.metrics >= cfg.n_txns
+             && Metrics.committed fed.metrics + Metrics.aborted fed.metrics
+                + !killed
+                >= Metrics.started fed.metrics));
+    match extra_setup with None -> () | Some f -> f engine fed
   in
   let on_txn_exn = function
     | Central_crash_injected ->
@@ -300,7 +327,7 @@ let run_plan ?registry ?(seed = 42L) ~protocol (plan : Plan.t) =
     | _ -> false
   in
   let on_drain () =
-    match !fed_ref with
+    (match !fed_ref with
     | None -> ()
     | Some fed -> (
       (* The crash already happened (or never will); recovery and the
@@ -310,15 +337,23 @@ let run_plan ?registry ?(seed = 42L) ~protocol (plan : Plan.t) =
         ignore (Central_recovery.recover fed);
         (* Recovering twice is promised to be a no-op — check it every run. *)
         recover2 := Some (Central_recovery.recover fed)
-      with e -> drain_error := Some e)
+      with e -> drain_error := Some e));
+    (* Last monitor sweep at drain time, after recovery settled the state. *)
+    match !monitor_ref with None -> () | Some m -> Monitor.finalize m
   in
-  match Runner.run ?registry ~on_setup ~on_txn_exn ~on_drain cfg with
+  let trips () =
+    match !monitor_ref with None -> [] | Some m -> Monitor.trips m
+  in
+  match Runner.run ?registry ~tracer ~on_setup ~on_txn_exn ~on_drain cfg with
   | exception e ->
     {
       plan;
       report = None;
       killed = !killed;
       violations = [ Run_crashed (Printexc.to_string e) ];
+      trips = trips ();
+      (* the ring holds the last events before the escape — dump it *)
+      flight = Some (Export.flight_dump tracer);
     }
   | report ->
     let fed = Option.get !fed_ref in
@@ -327,7 +362,14 @@ let run_plan ?registry ?(seed = 42L) ~protocol (plan : Plan.t) =
       | Some e -> [ Run_crashed ("recovery: " ^ Printexc.to_string e) ]
       | None -> check_invariants fed report ~protocol ~killed:!killed ~recover2:!recover2
     in
-    { plan; report = Some report; killed = !killed; violations }
+    {
+      plan;
+      report = Some report;
+      killed = !killed;
+      violations;
+      trips = trips ();
+      flight = (if violations <> [] then Some (Export.flight_dump tracer) else None);
+    }
 
 (* Greedy minimisation: drop one event at a time as long as the plan still
    violates; fixpoint is a locally minimal reproducer. *)
@@ -351,6 +393,9 @@ type protocol_stats = {
   cp_events : int;
   cp_by_class : (string * int) list;  (** events injected per fault class *)
   cp_failures : outcome list;  (** outcomes with at least one violation *)
+  cp_trips : (string * int * float) list;
+      (** per monitor: (name, plans that tripped it, earliest first-trip
+          virtual time over those plans) *)
 }
 
 let plan_seed ~seed i = Int64.add seed (Int64.mul 1000003L (Int64.of_int i))
@@ -360,6 +405,18 @@ let run_protocol ?(shrink_failures = false) ?(seed = 42L) ~plans protocol =
   let failures = ref [] in
   let events = ref 0 in
   let by_class = List.map (fun c -> (c, ref 0)) Plan.fault_classes in
+  let trip_tally : (string, int * float) Hashtbl.t = Hashtbl.create 4 in
+  let tally_trips outcome =
+    List.iter
+      (fun (tr : Monitor.trip) ->
+        let plans_hit, earliest =
+          Option.value ~default:(0, infinity)
+            (Hashtbl.find_opt trip_tally tr.m_monitor)
+        in
+        Hashtbl.replace trip_tally tr.m_monitor
+          (plans_hit + 1, Float.min earliest tr.m_time))
+      outcome.trips
+  in
   for i = 0 to plans - 1 do
     let plan =
       Plan.generate ~seed:(plan_seed ~seed i) ~n_sites:cfg.n_sites ~n_txns:cfg.n_txns
@@ -368,6 +425,7 @@ let run_protocol ?(shrink_failures = false) ?(seed = 42L) ~plans protocol =
     events := !events + Plan.length plan;
     List.iter (fun e -> incr (List.assoc (Plan.classify e) by_class)) plan.events;
     let outcome = run_plan ~seed ~protocol plan in
+    tally_trips outcome;
     if outcome.violations <> [] then begin
       let outcome =
         if shrink_failures then run_plan ~seed ~protocol (shrink ~seed ~protocol plan)
@@ -382,6 +440,9 @@ let run_protocol ?(shrink_failures = false) ?(seed = 42L) ~plans protocol =
     cp_events = !events;
     cp_by_class = List.map (fun (c, r) -> (c, !r)) by_class;
     cp_failures = List.rev !failures;
+    cp_trips =
+      Hashtbl.fold (fun m (n, t) acc -> (m, n, t) :: acc) trip_tally []
+      |> List.sort compare;
   }
 
 let run_campaign ?shrink_failures ?seed ~plans protocols =
@@ -413,9 +474,32 @@ let stats_table ~plans ~seed stats =
 let total_violations stats =
   List.fold_left (fun acc s -> acc + List.length s.cp_failures) 0 stats
 
+(* Online-monitor first trips across a campaign; empty string when no
+   monitor tripped anywhere (the expected healthy case — and then R1 and
+   chaos output is byte-identical to the pre-monitor runs). *)
+let trips_summary stats =
+  let lines =
+    List.concat_map
+      (fun s ->
+        List.map
+          (fun (monitor, plans_hit, earliest) ->
+            Printf.sprintf "  %-10s %-10s tripped in %d plan(s), earliest at t=%.2f"
+              (Protocol.obs_name s.cp_protocol)
+              monitor plans_hit earliest)
+          s.cp_trips)
+      stats
+  in
+  if lines = [] then ""
+  else
+    "monitor first trips (plans tripped, earliest virtual time):\n"
+    ^ String.concat "\n" lines ^ "\n"
+
 let experiment_r1 ?(plans = 25) ?(seed = 42L) () =
   let stats = run_campaign ~seed ~plans Protocol.all in
   Table.print (stats_table ~plans ~seed stats);
+  (match trips_summary stats with
+  | "" -> ()
+  | s -> Printf.printf "\n%s" s);
   List.iter
     (fun s ->
       List.iter

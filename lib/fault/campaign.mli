@@ -39,14 +39,27 @@ type outcome = {
   report : Icdb_workload.Runner.report option;  (** [None] when the run crashed *)
   killed : int;  (** coordinator fibers killed by injected central crashes *)
   violations : violation list;  (** empty = all invariants held *)
+  trips : Icdb_core.Monitor.trip list;
+      (** online-monitor first trips observed during the run *)
+  flight : string option;
+      (** flight-recorder dump ({!Icdb_obs.Export.flight_dump} of the run's
+          ring tracer); [Some] exactly when [violations <> []] — the last
+          [flight_capacity] events before things went wrong *)
 }
 
+(** Ring size of the flight recorder every chaos run flies with. *)
+val flight_capacity : int
+
 (** [run_plan ~protocol plan] runs the chaos workload with the plan armed,
-    recovers the central system (twice — idempotence is an invariant) and
-    evaluates the invariant suite. *)
+    the flight recorder on and the online monitors ({!Icdb_core.Monitor})
+    attached, recovers the central system (twice — idempotence is an
+    invariant) and evaluates the invariant suite. [extra_setup] runs after
+    the plan is armed and the monitors attached (tests use it to
+    re-introduce bugs at the fault hook). *)
 val run_plan :
   ?registry:Icdb_obs.Registry.t ->
   ?seed:int64 ->
+  ?extra_setup:(Icdb_sim.Engine.t -> Icdb_core.Federation.t -> unit) ->
   protocol:Icdb_workload.Protocol.t ->
   Plan.t ->
   outcome
@@ -61,6 +74,10 @@ type protocol_stats = {
   cp_events : int;
   cp_by_class : (string * int) list;  (** events injected per fault class *)
   cp_failures : outcome list;  (** outcomes with at least one violation *)
+  cp_trips : (string * int * float) list;
+      (** per monitor: (name, plans that tripped it, earliest first-trip
+          virtual time) — across {e all} the protocol's plans, violating or
+          not *)
 }
 
 (** [run_protocol ~plans p] generates and runs [plans] plans against
@@ -84,6 +101,11 @@ val run_campaign :
 val stats_table : plans:int -> seed:int64 -> protocol_stats list -> Icdb_util.Table.t
 
 val total_violations : protocol_stats list -> int
+
+(** Rendered monitor first-trip lines across a campaign; [""] when no
+    monitor tripped anywhere (the healthy case — output then stays
+    byte-identical to the pre-monitor campaigns). *)
+val trips_summary : protocol_stats list -> string
 
 (** Experiment R1: the campaign over all six protocols (expected all-zero
     violation column). Prints the table plus any violating plans. *)

@@ -148,6 +148,9 @@ type t = {
   (* stored so [restart]'s fresh lock table keeps feeding the same listener *)
   mutable lock_observer : Lock.observer_event -> unit;
   mutable state_hook : [ `Crash | `Recovered ] -> unit;
+  (* online money-conservation monitor: net user-visible value change of
+     every local commit, including in-doubt commits resolved after a crash *)
+  mutable commit_delta_hook : (txn_id:int -> delta:int -> unit) option;
   (* group commit: committers waiting for the next batched log force *)
   mutable gc_waiters : gc_waiter list;
   mutable gc_scheduled : bool;
@@ -215,6 +218,7 @@ let create engine config =
       hold_hook = (fun ~obj:_ ~duration:_ -> ());
       lock_observer = (fun _ -> ());
       state_hook = (fun _ -> ());
+      commit_delta_hook = None;
       gc_waiters = [];
       gc_scheduled = false;
     }
@@ -598,6 +602,25 @@ let force_commit_record t txn ~lsn =
                  end))
         end)
 
+(* Net user-visible value change of a committing transaction — writes
+   telescope (each [Wrote] carries before/after), so the sum over the
+   access list is final minus initial. Internal marker keys are excluded:
+   they are protocol bookkeeping, not money. Computed only when the
+   monitor hook is installed. *)
+let committed_delta txn =
+  List.fold_left
+    (fun acc a ->
+      match a with
+      | Incremented { key; delta } -> if internal_key key then acc else acc + delta
+      | Wrote { key; before; after } ->
+        if internal_key key then acc
+        else acc + Option.value ~default:0 after - Option.value ~default:0 before
+      | Read _ -> acc)
+    0 txn.acc
+
+let notify_commit_delta t ~txn_id ~delta =
+  match t.commit_delta_hook with None -> () | Some f -> f ~txn_id ~delta
+
 let finish_commit t txn =
   txn.committing <- true;
   let lsn = Log.append t.log (Commit txn.id) in
@@ -605,6 +628,9 @@ let finish_commit t txn =
   txn.tstate <- Committed;
   Hashtbl.remove t.live txn.id;
   t.commits <- t.commits + 1;
+  (match t.commit_delta_hook with
+  | None -> ()
+  | Some f -> f ~txn_id:txn.id ~delta:(committed_delta txn));
   Lock.release_all t.locks ~owner:txn.id
 
 let commit t txn =
@@ -649,6 +675,32 @@ let rebuild_index t =
   t.index <- Btree.create ();
   Heap.iter t.heap (fun rid key _ -> Btree.insert t.index key rid)
 
+(* In-doubt transactions lost their in-memory access list to the crash;
+   their net value change is recovered by walking the log's per-transaction
+   [prev] chain from the Prepare record's [last] LSN. A prepared chain is
+   pure [Op] records (no undo ran). Stops early if a checkpoint truncated
+   the prefix — impossible while the transaction is in doubt, since
+   truncation keeps everything its rollback could need. *)
+let chain_delta t ~from =
+  let rec walk lsn acc =
+    if lsn = Log.null_lsn then acc
+    else
+      match Log.get t.log lsn with
+      | Log.Op { op; prev; _ } ->
+        let d =
+          match op with
+          | Log.Insert { key; value; _ } -> if internal_key key then 0 else value
+          | Log.Delete { key; value; _ } -> if internal_key key then 0 else -value
+          | Log.Update { key; before; after; _ } ->
+            if internal_key key then 0 else after - before
+          | Log.Incr { key; delta; _ } -> if internal_key key then 0 else delta
+        in
+        walk prev (acc + d)
+      | _ -> acc
+      | exception Invalid_argument _ -> acc
+  in
+  walk from 0
+
 let resolve_prepared t ~txn_id ~commit:decide_commit =
   match Hashtbl.find_opt t.live txn_id with
   | Some txn when txn.tstate = Prepared ->
@@ -662,7 +714,9 @@ let resolve_prepared t ~txn_id ~commit:decide_commit =
       if decide_commit then begin
         ignore (Log.append t.log (Commit txn_id));
         Log.flush t.log;
-        t.commits <- t.commits + 1
+        t.commits <- t.commits + 1;
+        if t.commit_delta_hook <> None then
+          notify_commit_delta t ~txn_id ~delta:(chain_delta t ~from:last)
       end
       else begin
         ignore (Recovery.undo_chain t.log t.pool ~txn:txn_id ~from:last);
@@ -816,6 +870,11 @@ let buffer_pins t = Bp.pin_count t.pool
 let set_hold_time_hook t f = t.hold_hook <- f
 let set_lock_observer t f = t.lock_observer <- f
 let set_state_hook t f = t.state_hook <- f
+let set_commit_delta_hook t f = t.commit_delta_hook <- Some f
+let live_txn_count t = Hashtbl.length t.live
+let in_doubt_count t = Hashtbl.length t.in_doubt_tbl
+let lock_held_count t = Lock.held_count t.locks
+let buffer_pool t = t.pool
 let lock_wait_count t = Lock.wait_count t.locks
 let lock_deadlock_count t = Lock.deadlock_count t.locks
 let lock_timeout_count t = Lock.timeout_count t.locks

@@ -259,6 +259,30 @@ val set_lock_observer : t -> (Icdb_lock.Lock_table.observer_event -> unit) -> un
     [f `Recovered] once restart recovery completes. *)
 val set_state_hook : t -> ([ `Crash | `Recovered ] -> unit) -> unit
 
+(** [set_commit_delta_hook t f] calls [f ~txn_id ~delta] at every local
+    commit with the transaction's net user-visible value change (internal
+    marker keys excluded; writes telescope to final − initial). Fires for
+    in-doubt transactions resolved to commit after a crash too — their
+    delta is recovered from the log's per-transaction record chain, since
+    the in-memory access list died with the site. The online
+    money-conservation monitor's feed; the delta computation only runs
+    while a hook is installed. *)
+val set_commit_delta_hook : t -> (txn_id:int -> delta:int -> unit) -> unit
+
+(** Transactions currently live (running or prepared) — O(1). *)
+val live_txn_count : t -> int
+
+(** In-doubt transactions awaiting a decision — O(1)
+    ([List.length (in_doubt t)] without the allocation). *)
+val in_doubt_count : t -> int
+
+(** Lock (owner, object) pairs currently held — O(1); zero when the site
+    is quiescent (see {!Icdb_lock.Lock_table.held_count}). *)
+val lock_held_count : t -> int
+
+(** The site's buffer pool (pin-drift monitoring and tests). *)
+val buffer_pool : t -> Icdb_storage.Buffer_pool.t
+
 val lock_wait_count : t -> int
 val lock_deadlock_count : t -> int
 val lock_timeout_count : t -> int

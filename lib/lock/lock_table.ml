@@ -63,6 +63,7 @@ type 'mode t = {
   mutable waits : int;
   mutable deadlocks : int;
   mutable timeouts : int;
+  mutable held_total : int; (* live (owner, object) holder pairs *)
 }
 
 let create engine ~syms ~compatible ~combine =
@@ -82,6 +83,7 @@ let create engine ~syms ~compatible ~combine =
     waits = 0;
     deadlocks = 0;
     timeouts = 0;
+    held_total = 0;
   }
 
 let symbols t = t.syms
@@ -153,7 +155,8 @@ let grant t entry ~obj ~owner ~mode =
   | Some h -> h.h_mode <- t.combine h.h_mode mode
   | None ->
     entry.holders <-
-      { h_owner = owner; h_mode = mode; acquired_at = Engine.now t.engine } :: entry.holders);
+      { h_owner = owner; h_mode = mode; acquired_at = Engine.now t.engine } :: entry.holders;
+    t.held_total <- t.held_total + 1);
   note_owned t owner obj;
   t.acquisitions <- t.acquisitions + 1;
   t.observer (Acquired { owner; obj })
@@ -317,6 +320,7 @@ let drop_holder t obj entry owner =
   | None -> ()
   | Some h ->
     entry.holders <- List.filter (fun h' -> h'.h_owner <> owner) entry.holders;
+    t.held_total <- t.held_total - 1;
     let held = Engine.now t.engine -. h.acquired_at in
     t.hold_time_hook ~obj ~duration:held;
     t.observer (Released { owner; obj; held })
@@ -368,6 +372,7 @@ let reset t =
   Array.fill t.entries 0 (Array.length t.entries) None;
   Hashtbl.reset t.owned;
   Hashtbl.reset t.waiting_on;
+  t.held_total <- 0;
   List.iter
     (fun w ->
       if w.w_active then begin
@@ -404,3 +409,4 @@ let wait_count t = t.waits
 let deadlock_count t = t.deadlocks
 let timeout_count t = t.timeouts
 let blocked_count t = Hashtbl.length t.waiting_on
+let held_count t = t.held_total

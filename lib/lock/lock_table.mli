@@ -127,3 +127,8 @@ val timeout_count : 'mode t -> int
 
 (** Number of requests currently blocked. *)
 val blocked_count : 'mode t -> int
+
+(** Live (owner, object) holder pairs right now — O(1). A quiescent table
+    (no running transactions) should report zero; anything else is a lock
+    leak (the online leak monitor's signal). *)
+val held_count : 'mode t -> int

@@ -24,6 +24,17 @@ let fnum x =
 
 (* --- Chrome trace-event JSON --------------------------------------------- *)
 
+let event_time = function
+  | Tracer.Begin { time; _ } | Tracer.End { time; _ } | Tracer.Instant { time; _ } -> time
+  | Tracer.Complete { stop; _ } -> stop
+
+(* Latest timestamp recorded anywhere in the trace — the time a synthetic
+   crash-truncated close is pinned to. *)
+let last_recorded tracer =
+  let last = ref 0.0 in
+  Tracer.iter tracer (fun ev -> if event_time ev > !last then last := event_time ev);
+  !last
+
 (* One virtual time unit is exported as one microsecond. Nested protocol
    spans become async ("b"/"e") events — unlike "B"/"E" duration events they
    tolerate the arbitrary interleaving of concurrent global transactions on
@@ -96,6 +107,29 @@ let chrome_trace tracer =
              "{\"cat\":\"%s\",\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%d,\"ts\":%s}"
              (Span.category kind) (json_escape (Span.name kind)) (Hashtbl.find tids actor)
              (fnum time)));
+  (* Spans left open (a central crash truncated the run mid-transaction)
+     would otherwise render with no closing event and Perfetto would clip
+     the track. Close each one explicitly at the last recorded time with a
+     crash-truncated marker so the crash signature is visible. *)
+  if Hashtbl.length open_spans > 0 then begin
+    let stop = fnum (last_recorded tracer) in
+    let dangling =
+      Hashtbl.fold (fun id span acc -> (id, span) :: acc) open_spans []
+      |> List.sort compare
+    in
+    List.iter
+      (fun (id, (actor, kind)) ->
+        let tid = Hashtbl.find tids actor in
+        emit
+          (Printf.sprintf
+             "{\"cat\":\"mark\",\"name\":\"crash-truncated: %s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%d,\"ts\":%s}"
+             (json_escape (Span.name kind)) tid stop);
+        emit
+          (Printf.sprintf
+             "{\"cat\":\"%s\",\"name\":\"%s\",\"ph\":\"e\",\"id\":%d,\"pid\":1,\"tid\":%d,\"ts\":%s}"
+             (Span.category kind) (json_escape (Span.name kind)) id tid stop))
+      dangling
+  end;
   Buffer.add_string buf "\n]}\n";
   Buffer.contents buf
 
@@ -194,11 +228,18 @@ let span_tree tracer =
       else roots := s :: !roots)
     spans;
   let by_start l = List.sort (fun (a : Tracer.span) b -> compare (a.s_start, a.s_id) (b.s_start, b.s_id)) l in
+  let last = last_recorded tracer in
   let rec print depth (s : Tracer.span) =
-    let stop = match s.s_stop with Some st -> Printf.sprintf "%8.2f" st | None -> "    open" in
+    (* A span with no stop was cut off by a crash: pin it to the last
+       recorded time and say so, instead of the old silent "open". *)
+    let stop, marker =
+      match s.s_stop with
+      | Some st -> (Printf.sprintf "%8.2f" st, "")
+      | None -> (Printf.sprintf "%8.2f" last, " (crash-truncated)")
+    in
     Buffer.add_string buf
-      (Printf.sprintf "%s[%8.2f .. %s] %-12s %s\n" (String.make (2 * depth) ' ') s.s_start stop
-         s.s_actor (Span.name s.s_kind));
+      (Printf.sprintf "%s[%8.2f .. %s] %-12s %s%s\n" (String.make (2 * depth) ' ') s.s_start stop
+         s.s_actor (Span.name s.s_kind) marker);
     if s.s_id >= 0 then
       List.iter (print (depth + 1))
         (by_start (Option.value ~default:[] (Hashtbl.find_opt children s.s_id)))
@@ -212,4 +253,48 @@ let span_tree tracer =
         Buffer.add_string buf (Printf.sprintf "  t=%8.2f  [%-12s] %s\n" time actor (Span.name kind)))
       instants
   end;
+  Buffer.contents buf
+
+(* --- flight-recorder dump ------------------------------------------------- *)
+
+(* Plain-text rendering of a (usually ring-limited) tracer: one line per
+   retained event, oldest first — the forensics file written next to a
+   chaos reproducer. Deterministic: same seed, same dump. *)
+let flight_dump tracer =
+  let buf = Buffer.create 4096 in
+  let cap =
+    match Tracer.capacity tracer with
+    | Some c -> Printf.sprintf "%d" c
+    | None -> "unbounded"
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "flight recorder: %d events retained, %d dropped (capacity %s)\n"
+       (Tracer.length tracer) (Tracer.dropped tracer) cap);
+  (* End events carry only an id; remember Begins (including ones whose
+     Begin was overwritten by the ring — rendered as "?"). *)
+  let open_spans = Hashtbl.create 64 in
+  Tracer.iter tracer (fun ev ->
+      let line =
+        match ev with
+        | Tracer.Begin { id; actor; time; kind; parent = _ } ->
+          Hashtbl.replace open_spans id (Span.name kind);
+          Printf.sprintf "t=%10.2f  %-12s  begin  %s (#%d)" time actor (Span.name kind) id
+        | Tracer.End { id; time } ->
+          let name =
+            match Hashtbl.find_opt open_spans id with Some n -> n | None -> "?"
+          in
+          Hashtbl.remove open_spans id;
+          Printf.sprintf "t=%10.2f  %-12s  end    %s (#%d)" time "" name id
+        | Tracer.Complete { actor; start; stop; kind } ->
+          Printf.sprintf "t=%10.2f  %-12s  span   %s [%.2f .. %.2f]" stop actor
+            (Span.name kind) start stop
+        | Tracer.Instant { actor; time; kind } ->
+          Printf.sprintf "t=%10.2f  %-12s  mark   %s" time actor (Span.name kind)
+      in
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n');
+  if Hashtbl.length open_spans > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "%d span(s) still open at the end of the recording\n"
+         (Hashtbl.length open_spans));
   Buffer.contents buf

@@ -1,9 +1,30 @@
-module Stats = Icdb_util.Stats
-
 type key = { name : string; labels : (string * string) list }
 
 type counter = { mutable v : int }
-type histogram = { mutable sample : Stats.Sample.t }
+
+(* Bounded-memory HDR-style histogram: observations land in log-spaced
+   buckets — one octave per binary exponent, [sub_buckets] linear
+   sub-divisions inside each octave, so the bucket width is at most
+   1/sub_buckets of the value (≤ 6.25% relative quantile error). Count,
+   sum, min and max are tracked exactly and incrementally; only the bucket
+   counts are stored, so memory is O(occupied octaves), independent of the
+   observation count — the property that lets the million-account runs keep
+   full metrics. Octave count arrays are allocated lazily: a histogram that
+   only ever sees values in two octaves holds two 32-slot int arrays. *)
+
+let sub_buckets = 32
+let e_lo = -32 (* smallest tracked exponent: values below 2^-33 share a bucket *)
+let e_hi = 63 (* largest: values ≥ 2^63 share the top bucket *)
+let n_octaves = e_hi - e_lo + 1
+
+type histogram = {
+  mutable h_n : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  mutable h_nonpos : int; (* observations ≤ 0 (or NaN): kept out of the log buckets *)
+  octaves : int array option array; (* n_octaves slots, sub_buckets counts each *)
+}
 
 type metric = Counter of counter | Histogram of histogram
 
@@ -24,6 +45,16 @@ let counter t ?labels name =
     Hashtbl.replace t.tbl k (Counter c);
     c
 
+let fresh_histogram () =
+  {
+    h_n = 0;
+    h_sum = 0.0;
+    h_min = infinity;
+    h_max = neg_infinity;
+    h_nonpos = 0;
+    octaves = Array.make n_octaves None;
+  }
+
 let histogram t ?labels name =
   let k = key ?labels name in
   match Hashtbl.find_opt t.tbl k with
@@ -31,22 +62,111 @@ let histogram t ?labels name =
   | Some (Counter _) ->
     invalid_arg (Printf.sprintf "Registry.histogram: %S is a counter" name)
   | None ->
-    let h = { sample = Stats.Sample.create () } in
+    let h = fresh_histogram () in
     Hashtbl.replace t.tbl k (Histogram h);
     h
 
 let inc ?(by = 1) c = c.v <- c.v + by
 let count c = c.v
-let observe h x = Stats.Sample.add h.sample x
 
-let hist_count h = Stats.Sample.count h.sample
-let hist_mean h = if hist_count h = 0 then 0.0 else Stats.Sample.mean h.sample
+let observe h x =
+  h.h_n <- h.h_n + 1;
+  h.h_sum <- h.h_sum +. x;
+  if x < h.h_min then h.h_min <- x;
+  if x > h.h_max then h.h_max <- x;
+  if x > 0.0 then begin
+    let m, e = Float.frexp x in
+    (* m ∈ [0.5, 1): linear sub-bucket index inside the octave. *)
+    if e < e_lo then begin
+      (* tiny positive values: bottom bucket of the lowest octave *)
+      let counts =
+        match h.octaves.(0) with
+        | Some c -> c
+        | None ->
+          let c = Array.make sub_buckets 0 in
+          h.octaves.(0) <- Some c;
+          c
+      in
+      counts.(0) <- counts.(0) + 1
+    end
+    else begin
+      let oct = if e > e_hi then n_octaves - 1 else e - e_lo in
+      let sub =
+        if e > e_hi then sub_buckets - 1
+        else
+          let s = int_of_float ((m -. 0.5) *. float_of_int (2 * sub_buckets)) in
+          if s < 0 then 0 else if s >= sub_buckets then sub_buckets - 1 else s
+      in
+      let counts =
+        match h.octaves.(oct) with
+        | Some c -> c
+        | None ->
+          let c = Array.make sub_buckets 0 in
+          h.octaves.(oct) <- Some c;
+          c
+      in
+      counts.(sub) <- counts.(sub) + 1
+    end
+  end
+  else h.h_nonpos <- h.h_nonpos + 1 (* ≤ 0 and NaN observations *)
 
+let hist_count h = h.h_n
+let hist_mean h = if h.h_n = 0 then 0.0 else h.h_sum /. float_of_int h.h_n
+
+(* Upper bound of bucket (oct, sub): (0.5 + (sub+1)/64) · 2^e. *)
+let bucket_upper oct sub =
+  Float.ldexp
+    (0.5 +. (float_of_int (sub + 1) /. float_of_int (2 * sub_buckets)))
+    (oct + e_lo)
+
+(* Percentile = upper bound of the bucket holding the target rank, clamped
+   into [min, max]. A single-bucket histogram (and in particular a single
+   observation) therefore reports exact quantiles; in general the answer is
+   within one bucket (≤ 1/sub_buckets relative) of the true order
+   statistic. *)
 let hist_percentile h p =
-  if hist_count h = 0 then 0.0 else Stats.Sample.percentile h.sample p
+  if h.h_n = 0 then 0.0
+  else if p >= 100.0 then h.h_max
+  else begin
+    let target =
+      let r = int_of_float (Float.ceil (p /. 100.0 *. float_of_int h.h_n)) in
+      if r < 1 then 1 else if r > h.h_n then h.h_n else r
+    in
+    if target <= h.h_nonpos then (if h.h_min < 0.0 then h.h_min else 0.0)
+    else begin
+      let cum = ref h.h_nonpos in
+      let result = ref h.h_max in
+      (try
+         for oct = 0 to n_octaves - 1 do
+           match h.octaves.(oct) with
+           | None -> ()
+           | Some counts ->
+             for sub = 0 to sub_buckets - 1 do
+               if counts.(sub) > 0 then begin
+                 cum := !cum + counts.(sub);
+                 if !cum >= target then begin
+                   result := bucket_upper oct sub;
+                   raise Exit
+                 end
+               end
+             done
+         done
+       with Exit -> ());
+      let r = !result in
+      let r = if r > h.h_max then h.h_max else r in
+      if r < h.h_min then h.h_min else r
+    end
+  end
 
 let clear_counter c = c.v <- 0
-let clear_histogram h = h.sample <- Stats.Sample.create ()
+
+let clear_histogram h =
+  h.h_n <- 0;
+  h.h_sum <- 0.0;
+  h.h_min <- infinity;
+  h.h_max <- neg_infinity;
+  h.h_nonpos <- 0;
+  Array.fill h.octaves 0 n_octaves None
 
 type hsnap = {
   h_count : int;
@@ -58,17 +178,16 @@ type hsnap = {
 }
 
 let hist_snapshot h =
-  let n = hist_count h in
-  if n = 0 then { h_count = 0; h_sum = 0.0; h_mean = 0.0; h_p50 = 0.0; h_p95 = 0.0; h_max = 0.0 }
+  if h.h_n = 0 then
+    { h_count = 0; h_sum = 0.0; h_mean = 0.0; h_p50 = 0.0; h_p95 = 0.0; h_max = 0.0 }
   else
-    let sum = Array.fold_left ( +. ) 0.0 (Stats.Sample.values h.sample) in
     {
-      h_count = n;
-      h_sum = sum;
-      h_mean = Stats.Sample.mean h.sample;
-      h_p50 = Stats.Sample.percentile h.sample 50.0;
-      h_p95 = Stats.Sample.percentile h.sample 95.0;
-      h_max = Stats.Sample.percentile h.sample 100.0;
+      h_count = h.h_n;
+      h_sum = h.h_sum;
+      h_mean = hist_mean h;
+      h_p50 = hist_percentile h 50.0;
+      h_p95 = hist_percentile h 95.0;
+      h_max = h.h_max;
     }
 
 type snapshot = {

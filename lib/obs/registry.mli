@@ -11,7 +11,17 @@
     registered. Handles are cheap to cache and O(1) to update, so hot paths
     (one observation per message or lock wait) stay off the allocator. All
     listings are sorted, so snapshots of deterministic runs are
-    byte-identical regardless of domain count. *)
+    byte-identical regardless of domain count.
+
+    Histograms are bounded-memory, HDR-style: observations land in
+    log-spaced buckets (one octave per binary exponent, 32 linear
+    sub-buckets each, lazily allocated), so memory is O(occupied buckets)
+    regardless of observation count. Count, sum, mean, min and max are
+    exact; {!hist_percentile} returns the upper bound of the bucket holding
+    the target rank clamped into [min, max] — within 1/32 (≤ 6.25%)
+    relative error of the true order statistic, and exact whenever all
+    observations share one bucket (in particular for a single
+    observation). *)
 
 type t
 
@@ -33,9 +43,11 @@ val count : counter -> int
 val observe : histogram -> float -> unit
 val hist_count : histogram -> int
 
-(** Mean / percentile over all observations; [0.] when empty. *)
+(** Mean over all observations; [0.] when empty. *)
 val hist_mean : histogram -> float
 
+(** Bucketed percentile (see the module comment); [0.] when empty,
+    exact max for [p >= 100]. *)
 val hist_percentile : histogram -> float -> float
 val clear_counter : counter -> unit
 val clear_histogram : histogram -> unit

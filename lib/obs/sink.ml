@@ -1,0 +1,139 @@
+(* Streaming Chrome-trace writer: the incremental counterpart of
+   {!Export.chrome_trace}. Events are formatted and handed to [write] as
+   they are recorded, so a million-account run can trace to disk while the
+   in-process state stays O(open spans + actors): a tid table, the
+   open-span table End events need, and whatever the channel buffers.
+
+   The one format difference from the batch exporter is metadata placement:
+   thread_name records are emitted when an actor is first seen instead of
+   all up front (the batch exporter can afford a first pass; a stream
+   cannot). The trace-event spec allows "M" records anywhere. *)
+
+type t = {
+  write : string -> unit;
+  mutable first : bool;
+  mutable closed : bool;
+  tids : (string, int) Hashtbl.t;
+  open_spans : (int, string * Span.kind) Hashtbl.t;
+  mutable last_time : float;
+  mutable events : int; (* payload events emitted (metadata excluded) *)
+  mutable bytes : int;
+}
+
+let emit t line =
+  let sep = if t.first then "" else ",\n" in
+  t.first <- false;
+  t.write sep;
+  t.write line;
+  t.bytes <- t.bytes + String.length sep + String.length line
+
+let create ~write =
+  let t =
+    {
+      write;
+      first = true;
+      closed = false;
+      tids = Hashtbl.create 16;
+      open_spans = Hashtbl.create 64;
+      last_time = 0.0;
+      events = 0;
+      bytes = 0;
+    }
+  in
+  let header = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n" in
+  t.write header;
+  t.bytes <- t.bytes + String.length header;
+  emit t "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"icdb\"}}";
+  t
+
+let tid_of t actor =
+  match Hashtbl.find_opt t.tids actor with
+  | Some n -> n
+  | None ->
+    let n = Hashtbl.length t.tids in
+    Hashtbl.replace t.tids actor n;
+    emit t
+      (Printf.sprintf
+         "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+         n (Export.json_escape actor));
+    n
+
+let bump_time t time = if time > t.last_time then t.last_time <- time
+
+let on_event t (ev : Tracer.event) =
+  if not t.closed then begin
+    t.events <- t.events + 1;
+    match ev with
+    | Tracer.Begin { id; actor; time; kind; parent = _ } ->
+      bump_time t time;
+      Hashtbl.replace t.open_spans id (actor, kind);
+      emit t
+        (Printf.sprintf
+           "{\"cat\":\"%s\",\"name\":\"%s\",\"ph\":\"b\",\"id\":%d,\"pid\":1,\"tid\":%d,\"ts\":%s}"
+           (Span.category kind)
+           (Export.json_escape (Span.name kind))
+           id (tid_of t actor) (Export.fnum time))
+    | Tracer.End { id; time } -> (
+      bump_time t time;
+      match Hashtbl.find_opt t.open_spans id with
+      | None -> t.events <- t.events - 1 (* End without a Begin: dropped *)
+      | Some (actor, kind) ->
+        Hashtbl.remove t.open_spans id;
+        emit t
+          (Printf.sprintf
+             "{\"cat\":\"%s\",\"name\":\"%s\",\"ph\":\"e\",\"id\":%d,\"pid\":1,\"tid\":%d,\"ts\":%s}"
+             (Span.category kind)
+             (Export.json_escape (Span.name kind))
+             id (tid_of t actor) (Export.fnum time)))
+    | Tracer.Complete { actor; start; stop; kind } ->
+      bump_time t stop;
+      emit t
+        (Printf.sprintf
+           "{\"cat\":\"%s\",\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"dur\":%s}"
+           (Span.category kind)
+           (Export.json_escape (Span.name kind))
+           (tid_of t actor) (Export.fnum start)
+           (Export.fnum (stop -. start)))
+    | Tracer.Instant { actor; time; kind } ->
+      bump_time t time;
+      emit t
+        (Printf.sprintf
+           "{\"cat\":\"%s\",\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%d,\"ts\":%s}"
+           (Span.category kind)
+           (Export.json_escape (Span.name kind))
+           (tid_of t actor) (Export.fnum time))
+  end
+
+let close t =
+  if not t.closed then begin
+    (* Same crash-truncation discipline as the batch exporter: close every
+       span still open at the last recorded time, marker first. *)
+    let stop = Export.fnum t.last_time in
+    let dangling =
+      Hashtbl.fold (fun id span acc -> (id, span) :: acc) t.open_spans []
+      |> List.sort compare
+    in
+    List.iter
+      (fun (id, (actor, kind)) ->
+        let tid = tid_of t actor in
+        emit t
+          (Printf.sprintf
+             "{\"cat\":\"mark\",\"name\":\"crash-truncated: %s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%d,\"ts\":%s}"
+             (Export.json_escape (Span.name kind))
+             tid stop);
+        emit t
+          (Printf.sprintf
+             "{\"cat\":\"%s\",\"name\":\"%s\",\"ph\":\"e\",\"id\":%d,\"pid\":1,\"tid\":%d,\"ts\":%s}"
+             (Span.category kind)
+             (Export.json_escape (Span.name kind))
+             id tid stop))
+      dangling;
+    Hashtbl.reset t.open_spans;
+    let footer = "\n]}\n" in
+    t.write footer;
+    t.bytes <- t.bytes + String.length footer;
+    t.closed <- true
+  end
+
+let event_count t = t.events
+let byte_count t = t.bytes

@@ -1,0 +1,30 @@
+(** Incremental Chrome-trace writer — {!Export.chrome_trace} as a stream.
+
+    [create ~write] emits the JSON header immediately and then formats each
+    event handed to {!on_event} straight into [write] (typically
+    [output_string] on a file channel). Attach one to a tracer with
+    [Tracer.set_sink t (Some (Sink.on_event sink))], usually together with
+    [Tracer.set_store t false], and a million-account run traces to disk
+    with in-process memory bounded by the open-span and actor tables.
+
+    {!close} finishes the stream: spans still open are closed at the last
+    recorded time next to a [crash-truncated] marker (the same discipline
+    as the batch exporter), then the closing bracket is written. Events
+    arriving after [close] are ignored.
+
+    Format note: thread_name metadata records are interleaved (emitted when
+    an actor is first seen) rather than leading the file as in the batch
+    exporter — the trace-event spec permits "M" records anywhere, and
+    Perfetto reads both. *)
+
+type t
+
+val create : write:(string -> unit) -> t
+val on_event : t -> Tracer.event -> unit
+val close : t -> unit
+
+(** Payload events written so far (metadata records excluded). *)
+val event_count : t -> int
+
+(** Total bytes handed to [write] so far. *)
+val byte_count : t -> int

@@ -11,7 +11,17 @@
     single branch tests, so permanent instrumentation costs nothing when no
     trace is requested. The event log is an append-order growable array —
     every accessor is linear, never quadratic, and the order doubles as a
-    deterministic tiebreak for simultaneous events. *)
+    deterministic tiebreak for simultaneous events.
+
+    Three optional attachments turn the same tracer into the large-run
+    observability pipeline: a fixed [limit] makes the store a
+    flight-recorder ring that overwrites its oldest event when full
+    (bounded memory, {!dropped} counts the overwrites); a {!set_sink} tap
+    receives every recorded event before it is (maybe) stored, which with
+    [set_store t false] gives a pure streaming tracer with O(ring) memory;
+    and a {!set_sampler} predicate drops whole span kinds at record time
+    (deterministic seeded per-transaction sampling lives in
+    {!Sampling}). *)
 
 type event =
   | Begin of { id : int; parent : int; actor : string; time : float; kind : Span.kind }
@@ -22,12 +32,35 @@ type event =
 
 type t
 
-(** [create ?enabled ~clock ()]. [clock] supplies timestamps (virtual
-    time); [enabled] defaults to [false]. *)
-val create : ?enabled:bool -> clock:(unit -> float) -> unit -> t
+(** [create ?enabled ?limit ~clock ()]. [clock] supplies timestamps
+    (virtual time); [enabled] defaults to [false]. [limit] bounds the store
+    to a ring of the most recent [limit] events (flight-recorder mode);
+    omitted, the store grows without bound as before. *)
+val create : ?enabled:bool -> ?limit:int -> clock:(unit -> float) -> unit -> t
 
 val enabled : t -> bool
 val set_enabled : t -> bool -> unit
+
+(** [set_sink t (Some f)] taps every recorded event: [f] runs before the
+    event is stored (or not stored — see {!set_store}), in recording
+    order. [None] removes the tap. *)
+val set_sink : t -> (event -> unit) option -> unit
+
+(** [set_store t false] stops retaining events in memory — only the sink
+    sees them. Default [true]. *)
+val set_store : t -> bool -> unit
+
+(** [set_sampler t (Some keep)] drops events whose kind fails [keep] at
+    record time ({!begin_span} returns [-1], so the matching
+    {!end_span} is a no-op too). [None] (default) keeps everything. *)
+val set_sampler : t -> (Span.kind -> bool) option -> unit
+
+(** Events overwritten by ring wraparound since the last {!clear}; [0] for
+    unbounded tracers. *)
+val dropped : t -> int
+
+(** The ring capacity, or [None] for an unbounded tracer. *)
+val capacity : t -> int option
 
 (** Re-point the timestamp source. Lets a tracer be created before the
     engine whose virtual clock it will read exists (the runner re-wires a
@@ -46,6 +79,24 @@ val end_span : t -> int -> unit
 val complete : t -> actor:string -> start:float -> ?stop:float -> Span.kind -> unit
 
 val instant : t -> actor:string -> Span.kind -> unit
+
+(** Allocation-free recording of the two event kinds that dominate a
+    protocol run's stream. Semantically identical to {!instant} with
+    [Span.Message] and {!complete} with [Span.Lock_wait]/[Span.Lock_hold]
+    ([wait] selects which), but the kind payload is passed as primitive
+    arguments, so the flight-recorder configuration (ring, no sink, no
+    sampler) stores it without allocating the kind record. *)
+val instant_message :
+  t -> actor:string -> label:string -> direction:Span.direction -> unit
+
+val complete_lock :
+  t ->
+  actor:string ->
+  start:float ->
+  wait:bool ->
+  table:string ->
+  obj:string ->
+  unit
 val length : t -> int
 val clear : t -> unit
 

@@ -42,6 +42,43 @@ let test_histogram_stats () =
   Alcotest.(check int) "empty count" 0 empty.h_count;
   Alcotest.(check (float 0.0)) "empty mean" 0.0 empty.h_mean
 
+let test_histogram_bucketing () =
+  (* Log-bucketed backend: count/sum/mean/max exact, quantiles within one
+     sub-bucket (upper bound, <= 1/32 relative error) across magnitudes. *)
+  let r = Registry.create () in
+  let h = Registry.histogram r "icdb_wide" in
+  List.iter
+    (fun i -> Registry.observe h (float_of_int i))
+    (List.init 10_000 (fun i -> i + 1));
+  let s = Registry.hist_snapshot h in
+  Alcotest.(check int) "count" 10_000 s.h_count;
+  Alcotest.(check (float 1e-6)) "sum" 50_005_000.0 s.h_sum;
+  Alcotest.(check (float 1e-9)) "max exact" 10_000.0 s.h_max;
+  Alcotest.(check bool) "p50 within a bucket" true
+    (s.h_p50 >= 5_000.0 && s.h_p50 <= 5_000.0 *. 1.04);
+  Alcotest.(check bool) "p95 within a bucket" true
+    (s.h_p95 >= 9_500.0 && s.h_p95 <= 9_500.0 *. 1.04);
+  (* Tiny magnitudes land in the negative-exponent octaves, same bound. *)
+  let tiny = Registry.histogram r "icdb_tiny" in
+  List.iter
+    (fun i -> Registry.observe tiny (float_of_int i *. 1e-6))
+    (List.init 1_000 (fun i -> i + 1));
+  let st = Registry.hist_snapshot tiny in
+  Alcotest.(check bool) "small p50 within a bucket" true
+    (st.h_p50 >= 5.0e-4 && st.h_p50 <= 5.0e-4 *. 1.04);
+  (* Non-positive observations count but sit below every bucket. *)
+  let np = Registry.histogram r "icdb_nonpos" in
+  Registry.observe np (-3.0);
+  Registry.observe np 0.0;
+  Registry.observe np 8.0;
+  let sn = Registry.hist_snapshot np in
+  Alcotest.(check int) "nonpos counted" 3 sn.h_count;
+  Alcotest.(check (float 1e-9)) "min is the negative" (-3.0)
+    (Registry.hist_percentile np 1.0);
+  Alcotest.(check (float 1e-9)) "top is the positive" 8.0 sn.h_max;
+  Registry.clear_histogram np;
+  Alcotest.(check int) "clear resets" 0 (Registry.hist_count np)
+
 let test_snapshot_sorted () =
   let r = Registry.create () in
   ignore (Registry.counter r "zzz_total");
@@ -65,6 +102,42 @@ let test_disabled_tracer () =
   Tracer.instant t ~actor:"central" (Span.Mark "y");
   Tracer.complete t ~actor:"central" ~start:0.0 (Span.Mark "z");
   Alcotest.(check int) "nothing recorded" 0 (Tracer.length t)
+
+let test_ring_wraparound () =
+  let now = ref 0.0 in
+  let t = Tracer.create ~enabled:true ~limit:8 ~clock:(fun () -> !now) () in
+  Alcotest.(check (option int)) "capacity" (Some 8) (Tracer.capacity t);
+  for i = 1 to 20 do
+    now := float_of_int i;
+    Tracer.instant t ~actor:"central" (Span.Mark (Printf.sprintf "m%d" i))
+  done;
+  Alcotest.(check int) "ring full" 8 (Tracer.length t);
+  Alcotest.(check int) "overwrites counted" 12 (Tracer.dropped t);
+  (* The ring holds exactly the newest eight, oldest first. *)
+  let names = ref [] in
+  Tracer.iter t (fun ev ->
+      match ev with
+      | Tracer.Instant { kind = Span.Mark m; _ } -> names := m :: !names
+      | _ -> ());
+  Alcotest.(check (list string)) "newest events survive"
+    (List.init 8 (fun i -> Printf.sprintf "m%d" (20 - i)))
+    !names;
+  Tracer.clear t;
+  Alcotest.(check int) "clear empties" 0 (Tracer.length t);
+  Alcotest.(check int) "clear resets drop count" 0 (Tracer.dropped t)
+
+let test_sampler_gates_spans () =
+  let t = Tracer.create ~enabled:true ~clock:(fun () -> 0.0) () in
+  Tracer.set_sampler t (Some (function Span.Mark _ -> false | _ -> true));
+  let id = Tracer.begin_span t ~actor:"a" (Span.Mark "dropped") in
+  Alcotest.(check int) "sampled-out begin is a no-op handle" (-1) id;
+  Tracer.end_span t id;
+  Tracer.instant t ~actor:"a" (Span.Mark "dropped too");
+  Alcotest.(check int) "nothing stored" 0 (Tracer.length t);
+  let kept = Tracer.begin_span t ~actor:"a" (Span.Txn { gid = 1; protocol = "2pc" }) in
+  Alcotest.(check int) "kept span ids start at 0" 0 kept;
+  Tracer.end_span t kept;
+  Alcotest.(check int) "kept span stored" 2 (Tracer.length t)
 
 (* A small hand-built trace shared by the exporter golden tests. *)
 let golden_tracer () =
@@ -143,6 +216,128 @@ let test_golden_prometheus () =
 
 let test_json_escape () =
   Alcotest.(check string) "escape" "a\\\"b\\\\c\\nd" (Export.json_escape "a\"b\\c\nd")
+
+(* --- streaming sink ------------------------------------------------------- *)
+
+(* Replay a tracer's stored events through a sink into a buffer. *)
+let stream_of_tracer t =
+  let b = Buffer.create 256 in
+  let sink = Icdb_obs.Sink.create ~write:(Buffer.add_string b) in
+  Tracer.iter t (Icdb_obs.Sink.on_event sink);
+  Icdb_obs.Sink.close sink;
+  (Buffer.contents b, sink)
+
+let test_streaming_sink_golden () =
+  (* Same events as the batch golden; thread_name metadata is interleaved at
+     first actor sight instead of hoisted (single-pass, still spec-valid). *)
+  let expected =
+    "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n\
+     {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"icdb\"}},\n\
+     {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"central\"}},\n\
+     {\"cat\":\"txn\",\"name\":\"g1 2pc\",\"ph\":\"b\",\"id\":0,\"pid\":1,\"tid\":0,\"ts\":0.000},\n\
+     {\"cat\":\"phase\",\"name\":\"g1 vote\",\"ph\":\"b\",\"id\":1,\"pid\":1,\"tid\":0,\"ts\":1.000},\n\
+     {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\"args\":{\"name\":\"s0\"}},\n\
+     {\"cat\":\"msg\",\"name\":\"send prepare\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":1,\"ts\":1.000},\n\
+     {\"cat\":\"phase\",\"name\":\"g1 vote\",\"ph\":\"e\",\"id\":1,\"pid\":1,\"tid\":0,\"ts\":2.000},\n\
+     {\"cat\":\"lock\",\"name\":\"lock-hold x\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":0.500,\"dur\":1.500},\n\
+     {\"cat\":\"decision\",\"name\":\"g1 decision:commit\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":0,\"ts\":2.000},\n\
+     {\"cat\":\"txn\",\"name\":\"g1 2pc\",\"ph\":\"e\",\"id\":0,\"pid\":1,\"tid\":0,\"ts\":3.000}\n\
+     ]}\n"
+  in
+  let out, sink = stream_of_tracer (golden_tracer ()) in
+  Alcotest.(check string) "streamed trace" expected out;
+  Alcotest.(check int) "event count" 7 (Icdb_obs.Sink.event_count sink);
+  Alcotest.(check int) "byte count" (String.length out)
+    (Icdb_obs.Sink.byte_count sink)
+
+(* A trace whose transaction span never ends (crashed coordinator). *)
+let truncated_tracer () =
+  let now = ref 0.0 in
+  let t = Tracer.create ~enabled:true ~clock:(fun () -> !now) () in
+  let root = Tracer.begin_span t ~actor:"central" (Span.Txn { gid = 9; protocol = "2pc" }) in
+  now := 1.0;
+  let ph =
+    Tracer.begin_span t ~parent:root ~actor:"central"
+      (Span.Phase { gid = 9; phase = Span.Vote })
+  in
+  now := 2.5;
+  Tracer.end_span t ph;
+  (* root never ends *)
+  t
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_crash_truncated_spans () =
+  let t = truncated_tracer () in
+  let chrome = Export.chrome_trace t in
+  Alcotest.(check bool) "batch export marks truncation" true
+    (contains chrome "crash-truncated");
+  (* The synthetic end closes the span at the last recorded time. *)
+  Alcotest.(check bool) "synthetic end at last time" true
+    (contains chrome
+       "{\"cat\":\"txn\",\"name\":\"g9 2pc\",\"ph\":\"e\",\"id\":0,\"pid\":1,\"tid\":0,\"ts\":2.500}");
+  let tree = Export.span_tree t in
+  Alcotest.(check bool) "span tree marks truncation" true
+    (contains tree "(crash-truncated)");
+  let streamed, _ = stream_of_tracer t in
+  Alcotest.(check bool) "sink closes dangling spans" true
+    (contains streamed "crash-truncated");
+  Alcotest.(check bool) "sink output well-terminated" true
+    (let n = String.length streamed in
+     n >= 4 && String.sub streamed (n - 4) 4 = "\n]}\n")
+
+let test_flight_dump_format () =
+  let t = truncated_tracer () in
+  let dump = Export.flight_dump t in
+  Alcotest.(check bool) "header" true (contains dump "flight recorder: 3 events retained");
+  Alcotest.(check bool) "txn event present" true (contains dump "g9 2pc");
+  Alcotest.(check bool) "dangling span reported" true (contains dump "1 span(s) still open")
+
+(* --- sampling ------------------------------------------------------------- *)
+
+let test_sampling_deterministic_and_bounded () =
+  let module Sampling = Icdb_obs.Sampling in
+  (* Pure in (seed, rate, gid): the same triple always agrees. *)
+  for gid = 0 to 99 do
+    Alcotest.(check bool) "keep is a pure function"
+      (Sampling.keep ~seed:42L ~rate:0.3 gid)
+      (Sampling.keep ~seed:42L ~rate:0.3 gid)
+  done;
+  Alcotest.(check bool) "rate 1 keeps everything" true
+    (List.for_all (Sampling.keep ~seed:7L ~rate:1.0) (List.init 100 Fun.id));
+  Alcotest.(check bool) "rate 0 keeps nothing" true
+    (List.for_all
+       (fun g -> not (Sampling.keep ~seed:7L ~rate:0.0 g))
+       (List.init 100 Fun.id));
+  let kept = ref 0 in
+  for gid = 0 to 9_999 do
+    if Icdb_obs.Sampling.keep ~seed:42L ~rate:0.25 gid then incr kept
+  done;
+  let frac = float_of_int !kept /. 10_000.0 in
+  Alcotest.(check bool) "kept fraction near the rate" true
+    (frac > 0.22 && frac < 0.28);
+  (* The kind filter keeps whole transactions: a kept gid keeps its txn,
+     phase, branch and decision spans; outages and marks always pass;
+     per-message spam never does at rate < 1. *)
+  let f = Sampling.kind_filter ~seed:42L ~rate:0.25 in
+  let some_kept = ref false and some_dropped = ref false in
+  for gid = 0 to 99 do
+    let txn = f (Span.Txn { gid; protocol = "2pc" }) in
+    Alcotest.(check bool) "phase follows txn" txn
+      (f (Span.Phase { gid; phase = Span.Vote }));
+    Alcotest.(check bool) "decision follows txn" txn
+      (f (Span.Decision { gid; commit = true }));
+    if txn then some_kept := true else some_dropped := true
+  done;
+  Alcotest.(check bool) "some transactions kept" true !some_kept;
+  Alcotest.(check bool) "some transactions dropped" true !some_dropped;
+  Alcotest.(check bool) "outages always kept" true (f (Span.Outage { site = "s0" }));
+  Alcotest.(check bool) "marks always kept" true (f (Span.Mark "note"));
+  Alcotest.(check bool) "messages dropped when sampling" false
+    (f (Span.Message { label = "prepare"; direction = Span.Send }))
 
 (* --- end-to-end: a traced chaos workload ---------------------------------- *)
 
@@ -246,6 +441,64 @@ let test_deterministic_across_domains () =
       Alcotest.(check string) "metrics identical across domains" m1 m2)
     sequential parallel
 
+let ring_run ?(seed = 7L) () =
+  (* The traced chaos workload flown with a flight-recorder ring: far more
+     events than capacity, so the ring wraps many times. *)
+  let tracer = Tracer.create ~enabled:true ~limit:64 ~clock:(fun () -> 0.0) () in
+  let _ =
+    Runner.run ~tracer
+      {
+        Runner.default with
+        protocol = Protocol.Before;
+        seed;
+        n_txns = 40;
+        concurrency = 6;
+        accounts_per_site = 8;
+        p_intended_abort = 0.1;
+        p_spontaneous = 0.1;
+        crash_rate = 2.0;
+        crash_duration = 20.0;
+      }
+  in
+  tracer
+
+let test_ring_deterministic_dump () =
+  let t1 = ring_run () and t2 = ring_run () in
+  Alcotest.(check bool) "the ring wrapped" true (Tracer.dropped t1 > 0);
+  Alcotest.(check int) "ring at capacity" 64 (Tracer.length t1);
+  Alcotest.(check string) "same seed, byte-identical flight dump"
+    (Export.flight_dump t1) (Export.flight_dump t2);
+  Alcotest.(check int) "same drop count" (Tracer.dropped t1) (Tracer.dropped t2)
+
+let sampled_stream seed =
+  let b = Buffer.create 4096 in
+  let sink = Icdb_obs.Sink.create ~write:(Buffer.add_string b) in
+  let tracer = Tracer.create ~enabled:true ~clock:(fun () -> 0.0) () in
+  Tracer.set_store tracer false;
+  Tracer.set_sink tracer (Some (Icdb_obs.Sink.on_event sink));
+  Tracer.set_sampler tracer (Some (Icdb_obs.Sampling.kind_filter ~seed ~rate:0.3));
+  let _ =
+    Runner.run ~tracer
+      { Runner.default with protocol = Protocol.Two_phase; seed; n_txns = 30 }
+  in
+  Icdb_obs.Sink.close sink;
+  Buffer.contents b
+
+let test_sampled_stream_across_domains () =
+  (* Head sampling keys on (seed, gid) only, so the streamed trace is
+     byte-identical run to run and across parallel domains. *)
+  let sequential = List.map sampled_stream [ 7L; 8L ] in
+  let parallel =
+    Icdb_util.Pool.run ~jobs:2
+      [ (fun () -> sampled_stream 7L); (fun () -> sampled_stream 8L) ]
+  in
+  List.iter2
+    (fun s p -> Alcotest.(check string) "sampled stream identical across domains" s p)
+    sequential parallel;
+  (* And sampling genuinely thinned the stream. *)
+  let full = sampled_stream 7L in
+  Alcotest.(check bool) "non-trivial output" true (String.length full > 200)
+
 let () =
   Alcotest.run "obs"
     [
@@ -254,11 +507,14 @@ let () =
           Alcotest.test_case "counter get-or-create + labels" `Quick
             test_counter_get_or_create;
           Alcotest.test_case "histogram statistics" `Quick test_histogram_stats;
+          Alcotest.test_case "histogram log bucketing" `Quick test_histogram_bucketing;
           Alcotest.test_case "snapshot sorted" `Quick test_snapshot_sorted;
         ] );
       ( "tracer",
         [
           Alcotest.test_case "disabled tracer records nothing" `Quick test_disabled_tracer;
+          Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
+          Alcotest.test_case "sampler gates spans" `Quick test_sampler_gates_spans;
         ] );
       ( "export",
         [
@@ -266,6 +522,14 @@ let () =
           Alcotest.test_case "metrics json golden" `Quick test_golden_metrics_json;
           Alcotest.test_case "prometheus golden" `Quick test_golden_prometheus;
           Alcotest.test_case "json escaping" `Quick test_json_escape;
+          Alcotest.test_case "streaming sink golden" `Quick test_streaming_sink_golden;
+          Alcotest.test_case "crash-truncated spans" `Quick test_crash_truncated_spans;
+          Alcotest.test_case "flight dump format" `Quick test_flight_dump_format;
+        ] );
+      ( "sampling",
+        [
+          Alcotest.test_case "deterministic and bounded" `Quick
+            test_sampling_deterministic_and_bounded;
         ] );
       ( "end-to-end",
         [
@@ -275,5 +539,8 @@ let () =
           Alcotest.test_case "same seed, same trace" `Quick test_deterministic_same_seed;
           Alcotest.test_case "identical across domains" `Quick
             test_deterministic_across_domains;
+          Alcotest.test_case "ring dump deterministic" `Quick test_ring_deterministic_dump;
+          Alcotest.test_case "sampled stream across domains" `Quick
+            test_sampled_stream_across_domains;
         ] );
     ]
