@@ -84,20 +84,34 @@ let exp_cmd =
             "With $(b,s1) and $(b,--trace-out), keep a seeded head-sampled fraction \
              $(docv) of transactions in the streamed traces. Default 0.01.")
   in
-  let run id jobs smoke trace_out trace_sample =
+  let sim_domains =
+    Arg.(
+      value & opt int 1
+      & info [ "sim-domains" ] ~docv:"N"
+          ~doc:
+            "Partition each simulation over $(docv) domains (central system on \
+             partition 0, sites round-robin over the rest). Deterministic: every \
+             report column except the wall-clock ones is byte-identical for any \
+             $(docv). Applies to $(b,s1) and $(b,r1).")
+  in
+  let run id jobs smoke trace_out trace_sample sim_domains =
+    (* Core budget is shared between experiment-level parallelism (-j) and
+       within-run partitioning (--sim-domains): scale the job count down so
+       jobs x sim_domains stays at the requested width (see Icdb_util.Pool). *)
+    let jobs = max 1 (jobs / max 1 sim_domains) in
     if id = "all" then begin
       print_string (Experiments.run_all ~jobs ());
       print_newline ();
-      ignore (Campaign.experiment_r1 ())
+      ignore (Campaign.experiment_r1 ~sim_domains ())
     end
-    else if id = "r1" then ignore (Campaign.experiment_r1 ())
+    else if id = "r1" then ignore (Campaign.experiment_r1 ~sim_domains ())
     else if id = "s1" then begin
       let trace =
         Option.map
           (fun base -> { Scaling.ts_rate = trace_sample; ts_base = base })
           trace_out
       in
-      print_string (Scaling.run_s1 ~smoke ?trace ())
+      print_string (Scaling.run_s1 ~smoke ?trace ~sim_domains ())
     end
     else
       match Experiments.run id with
@@ -107,7 +121,7 @@ let exp_cmd =
         exit 1
   in
   Cmd.v (Cmd.info "exp" ~doc)
-    Term.(const run $ id $ jobs $ smoke $ trace_out $ trace_sample)
+    Term.(const run $ id $ jobs $ smoke $ trace_out $ trace_sample $ sim_domains)
 
 let report_to_string ?(central_gc = false) (r : Runner.report) =
   let b = Buffer.create 512 in
@@ -227,9 +241,21 @@ let run_cmd =
       & info [ "prom-out" ] ~docv:"FILE"
           ~doc:"Write the metrics registry in Prometheus text exposition to $(docv).")
   in
+  let sim_domains =
+    Arg.(
+      value & opt int 1
+      & info [ "sim-domains" ] ~docv:"N"
+          ~doc:
+            "Partition the simulation over $(docv) OCaml domains: the central system \
+             on partition 0, sites round-robin over the rest. The report, traces and \
+             metrics are byte-identical for any $(docv) (conservative synchronization \
+             executes events in global timestamp order); 1 runs the plain sequential \
+             engine.")
+  in
   let run protocol n_txns n_sites concurrency seed p_intended_abort p_spontaneous crash_rate
       zipf_theta message_loss group_commit_window msg_batch_window central_gc_window
-      mlt_action_retries trace_out trace_stream trace_sample metrics_out prom_out =
+      mlt_action_retries trace_out trace_stream trace_sample metrics_out prom_out
+      sim_domains =
     let registry = Registry.create () in
     let tracer =
       (* Clock re-wired onto the run's engine by [Runner.run]. *)
@@ -270,6 +296,7 @@ let run_cmd =
           msg_batch_window;
           central_gc_window;
           mlt_action_retries;
+          sim_domains;
         }
     in
     let central_gc = match central_gc_window with Some w when w > 0.0 -> true | _ -> false in
@@ -302,7 +329,7 @@ let run_cmd =
     Term.(
       const run $ protocol $ txns $ sites $ concurrency $ seed $ p_intended $ p_spont
       $ crash_rate $ theta $ loss $ gc_window $ batch_window $ central_gc $ retries
-      $ trace_out $ trace_stream $ trace_sample $ metrics_out $ prom_out)
+      $ trace_out $ trace_stream $ trace_sample $ metrics_out $ prom_out $ sim_domains)
 
 let trace_cmd =
   let doc =
@@ -508,11 +535,22 @@ let chaos_cmd =
              events is written to $(docv)-<protocol>-<n>.txt (only written when \
              there are violations).")
   in
-  let run protocol plans seed shrink reproducers_out flight_out =
+  let sim_domains =
+    Arg.(
+      value & opt int 1
+      & info [ "sim-domains" ] ~docv:"N"
+          ~doc:
+            "Partition every campaign run over $(docv) OCaml domains \
+             (conservative synchronization). Outcomes, the stats table and the \
+             trips summary are byte-identical for any $(docv).")
+  in
+  let run protocol plans seed shrink reproducers_out flight_out sim_domains =
     let protocols =
       match protocol with Some p -> [ p ] | None -> Protocol.all
     in
-    let stats = Campaign.run_campaign ~shrink_failures:shrink ~seed ~plans protocols in
+    let stats =
+      Campaign.run_campaign ~shrink_failures:shrink ~seed ~sim_domains ~plans protocols
+    in
     Icdb_util.Table.print (Campaign.stats_table ~plans ~seed stats);
     let trips = Campaign.trips_summary stats in
     if trips <> "" then begin
@@ -558,7 +596,9 @@ let chaos_cmd =
     else print_endline "all invariants hold under every plan."
   in
   Cmd.v (Cmd.info "chaos" ~doc)
-    Term.(const run $ protocol $ plans $ seed $ shrink $ reproducers_out $ flight_out)
+    Term.(
+      const run $ protocol $ plans $ seed $ shrink $ reproducers_out $ flight_out
+      $ sim_domains)
 
 let () =
   let doc = "atomic commitment for integrated database systems (Muth & Rakow, ICDE 1991)" in

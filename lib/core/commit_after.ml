@@ -45,9 +45,13 @@ let run (fed : Federation.t) (spec : Global.spec) =
     let marker_op = [ Program.Write (commit_marker ~gid, 1) ] in
     let results =
       obs_phase fed obs ~gid Span.Execute (fun sp ->
-          Fiber.all fed.engine
+          fanout fed
             (List.map
-               (fun b () -> (b, execute_branch fed ~gid ~parent:sp b ~extra_ops:marker_op))
+               (fun (b : Global.branch) ->
+                 ( b.site,
+                   fun () ->
+                     (b, execute_branch fed ~gid ~parent:sp b ~extra_ops:marker_op)
+                 ))
                spec.branches))
     in
     fed.central_fail ~gid "executed";
@@ -55,9 +59,12 @@ let run (fed : Federation.t) (spec : Global.spec) =
     Trace.record fed.trace ~actor:"central" (ev gid "inquire");
     let votes =
       obs_phase fed obs ~gid Span.Vote @@ fun _ ->
-      Fiber.all fed.engine
+      fanout fed
         (List.map
-           (fun (result : Global.branch * exec_status) () ->
+           (fun (result : Global.branch * exec_status) ->
+             let b, _ = result in
+             ( b.site,
+               fun () ->
              let b, status = result in
              let site = Federation.site fed b.site in
              let db = Site.db site in
@@ -81,6 +88,7 @@ let run (fed : Federation.t) (spec : Global.spec) =
                          (b, No (Global.Local_abort { site = b.site; reason = r })) )
                      | `Prepared | `Committed ->
                        invalid_arg "Commit_after: local transaction in impossible state"))
+             )
            results)
     in
     let abort_cause =
@@ -95,31 +103,36 @@ let run (fed : Federation.t) (spec : Global.spec) =
     fed.central_fail ~gid "decided";
     obs_phase fed obs ~gid Span.Local_commit (fun _ ->
         ignore
-          (Fiber.all fed.engine
+          (fanout fed
              (List.filter_map
                 (function
                   | (b : Global.branch), Ready txn ->
                     Some
-                      (fun () ->
-                        let site = Federation.site fed b.site in
-                        let db = Site.db site in
-                        if decide_commit then
-                          decision_rpc fed ~gid ~site:b.site ~label:"commit" (fun () ->
-                              (match Db.commit db txn with
-                              | Ok () ->
-                                graph_local fed ~gid ~site:b.site ~compensation:false
-                                  txn
-                              | Error _ ->
-                                (* Erroneous abort after the ready answer: the
-                                   §3.2 repair — repetition from the redo-log. *)
-                                redo_until_committed fed ~gid ~obs b);
-                              Trace.record fed.trace ~actor:b.site (ev gid "committed");
-                              "finished")
-                        else
-                          decision_rpc fed ~gid ~site:b.site ~label:"abort" (fun () ->
-                              Db.abort db txn;
-                              Trace.record fed.trace ~actor:b.site (ev gid "aborted");
-                              "finished"))
+                      ( b.site,
+                        fun () ->
+                          let site = Federation.site fed b.site in
+                          let db = Site.db site in
+                          if decide_commit then
+                            decision_rpc fed ~gid ~site:b.site ~label:"commit"
+                              (fun () ->
+                                (match Db.commit db txn with
+                                | Ok () ->
+                                  graph_local fed ~gid ~site:b.site
+                                    ~compensation:false txn
+                                | Error _ ->
+                                  (* Erroneous abort after the ready answer: the
+                                     §3.2 repair — repetition from the redo-log. *)
+                                  redo_until_committed fed ~gid ~obs b);
+                                Trace.record fed.trace ~actor:b.site
+                                  (ev gid "committed");
+                                "finished")
+                          else
+                            decision_rpc fed ~gid ~site:b.site ~label:"abort"
+                              (fun () ->
+                                Db.abort db txn;
+                                Trace.record fed.trace ~actor:b.site
+                                  (ev gid "aborted");
+                                "finished") )
                   | _, No _ -> None)
                 votes)));
     Action_log.remove fed.redo_log ~gid;

@@ -47,9 +47,11 @@ let run (fed : Federation.t) (spec : Global.spec) =
        transaction as soon as its last action finishes. *)
     let results =
       obs_phase fed obs ~gid Span.Execute @@ fun _ ->
-      Fiber.all fed.engine
+      fanout fed
         (List.map
-           (fun (b : Global.branch) () ->
+           (fun (b : Global.branch) ->
+             ( b.site,
+               fun () ->
              let site = Federation.site fed b.site in
              let db = Site.db site in
              Link.rpc ~gid (Site.link site) ~label:"execute" (fun () ->
@@ -96,7 +98,8 @@ let run (fed : Federation.t) (spec : Global.spec) =
                            ( b,
                              Locally_aborted
                                (Global.Local_abort { site = b.site; reason = r }) ) )
-                     end)))
+                     end))
+             ))
            spec.branches)
     in
     fed.central_fail ~gid "executed";
@@ -105,16 +108,18 @@ let run (fed : Federation.t) (spec : Global.spec) =
     Trace.record fed.trace ~actor:"central" (ev gid "inquire");
     let states =
       obs_phase fed obs ~gid Span.Vote @@ fun _ ->
-      Fiber.all fed.engine
+      fanout fed
         (List.map
-           (fun (result : Global.branch * local_state) () ->
+           (fun (result : Global.branch * local_state) ->
              let b, st = result in
-             let site = Federation.site fed b.site in
-             Link.rpc ~gid (Site.link site) ~label:"prepare" (fun () ->
-                 Site.await_up site;
-                 match st with
-                 | Locally_committed -> ("committed", (b, st))
-                 | Locally_aborted _ -> ("aborted", (b, st))))
+             ( b.site,
+               fun () ->
+                 let site = Federation.site fed b.site in
+                 Link.rpc ~gid (Site.link site) ~label:"prepare" (fun () ->
+                     Site.await_up site;
+                     match st with
+                     | Locally_committed -> ("committed", (b, st))
+                     | Locally_aborted _ -> ("aborted", (b, st))) ))
            results)
     in
     let abort_cause =
@@ -132,16 +137,17 @@ let run (fed : Federation.t) (spec : Global.spec) =
     if not decide_commit then
       (* Mixed outcome: compensate every locally-committed branch. *)
       ignore
-        (Fiber.all fed.engine
+        (fanout fed
            (List.filter_map
               (function
                 | (b : Global.branch), Locally_committed ->
                   Some
-                    (fun () ->
-                      decision_rpc fed ~gid ~site:b.site ~label:"undo" (fun () ->
-                          undo_until_done fed ~gid ~obs b;
-                          Trace.record fed.trace ~actor:b.site (ev gid "undone");
-                          "finished"))
+                    ( b.site,
+                      fun () ->
+                        decision_rpc fed ~gid ~site:b.site ~label:"undo" (fun () ->
+                            undo_until_done fed ~gid ~obs b;
+                            Trace.record fed.trace ~actor:b.site (ev gid "undone");
+                            "finished") )
                 | _, Locally_aborted _ -> None)
               states));
     Action_log.remove fed.undo_log ~gid;

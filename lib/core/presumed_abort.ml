@@ -33,18 +33,23 @@ let run (fed : Federation.t) (spec : Global.spec) =
   | None ->
     let results =
       obs_phase fed obs ~gid Span.Execute (fun sp ->
-          Fiber.all fed.engine
+          fanout fed
             (List.map
-               (fun b () -> (b, execute_branch fed ~gid ~parent:sp b ~extra_ops:[]))
+               (fun (b : Global.branch) ->
+                 ( b.site,
+                   fun () -> (b, execute_branch fed ~gid ~parent:sp b ~extra_ops:[]) ))
                spec.branches))
     in
     fed.central_fail ~gid "executed";
     Trace.record fed.trace ~actor:"central" (ev gid "inquire");
     let votes =
       obs_phase fed obs ~gid Span.Vote @@ fun _ ->
-      Fiber.all fed.engine
+      fanout fed
         (List.map
-           (fun (result : Global.branch * exec_status) () ->
+           (fun (result : Global.branch * exec_status) ->
+             let b, _ = result in
+             ( b.site,
+               fun () ->
              let b, status = result in
              let site = Federation.site fed b.site in
              let db = Site.db site in
@@ -75,7 +80,8 @@ let run (fed : Federation.t) (spec : Global.spec) =
                        ("ready", (b, Ready txn))
                      | Error r ->
                        ( "abort-vote",
-                         (b, No (Global.Local_abort { site = b.site; reason = r })) )))
+                         (b, No (Global.Local_abort { site = b.site; reason = r })) ))
+             ))
            results)
     in
     let abort_cause =
@@ -94,18 +100,20 @@ let run (fed : Federation.t) (spec : Global.spec) =
       fed.central_fail ~gid "decided";
       obs_phase fed obs ~gid Span.Local_commit @@ fun _ ->
       ignore
-        (Fiber.all fed.engine
+        (fanout fed
            (List.filter_map
               (function
                 | (b : Global.branch), Ready txn ->
                   Some
-                    (fun () ->
-                      decision_rpc fed ~gid ~site:b.site ~label:"commit" (fun () ->
-                          resolve_prepared_durably fed ~site:b.site
-                            ~txn_id:(Db.txn_id txn) ~commit:true;
-                          graph_local fed ~gid ~site:b.site ~compensation:false txn;
-                          Trace.record fed.trace ~actor:b.site (ev gid "committed");
-                          "finished"))
+                    ( b.site,
+                      fun () ->
+                        decision_rpc fed ~gid ~site:b.site ~label:"commit" (fun () ->
+                            resolve_prepared_durably fed ~site:b.site
+                              ~txn_id:(Db.txn_id txn) ~commit:true;
+                            graph_local fed ~gid ~site:b.site ~compensation:false
+                              txn;
+                            Trace.record fed.trace ~actor:b.site (ev gid "committed");
+                            "finished") )
                 | _, (Read_only | No _) -> None)
               votes))
     end
@@ -114,16 +122,19 @@ let run (fed : Federation.t) (spec : Global.spec) =
          need no acknowledgement. *)
       obs_phase fed obs ~gid Span.Local_commit (fun _ ->
           ignore
-            (Fiber.all fed.engine
+            (fanout fed
                (List.filter_map
                   (function
                     | (b : Global.branch), Ready txn ->
                       Some
-                        (fun () ->
-                          decision_send fed ~gid ~site:b.site ~label:"abort" (fun () ->
-                              resolve_prepared_durably fed ~site:b.site
-                                ~txn_id:(Db.txn_id txn) ~commit:false;
-                              Trace.record fed.trace ~actor:b.site (ev gid "aborted")))
+                        ( b.site,
+                          fun () ->
+                            decision_send fed ~gid ~site:b.site ~label:"abort"
+                              (fun () ->
+                                resolve_prepared_durably fed ~site:b.site
+                                  ~txn_id:(Db.txn_id txn) ~commit:false;
+                                Trace.record fed.trace ~actor:b.site
+                                  (ev gid "aborted")) )
                     | _, (Read_only | No _) -> None)
                   votes)));
     Federation.journal_close fed ~gid;

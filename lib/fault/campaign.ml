@@ -26,11 +26,12 @@ let horizon = 300.0
    balance is an atomicity invariant, a healthy intended-abort rate so the
    compensation paths run, and short local lock waits so in-doubt locals
    stall neighbours briefly instead of forever. *)
-let base_config protocol ~seed =
+let base_config ?(sim_domains = 1) protocol ~seed =
   {
     Runner.default with
     protocol;
     seed;
+    sim_domains;
     n_sites = 3;
     accounts_per_site = 12;
     initial_balance = 500;
@@ -267,8 +268,10 @@ let check_invariants (fed : Federation.t) (report : Runner.report) ~protocol ~ki
          });
   (* After the run and the recovery drains, the event queue must be truly
      empty: no live timers left behind by a crashed fiber, and no cancelled
-     carcasses the queue failed to compact away. *)
-  let live = Sim.pending fed.engine and stored = Sim.stored fed.engine in
+     carcasses the queue failed to compact away. Summed over every
+     partition engine — a partitioned run must drain all of them. *)
+  let sum_engines f = Array.fold_left (fun acc e -> acc + f e) 0 fed.engines in
+  let live = sum_engines Sim.pending and stored = sum_engines Sim.stored in
   if live <> 0 || stored <> 0 then push (Engine_not_drained { live; stored });
   (match recover2 with
   | Some s2 when not (zero_summary s2) ->
@@ -292,8 +295,9 @@ type outcome = {
    forensic read, negligible memory. *)
 let flight_capacity = 512
 
-let run_plan ?registry ?(seed = 42L) ?extra_setup ~protocol (plan : Plan.t) =
-  let cfg = base_config protocol ~seed in
+let run_plan ?registry ?(seed = 42L) ?sim_domains ?extra_setup ~protocol
+    (plan : Plan.t) =
+  let cfg = base_config ?sim_domains protocol ~seed in
   let mlt = not (Protocol.is_flat protocol) in
   let killed = ref 0 in
   let fed_ref = ref None in
@@ -373,8 +377,8 @@ let run_plan ?registry ?(seed = 42L) ?extra_setup ~protocol (plan : Plan.t) =
 
 (* Greedy minimisation: drop one event at a time as long as the plan still
    violates; fixpoint is a locally minimal reproducer. *)
-let shrink ?(seed = 42L) ~protocol (plan : Plan.t) =
-  let violates p = (run_plan ~seed ~protocol p).violations <> [] in
+let shrink ?(seed = 42L) ?sim_domains ~protocol (plan : Plan.t) =
+  let violates p = (run_plan ~seed ?sim_domains ~protocol p).violations <> [] in
   let rec go plan =
     let n = Plan.length plan in
     let rec try_remove i =
@@ -400,8 +404,9 @@ type protocol_stats = {
 
 let plan_seed ~seed i = Int64.add seed (Int64.mul 1000003L (Int64.of_int i))
 
-let run_protocol ?(shrink_failures = false) ?(seed = 42L) ~plans protocol =
-  let cfg = base_config protocol ~seed in
+let run_protocol ?(shrink_failures = false) ?(seed = 42L) ?sim_domains ~plans
+    protocol =
+  let cfg = base_config ?sim_domains protocol ~seed in
   let failures = ref [] in
   let events = ref 0 in
   let by_class = List.map (fun c -> (c, ref 0)) Plan.fault_classes in
@@ -424,11 +429,13 @@ let run_protocol ?(shrink_failures = false) ?(seed = 42L) ~plans protocol =
     in
     events := !events + Plan.length plan;
     List.iter (fun e -> incr (List.assoc (Plan.classify e) by_class)) plan.events;
-    let outcome = run_plan ~seed ~protocol plan in
+    let outcome = run_plan ~seed ?sim_domains ~protocol plan in
     tally_trips outcome;
     if outcome.violations <> [] then begin
       let outcome =
-        if shrink_failures then run_plan ~seed ~protocol (shrink ~seed ~protocol plan)
+        if shrink_failures then
+          run_plan ~seed ?sim_domains ~protocol
+            (shrink ~seed ?sim_domains ~protocol plan)
         else outcome
       in
       failures := outcome :: !failures
@@ -445,8 +452,8 @@ let run_protocol ?(shrink_failures = false) ?(seed = 42L) ~plans protocol =
       |> List.sort compare;
   }
 
-let run_campaign ?shrink_failures ?seed ~plans protocols =
-  List.map (run_protocol ?shrink_failures ?seed ~plans) protocols
+let run_campaign ?shrink_failures ?seed ?sim_domains ~plans protocols =
+  List.map (run_protocol ?shrink_failures ?seed ?sim_domains ~plans) protocols
 
 let stats_table ~plans ~seed stats =
   let tbl =
@@ -494,8 +501,8 @@ let trips_summary stats =
     "monitor first trips (plans tripped, earliest virtual time):\n"
     ^ String.concat "\n" lines ^ "\n"
 
-let experiment_r1 ?(plans = 25) ?(seed = 42L) () =
-  let stats = run_campaign ~seed ~plans Protocol.all in
+let experiment_r1 ?(plans = 25) ?(seed = 42L) ?sim_domains () =
+  let stats = run_campaign ~seed ?sim_domains ~plans Protocol.all in
   Table.print (stats_table ~plans ~seed stats);
   (match trips_summary stats with
   | "" -> ()

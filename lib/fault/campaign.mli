@@ -12,8 +12,12 @@ exception Central_crash_injected
     fires; the runner's worker counts and swallows it. *)
 
 (** Fixed chaos workload for one protocol (small federation, hot accounts,
-    commuting increments, intended aborts). *)
-val base_config : Icdb_workload.Protocol.t -> seed:int64 -> Icdb_workload.Runner.config
+    commuting increments, intended aborts). [sim_domains] (default 1)
+    partitions the simulation over that many domains — outcomes, summaries
+    and invariant verdicts are byte-identical for any value. *)
+val base_config :
+  ?sim_domains:int -> Icdb_workload.Protocol.t -> seed:int64 ->
+  Icdb_workload.Runner.config
 
 (** Virtual-time window plan events are drawn from. *)
 val horizon : float
@@ -59,6 +63,7 @@ val flight_capacity : int
 val run_plan :
   ?registry:Icdb_obs.Registry.t ->
   ?seed:int64 ->
+  ?sim_domains:int ->
   ?extra_setup:(Icdb_sim.Engine.t -> Icdb_core.Federation.t -> unit) ->
   protocol:Icdb_workload.Protocol.t ->
   Plan.t ->
@@ -66,7 +71,8 @@ val run_plan :
 
 (** Greedy one-event-removal minimisation of a violating plan, to fixpoint. *)
 val shrink :
-  ?seed:int64 -> protocol:Icdb_workload.Protocol.t -> Plan.t -> Plan.t
+  ?seed:int64 -> ?sim_domains:int -> protocol:Icdb_workload.Protocol.t ->
+  Plan.t -> Plan.t
 
 type protocol_stats = {
   cp_protocol : Icdb_workload.Protocol.t;
@@ -86,6 +92,7 @@ type protocol_stats = {
 val run_protocol :
   ?shrink_failures:bool ->
   ?seed:int64 ->
+  ?sim_domains:int ->
   plans:int ->
   Icdb_workload.Protocol.t ->
   protocol_stats
@@ -93,6 +100,7 @@ val run_protocol :
 val run_campaign :
   ?shrink_failures:bool ->
   ?seed:int64 ->
+  ?sim_domains:int ->
   plans:int ->
   Icdb_workload.Protocol.t list ->
   protocol_stats list
@@ -109,4 +117,5 @@ val trips_summary : protocol_stats list -> string
 
 (** Experiment R1: the campaign over all six protocols (expected all-zero
     violation column). Prints the table plus any violating plans. *)
-val experiment_r1 : ?plans:int -> ?seed:int64 -> unit -> protocol_stats list
+val experiment_r1 :
+  ?plans:int -> ?seed:int64 -> ?sim_domains:int -> unit -> protocol_stats list

@@ -121,16 +121,18 @@ module Mailbox = struct
   let length t = Queue.length t.items
 end
 
-let all engine thunks =
+let all_on pairs =
   let cells =
     List.map
-      (fun thunk ->
+      (fun (engine, thunk) ->
         let iv = Ivar.create engine in
         spawn engine (fun () ->
             let result = match thunk () with v -> Ok v | exception e -> Error e in
             Ivar.fill iv result);
         iv)
-      thunks
+      pairs
   in
   let results = List.map Ivar.read cells in
   List.map (function Ok v -> v | Error e -> raise e) results
+
+let all engine thunks = all_on (List.map (fun thunk -> (engine, thunk)) thunks)

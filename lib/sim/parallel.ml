@@ -1,0 +1,221 @@
+(* Conservative multi-domain scheduler over coupled engines.
+
+   The federation is partitioned: each partition owns one {!Engine} and one
+   domain, and every event executes on the domain that owns its engine. The
+   synchronization protocol is conservative (Chandy–Misra–Bryant in spirit)
+   and *sequenced*: the engines share one clock and one tie-breaker
+   sequence (an {!Engine.couple}), so the global execution order is the
+   exact strict (time, seq) total order a single engine would produce —
+   byte-identical reports, traces and metrics for any partition count.
+
+   One partition holds the baton at a time. The holder runs a *window* of
+   its own events while its head stays strictly below the bound — the
+   minimum (key, seq) head over every other partition, shrunk on the fly
+   whenever one of its events schedules something onto another partition
+   (the [on_cross] hook). When the window closes, the baton moves to the
+   partition holding the new global minimum. Execution is therefore
+   serialized: parked domains touch nothing, and every handoff goes
+   through one mutex, which gives the inter-domain happens-before edges
+   that make the shared federation state (databases, journal, metrics,
+   symbol tables) race-free without any sharding.
+
+   Why sequenced instead of lookahead-concurrent: the fiber layer resumes
+   every suspension by scheduling a delay-0 event on the fiber's spawn
+   engine, so a cross-partition RPC implies a same-instant cross-partition
+   event — the provable lookahead of the inline-RPC fabric is zero, and a
+   window bounded by [min(neighbor horizons) + lookahead] degenerates to
+   exactly this protocol. The cross-partition link latency (the classical
+   lookahead, see {!lookahead}) is still derived and reported, and the
+   window bound exploits it automatically whenever partitions genuinely
+   are that far apart; it is just not load-bearing for safety. The
+   multicore win at scale comes from partition-parallel phases with no
+   cross-traffic (e.g. bulk preload) and from window runs between
+   cross-partition interactions. *)
+
+type t = {
+  engines : Engine.t array;
+  couple : Engine.couple option; (* [None] iff single partition *)
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable current : int; (* baton holder; -1 outside [run] *)
+  mutable running : bool;
+  mutable failure : exn option; (* first escaping event exception *)
+  (* Bound of the window being run, as a (key, seq) pair. Written by the
+     baton holder (directly and through [on_cross]); nobody else runs. *)
+  mutable bound_key : int;
+  mutable bound_seq : int;
+  windows : int array; (* windows executed, per partition *)
+  mutable handoffs : int;
+  mutable domain_start : unit -> unit;
+      (* run on every spawned partition domain before its first window:
+         the place to register the domain with debug ownership checks
+         (e.g. [Symbol.allow]) *)
+}
+
+type stats = { s_windows : int array; s_handoffs : int; s_events : int array }
+
+let create ?threshold ~domains () =
+  let n = max 1 domains in
+  let engines = Array.init n (fun _ -> Engine.create ?threshold ()) in
+  let couple =
+    if n = 1 then None
+    else begin
+      let c = Engine.couple_create () in
+      Array.iteri (fun i e -> Engine.attach e c ~owner:i) engines;
+      Some c
+    end
+  in
+  let t =
+    {
+      engines;
+      couple;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      current = -1;
+      running = false;
+      failure = None;
+      bound_key = max_int;
+      bound_seq = max_int;
+      windows = Array.make n 0;
+      handoffs = 0;
+      domain_start = ignore;
+    }
+  in
+  (match couple with
+  | None -> ()
+  | Some c ->
+    Engine.set_on_cross c (fun owner key seq ->
+        (* Setup code between runs has no baton holder (current = -1):
+           events just queue up for the next [run]. *)
+        if
+          t.current >= 0 && owner <> t.current
+          && (key < t.bound_key || (key = t.bound_key && seq < t.bound_seq))
+        then begin
+          t.bound_key <- key;
+          t.bound_seq <- seq
+        end));
+  t
+
+let engines t = t.engines
+let size t = Array.length t.engines
+let set_domain_start t f = t.domain_start <- f
+let stats t =
+  {
+    s_windows = Array.copy t.windows;
+    s_handoffs = t.handoffs;
+    s_events = Array.map Engine.executed t.engines;
+  }
+
+let lt k1 s1 k2 s2 = k1 < k2 || (k1 = k2 && s1 < s2)
+
+(* Global minimum head across all partitions; -1 when fully drained.
+   Caller either holds the mutex or is alone (peeking a parked partition's
+   engine pops its cancelled events, which is why the mutex matters). *)
+let argmin_head t =
+  let best = ref (-1) and bk = ref max_int and bs = ref max_int in
+  Array.iteri
+    (fun q e ->
+      match Engine.head e with
+      | Some (k, s) ->
+        if !best < 0 || lt k s !bk !bs then begin
+          best := q;
+          bk := k;
+          bs := s
+        end
+      | None -> ())
+    t.engines;
+  !best
+
+(* Run one window for partition [p]. Called with the mutex held; returns
+   with it held. Decides the next baton holder (or ends the run). *)
+let window t p =
+  let eng = t.engines.(p) in
+  let bk = ref max_int and bs = ref max_int in
+  Array.iteri
+    (fun q e ->
+      if q <> p then
+        match Engine.head e with
+        | Some (k, s) ->
+          if lt k s !bk !bs then begin
+            bk := k;
+            bs := s
+          end
+        | None -> ())
+    t.engines;
+  t.bound_key <- !bk;
+  t.bound_seq <- !bs;
+  Mutex.unlock t.mutex;
+  let outcome =
+    try
+      let continue_ = ref true in
+      while !continue_ do
+        match Engine.head eng with
+        | Some (k, s) when lt k s t.bound_key t.bound_seq ->
+          ignore (Engine.step eng)
+        | _ -> continue_ := false
+      done;
+      None
+    with e -> Some e
+  in
+  Mutex.lock t.mutex;
+  t.windows.(p) <- t.windows.(p) + 1;
+  match outcome with
+  | Some e ->
+    if t.failure = None then t.failure <- Some e;
+    t.running <- false
+  | None -> (
+    match argmin_head t with
+    | -1 -> t.running <- false
+    | q ->
+      (* q <> p whenever p still has events: p's window only closes once
+         its head is past another partition's, and (key, seq) pairs are
+         unique. *)
+      if q <> t.current then t.handoffs <- t.handoffs + 1;
+      t.current <- q;
+      match t.couple with
+      | Some c -> Engine.set_current c q
+      | None -> ())
+
+let worker t p =
+  Mutex.lock t.mutex;
+  while t.running do
+    if t.current = p then begin
+      window t p;
+      Condition.broadcast t.cond
+    end
+    else Condition.wait t.cond t.mutex
+  done;
+  Mutex.unlock t.mutex
+
+(* Drain every partition to empty, in the global (time, seq) order. Like
+   {!Engine.run} this propagates the first exception that escapes an event
+   callback — after all domains have parked. *)
+let run t =
+  match t.couple with
+  | None -> Engine.run t.engines.(0)
+  | Some c -> (
+    t.failure <- None;
+    match argmin_head t with
+    | -1 -> ()
+    | q0 ->
+      t.running <- true;
+      t.current <- q0;
+      Engine.set_current c q0;
+      let others =
+        Array.init
+          (Array.length t.engines - 1)
+          (fun i ->
+            Domain.spawn (fun () ->
+                t.domain_start ();
+                worker t (i + 1)))
+      in
+      worker t 0;
+      Array.iter Domain.join others;
+      t.current <- -1;
+      Engine.set_current c (-1);
+      (match t.failure with Some e -> raise e | None -> ()))
+
+(* Total live events over all partitions (the multi-engine analogue of
+   [Engine.pending]); same for the physically retained count. *)
+let pending t = Array.fold_left (fun acc e -> acc + Engine.pending e) 0 t.engines
+let stored t = Array.fold_left (fun acc e -> acc + Engine.stored e) 0 t.engines

@@ -1,0 +1,54 @@
+(** Conservative parallel discrete-event scheduler: N coupled {!Engine}s,
+    one domain each, executing in the exact global (time, seq) order.
+
+    Partitions advance in {e windows}: the partition holding the global
+    minimum runs its own events while they stay strictly below every other
+    partition's horizon (shrunk live when an event schedules across the
+    partition boundary), then hands the baton to the new minimum. Execution
+    is serialized through one mutex, so a run is deterministic and
+    byte-identical to a single-engine run of the same workload — for any
+    domain count. With [domains = 1] the single engine is not even coupled:
+    that path is bit-for-bit today's sequential scheduler. *)
+
+type t
+
+type stats = {
+  s_windows : int array;  (** windows executed, per partition *)
+  s_handoffs : int;  (** baton transfers between distinct partitions *)
+  s_events : int array;  (** events executed, per partition *)
+}
+
+(** [create ~domains ()] builds [max 1 domains] engines; with two or more
+    they are coupled to a shared clock and sequence. [threshold] is passed
+    through to {!Engine.create}. *)
+val create : ?threshold:int -> domains:int -> unit -> t
+
+(** The partition engines, index = partition id. Schedule setup events on
+    any of them before {!run}; an event executes on the domain that owns
+    the engine holding it. *)
+val engines : t -> Engine.t array
+
+(** Number of partitions. *)
+val size : t -> int
+
+(** [set_domain_start t f] installs a callback run on every {e spawned}
+    partition domain (not the caller's) at the start of each {!run},
+    before any event executes there — the place to register the domain
+    with debug ownership checks such as [Symbol.allow]. Default: no-op. *)
+val set_domain_start : t -> (unit -> unit) -> unit
+
+(** [run t] drains every partition to empty — the multi-engine
+    {!Engine.run}. Spawns [size t - 1] domains for the duration of the
+    call (partition 0 runs on the caller). The first exception escaping an
+    event callback stops all partitions and is re-raised here. Callable
+    repeatedly: events scheduled between runs are picked up by the next. *)
+val run : t -> unit
+
+(** Window/handoff counters since [create]; events per partition. *)
+val stats : t -> stats
+
+(** Live events summed over all partitions. *)
+val pending : t -> int
+
+(** Physically retained events (cancelled included) over all partitions. *)
+val stored : t -> int

@@ -1,6 +1,8 @@
 module Sim = Icdb_sim.Engine
+module Parallel = Icdb_sim.Parallel
 module Fiber = Icdb_sim.Fiber
 module Rng = Icdb_util.Rng
+module Symbol = Icdb_util.Symbol
 module Zipf = Icdb_util.Zipf
 module Db = Icdb_localdb.Engine
 module Program = Icdb_localdb.Program
@@ -48,6 +50,9 @@ type config = {
   message_loss : float;
   msg_batch_window : float option;
   central_gc_window : float option;
+  sim_domains : int;
+      (* partition the simulation over this many domains (1 = the plain
+         sequential engine, byte-identical output either way) *)
 }
 
 let default =
@@ -84,6 +89,7 @@ let default =
     message_loss = 0.0;
     msg_batch_window = None;
     central_gc_window = None;
+    sim_domains = 1;
   }
 
 type report = {
@@ -272,15 +278,28 @@ let phase_breakdown registry ~protocol =
 let run ?registry ?tracer ?on_setup ?on_txn_exn ?on_drain cfg =
   if cfg.n_sites <= 0 || cfg.n_txns < 0 || cfg.concurrency <= 0 then
     invalid_arg "Runner.run: bad configuration";
-  let engine = Sim.create () in
+  (* One engine per partition: partition 0 holds the central system (and
+     everything when unpartitioned), sites round-robin over the rest. The
+     scheduler executes in the exact global (time, seq) order whatever the
+     partition count, so the report below is byte-identical for any
+     [sim_domains]. *)
+  let par = Parallel.create ~domains:cfg.sim_domains () in
+  let engines = Parallel.engines par in
+  let n_parts = Parallel.size par in
+  let engine = engines.(0) in
   (* A caller-supplied tracer predates this engine; point it at our clock. *)
   Option.iter
     (fun tr -> Icdb_obs.Tracer.set_clock tr (fun () -> Sim.now engine))
     tracer;
   let configs = List.init cfg.n_sites (site_config cfg) in
+  let site_engines =
+    Array.init cfg.n_sites (fun i ->
+        if n_parts = 1 then engine else engines.(1 + (i mod (n_parts - 1))))
+  in
   let fed =
-    Federation.create engine ~latency:cfg.latency ~loss:cfg.message_loss ?registry
-      ?tracer ~msg_batch_window:cfg.msg_batch_window
+    Federation.create engine ~site_engines ~latency:cfg.latency
+      ~loss:cfg.message_loss ?registry ?tracer
+      ~msg_batch_window:cfg.msg_batch_window
       ~central_gc_window:cfg.central_gc_window configs
   in
   (* On a shared registry the per-run counters may hold a previous run's
@@ -299,6 +318,15 @@ let run ?registry ?tracer ?on_setup ?on_txn_exn ?on_drain cfg =
   (* Fault-campaign hook: runs with the federation built and preloaded but
      before any fiber is spawned, so injectors it arms see the whole run. *)
   Option.iter (fun f -> f engine fed) on_setup;
+  (* Setup interning is done; seal the symbol tables so the debug ownership
+     check (ICDB_SYMBOL_DEBUG) can flag interning from a domain that is
+     neither this one nor a partition domain of this very simulation. *)
+  let each_table f =
+    f fed.syms;
+    List.iter (fun (_, site) -> f (Db.symbols (Site.db site))) fed.sites
+  in
+  each_table Symbol.seal;
+  Parallel.set_domain_start par (fun () -> each_table Symbol.allow);
   let master_rng = Rng.create cfg.seed in
   let zipf = Zipf.create ~n:cfg.accounts_per_site ~theta:cfg.zipf_theta in
   let issued = ref 0 in
@@ -309,9 +337,12 @@ let run ?registry ?tracer ?on_setup ?on_txn_exn ?on_drain cfg =
     List.iter
       (fun (_, site) ->
         let rng = Rng.split master_rng in
-        Fiber.spawn engine (fun () ->
+        (* on the site's own engine: the injector's events then run on the
+           partition owning the site (placement only — order is global) *)
+        let seng = Site.engine site in
+        Fiber.spawn seng (fun () ->
             let rec loop () =
-              Fiber.sleep engine (Rng.exponential rng ~mean:(1000.0 /. cfg.crash_rate));
+              Fiber.sleep seng (Rng.exponential rng ~mean:(1000.0 /. cfg.crash_rate));
               if not !stop_crashes then begin
                 if Site.is_up site then Site.crash_for site ~duration:cfg.crash_duration;
                 loop ()
@@ -353,7 +384,7 @@ let run ?registry ?tracer ?on_setup ?on_txn_exn ?on_drain cfg =
       ignore (Fiber.all engine workers);
       finished_at := Sim.now engine;
       stop_crashes := true);
-  Sim.run engine;
+  Parallel.run par;
   (* Make sure every site is up so the final snapshot sees recovered state. *)
   List.iter
     (fun (_, site) -> if not (Site.is_up site) then ignore (Site.restart site))
@@ -364,7 +395,7 @@ let run ?registry ?tracer ?on_setup ?on_txn_exn ?on_drain cfg =
   Option.iter
     (fun f ->
       Fiber.spawn engine f;
-      Sim.run engine)
+      Parallel.run par)
     on_drain;
   let elapsed = if !finished_at > 0.0 then !finished_at else Sim.now engine in
   let m = fed.metrics in

@@ -55,6 +55,12 @@ type config = {
   central_gc_window : float option;
       (** group-commit window for the central decision log (O1); [None] or
           non-positive = every decision forced individually *)
+  sim_domains : int;
+      (** partition the simulation over this many OCaml domains: the
+          central system on partition 0, sites round-robin over the rest
+          ({!Icdb_sim.Parallel}). Reports, traces and metrics are
+          byte-identical for every value; 1 (the default) runs today's
+          sequential engine with no coupling at all *)
 }
 
 val default : config

@@ -42,7 +42,7 @@ let cells ~smoke =
       { sc_sites = 32; sc_accounts_per_site = 31_250 };
     ]
 
-let config protocol (c : cell) =
+let config ?(sim_domains = 1) protocol (c : cell) =
   {
     Runner.default with
     protocol;
@@ -54,6 +54,7 @@ let config protocol (c : cell) =
     ops_per_branch = 2;
     zipf_theta = 0.8;
     use_increments = true;
+    sim_domains;
   }
 
 type row = {
@@ -68,9 +69,9 @@ type row = {
   r_events_per_sec : float;
 }
 
-let run_cell ?trace protocol (c : cell) =
+let run_cell ?trace ?sim_domains protocol (c : cell) =
   let registry = Registry.create () in
-  let cfg = config protocol c in
+  let cfg = config ?sim_domains protocol c in
   (* Sink-only streaming tracer: events go straight to the per-cell file,
      nothing accumulates in memory, and the sampler keeps only a seeded
      head-sample of transactions. *)
@@ -123,7 +124,7 @@ let run_cell ?trace protocol (c : cell) =
     },
     trace_out )
 
-let run_s1 ?(smoke = false) ?trace () =
+let run_s1 ?(smoke = false) ?trace ?sim_domains () =
   let cells = cells ~smoke in
   let tracing = trace <> None in
   let table =
@@ -151,7 +152,7 @@ let run_s1 ?(smoke = false) ?trace () =
       if i > 0 then Table.add_separator table;
       List.iter
         (fun cell ->
-          let r, trace_out = run_cell ?trace protocol cell in
+          let r, trace_out = run_cell ?trace ?sim_domains protocol cell in
           let trace_cols =
             match trace_out with
             | None -> []

@@ -1,0 +1,255 @@
+(* Tests for the conservative parallel simulation: partitioned runs must be
+   byte-identical to sequential ones — reports, metrics, chaos-campaign
+   summaries — for any domain count. Also covers the scheduler primitives
+   (global execution order across partitions), the persistent worker pool
+   the core budget is shared through, and the symbol-table ownership
+   check. *)
+
+module Runner = Icdb_workload.Runner
+module Protocol = Icdb_workload.Protocol
+module Campaign = Icdb_fault.Campaign
+module Registry = Icdb_obs.Registry
+module Export = Icdb_obs.Export
+module Table = Icdb_util.Table
+module Pool = Icdb_util.Pool
+module Symbol = Icdb_util.Symbol
+module Parallel = Icdb_sim.Parallel
+module Sim = Icdb_sim.Engine
+module Fiber = Icdb_sim.Fiber
+
+(* --- scheduler primitives --- *)
+
+let test_parallel_global_order () =
+  (* Events scattered over three partition engines execute in global
+     timestamp order, interleaved across partitions. *)
+  let par = Parallel.create ~domains:3 () in
+  let engines = Parallel.engines par in
+  Alcotest.(check int) "size" 3 (Parallel.size par);
+  let log = ref [] in
+  let mark tag = log := tag :: !log in
+  (* Partition p gets events at times p, p+3, p+6, ... so the global order
+     round-robins over the partitions. *)
+  Array.iteri
+    (fun p eng ->
+      for k = 0 to 3 do
+        let t = float_of_int (p + (3 * k)) in
+        ignore (Sim.schedule eng ~delay:t (fun () -> mark (p, k)))
+      done)
+    engines;
+  Parallel.run par;
+  let expect =
+    List.concat_map (fun k -> List.map (fun p -> (p, k)) [ 0; 1; 2 ]) [ 0; 1; 2; 3 ]
+  in
+  Alcotest.(check (list (pair int int))) "global time order" expect (List.rev !log);
+  Alcotest.(check int) "drained" 0 (Parallel.pending par)
+
+let test_parallel_cross_partition_scheduling () =
+  (* An event on partition 0 schedules work on partition 2 at an earlier
+     horizon than partition 1's next event; the cross-scheduled event must
+     still execute in timestamp order. *)
+  let par = Parallel.create ~domains:3 () in
+  let engines = Parallel.engines par in
+  let log = ref [] in
+  ignore
+    (Sim.schedule engines.(0) ~delay:1.0 (fun () ->
+         log := "a" :: !log;
+         ignore
+           (Sim.schedule engines.(2) ~delay:1.0 (fun () -> log := "cross" :: !log))));
+  ignore (Sim.schedule engines.(1) ~delay:5.0 (fun () -> log := "b" :: !log));
+  Parallel.run par;
+  Alcotest.(check (list string)) "cross event before later local one"
+    [ "a"; "cross"; "b" ] (List.rev !log);
+  (* Reusable: a second batch of events runs on the same scheduler. *)
+  ignore (Sim.schedule engines.(1) ~delay:1.0 (fun () -> log := "again" :: !log));
+  Parallel.run par;
+  Alcotest.(check string) "second run works" "again" (List.hd !log)
+
+let test_parallel_single_domain_uncoupled () =
+  (* domains=1 is the plain sequential engine: fibers work and nothing is
+     coupled. *)
+  let par = Parallel.create ~domains:1 () in
+  Alcotest.(check int) "one partition" 1 (Parallel.size par);
+  let eng = (Parallel.engines par).(0) in
+  let hit = ref false in
+  Fiber.spawn eng (fun () ->
+      Fiber.sleep eng 3.0;
+      hit := true);
+  Parallel.run par;
+  Alcotest.(check bool) "fiber ran" true !hit
+
+(* --- whole-run byte identity --- *)
+
+let chaotic ?(seed = 42L) protocol sim_domains =
+  {
+    Runner.default with
+    protocol;
+    seed;
+    n_txns = 60;
+    n_sites = 4;
+    concurrency = 8;
+    accounts_per_site = 8;
+    p_intended_abort = 0.1;
+    p_spontaneous = 0.1;
+    crash_rate = 3.0;
+    crash_duration = 20.0;
+    message_loss = 0.1;
+    zipf_theta = 0.9;
+    sim_domains;
+  }
+
+let run_with_metrics cfg =
+  let registry = Registry.create () in
+  let report = Runner.run ~registry cfg in
+  (report, Export.metrics_json registry)
+
+let test_partitioned_run_identical () =
+  List.iter
+    (fun protocol ->
+      let name = Protocol.name protocol in
+      let base, base_metrics = run_with_metrics (chaotic protocol 1) in
+      List.iter
+        (fun n ->
+          let r, metrics = run_with_metrics (chaotic protocol n) in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: report identical at N=%d" name n)
+            true (r = base);
+          Alcotest.(check string)
+            (Printf.sprintf "%s: metrics identical at N=%d" name n)
+            base_metrics metrics)
+        [ 2; 4 ])
+    [ Protocol.Two_phase; Protocol.Before; Protocol.Before_mlt; Protocol.Hybrid ]
+
+let test_partitioned_more_domains_than_sites () =
+  (* More partitions than sites: the extra partitions simply stay empty. *)
+  let r = Runner.run { (chaotic Protocol.Two_phase 8) with n_sites = 2 } in
+  Alcotest.(check bool) "still conserved" true r.money_conserved;
+  let base = Runner.run { (chaotic Protocol.Two_phase 1) with n_sites = 2 } in
+  Alcotest.(check bool) "equal to sequential" true (r = base)
+
+(* QCheck2 property: a partitioned run of a random small federation equals
+   the sequential run — random protocol, topology, latency (including the
+   1.0 minimum-latency edge), partition count 1-4 and seed. *)
+let prop_partitioned_equals_sequential =
+  QCheck2.Test.make ~name:"partitioned run equals sequential run" ~count:12
+    QCheck2.Gen.(
+      tup6 (int_range 0 5) (int_range 1 4) (int_range 1 4) (int_range 0 2) int bool)
+    (fun (proto_idx, n_sites, domains, lat_idx, seed, lossy) ->
+      let protocol = List.nth Protocol.all proto_idx in
+      let latency = List.nth [ 1.0; 2.5; 7.0 ] lat_idx in
+      let cfg sim_domains =
+        {
+          Runner.default with
+          protocol;
+          seed = Int64.of_int seed;
+          n_sites;
+          branches_per_txn = min 2 n_sites;
+          accounts_per_site = 6;
+          n_txns = 25;
+          concurrency = 6;
+          latency;
+          p_intended_abort = 0.1;
+          crash_rate = 2.0;
+          crash_duration = 15.0;
+          message_loss = (if lossy then 0.05 else 0.0);
+          zipf_theta = 0.9;
+          sim_domains;
+        }
+      in
+      Runner.run (cfg domains) = Runner.run (cfg 1))
+
+(* --- chaos campaign under partitioning --- *)
+
+let test_chaos_campaign_partitioned () =
+  (* The full satellite acceptance: >= 20 plans x 6 protocols at N=2, zero
+     violations, and the rendered summaries byte-identical to N=1. *)
+  let plans = 20 and seed = 42L in
+  let render stats =
+    Table.render (Campaign.stats_table ~plans ~seed stats)
+    ^ "\n" ^ Campaign.trips_summary stats
+  in
+  let seq = Campaign.run_campaign ~seed ~plans Protocol.all in
+  let par = Campaign.run_campaign ~seed ~sim_domains:2 ~plans Protocol.all in
+  Alcotest.(check int) "zero violations at N=2" 0 (Campaign.total_violations par);
+  Alcotest.(check string) "summaries byte-identical" (render seq) (render par)
+
+(* --- persistent pool (core-budget sharing) --- *)
+
+let test_pool_persistent_batches () =
+  let pool = Pool.create ~size:3 in
+  Alcotest.(check int) "size" 3 (Pool.size pool);
+  Alcotest.(check (list int)) "first batch in order"
+    (List.init 20 (fun i -> i * i))
+    (Pool.exec pool (List.init 20 (fun i () -> i * i)));
+  Alcotest.(check (list int)) "workers reused for a second batch"
+    (List.init 7 succ)
+    (Pool.exec pool (List.init 7 (fun i () -> i + 1)));
+  Alcotest.check_raises "lowest-indexed failure wins" (Failure "2") (fun () ->
+      ignore
+        (Pool.exec pool
+           (List.init 6 (fun i () -> if i >= 2 then failwith (string_of_int i) else i))));
+  Alcotest.(check (list int)) "pool survives a failed batch" [ 9 ]
+    (Pool.exec pool [ (fun () -> 9) ]);
+  Pool.shutdown pool
+
+(* --- symbol-table ownership check --- *)
+
+let test_symbol_ownership () =
+  let tbl = Symbol.create () in
+  ignore (Symbol.intern tbl "setup");
+  Symbol.set_debug true;
+  Fun.protect
+    ~finally:(fun () -> Symbol.set_debug false)
+    (fun () ->
+      Symbol.seal tbl;
+      (* The sealing domain stays an owner. *)
+      Alcotest.(check bool) "owner interns" true (Symbol.intern tbl "owner-new" >= 0);
+      (* Foreign domain: looking up an existing symbol is always fine. *)
+      let lookup = Domain.spawn (fun () -> Symbol.intern tbl "setup") in
+      Alcotest.(check int) "foreign lookup ok" (Symbol.intern tbl "setup")
+        (Domain.join lookup);
+      (* ... but interning a new string without allow fails fast. *)
+      let rejected =
+        Domain.spawn (fun () ->
+            match Symbol.intern tbl "foreign-new" with
+            | _ -> false
+            | exception Failure _ -> true)
+      in
+      Alcotest.(check bool) "foreign new intern rejected" true (Domain.join rejected);
+      (* An allowed domain interns freely. *)
+      let allowed =
+        Domain.spawn (fun () ->
+            Symbol.allow tbl;
+            Symbol.intern tbl "allowed-new" >= 0)
+      in
+      Alcotest.(check bool) "allowed domain interns" true (Domain.join allowed))
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "scheduler",
+        [
+          Alcotest.test_case "global order across partitions" `Quick
+            test_parallel_global_order;
+          Alcotest.test_case "cross-partition scheduling" `Quick
+            test_parallel_cross_partition_scheduling;
+          Alcotest.test_case "single domain uncoupled" `Quick
+            test_parallel_single_domain_uncoupled;
+        ] );
+      ( "byte identity",
+        [
+          Alcotest.test_case "reports + metrics, N in {1,2,4}" `Slow
+            test_partitioned_run_identical;
+          Alcotest.test_case "more domains than sites" `Quick
+            test_partitioned_more_domains_than_sites;
+          QCheck_alcotest.to_alcotest prop_partitioned_equals_sequential;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "campaign at N=2 equals N=1" `Slow
+            test_chaos_campaign_partitioned;
+        ] );
+      ( "pool",
+        [ Alcotest.test_case "persistent batches" `Quick test_pool_persistent_batches ] );
+      ( "symbol",
+        [ Alcotest.test_case "ownership check" `Quick test_symbol_ownership ] );
+    ]
