@@ -3,12 +3,16 @@
    Usage: diff.exe BASELINE FRESH [--max-ratio R]
 
    Compares the "kernels" (ms/run) and "alloc" (minor words/txn) sections of
-   two BENCH.json files, prints every kernel present in both, and flags
-   regressions. Exit status is 1 only when some kernel regressed by more
-   than the ratio (default 2.0) — bench machines are noisy, so anything
-   below that is a warning, not a failure. The parser is deliberately
-   minimal: it reads the fixed format [write_bench_json] emits, not general
-   JSON. *)
+   two BENCH.json files — plus the throughput sections ("scaling",
+   "parallel", "sharding"), where the ratio direction flips: higher is
+   better, so a regression is fresh *below* base by the ratio. Prints every
+   entry present in both files and flags regressions. Exit status is 1 only
+   when something regressed by more than the ratio (default 2.0) — bench
+   machines are noisy, so anything below that is a warning, not a failure.
+   The "parallel" rows are only compared when both recordings come from a
+   host with the same core count (the speedup regime differs otherwise).
+   The parser is deliberately minimal: it reads the fixed format
+   [write_bench_json] emits, not general JSON. *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -103,6 +107,87 @@ let alloc_section text =
   scan 0;
   List.rev !entries
 
+(* --- keyed row sections --------------------------------------------------
+
+   "scaling", "parallel" and "sharding" hold one-line row objects whose
+   identity is a combination of fields ("calendar" at 10^6 pending, 4
+   domains, 2 shards at 5% cross). [rows_section] finds every line starting
+   with [marker] and lets the caller build a (key, value) pair from it. *)
+
+let str_field line name =
+  let marker = "\"" ^ name ^ "\":\"" in
+  let ml = String.length marker in
+  let n = String.length line in
+  let rec find i =
+    if i + ml > n then None
+    else if String.sub line i ml = marker then
+      let close = String.index_from line (i + ml) '"' in
+      Some (String.sub line (i + ml) (close - i - ml))
+    else find (i + 1)
+  in
+  find 0
+
+let num_field line name =
+  let marker = "\"" ^ name ^ "\":" in
+  let ml = String.length marker in
+  let n = String.length line in
+  let rec find i =
+    if i + ml > n then None
+    else if String.sub line i ml = marker then begin
+      let k = ref (i + ml) in
+      while
+        !k < n
+        && (line.[!k] = '-' || line.[!k] = '.' || line.[!k] = 'e' || line.[!k] = '+'
+           || (line.[!k] >= '0' && line.[!k] <= '9'))
+      do
+        incr k
+      done;
+      float_of_string_opt (String.sub line (i + ml) (!k - i - ml))
+    end
+    else find (i + 1)
+  in
+  find 0
+
+let rows_section text marker key_of =
+  let n = String.length text in
+  let ml = String.length marker in
+  let entries = ref [] in
+  let rec scan i =
+    if i + ml >= n then ()
+    else if String.sub text i ml = marker then begin
+      let eol = try String.index_from text i '\n' with Not_found -> n in
+      let line = String.sub text i (eol - i) in
+      (match key_of line with Some kv -> entries := kv :: !entries | None -> ());
+      scan eol
+    end
+    else scan (i + 1)
+  in
+  scan 0;
+  List.rev !entries
+
+let scaling_section text =
+  rows_section text "{\"queue\":\"" (fun line ->
+      match (str_field line "queue", num_field line "pending", num_field line "events_per_sec")
+      with
+      | Some q, Some p, Some v -> Some (Printf.sprintf "%s/%.0f" q p, v)
+      | _ -> None)
+
+let parallel_section text =
+  rows_section text "{\"domains\":" (fun line ->
+      match (num_field line "domains", num_field line "events_per_sec") with
+      | Some d, Some v -> Some (Printf.sprintf "domains-%.0f" d, v)
+      | _ -> None)
+
+let sharding_section text =
+  rows_section text "{\"shards\":" (fun line ->
+      match (num_field line "shards", num_field line "cross_pct", num_field line "throughput")
+      with
+      | Some s, Some c, Some v -> Some (Printf.sprintf "s%.0f-x%.0f" s c, v)
+      | _ -> None)
+
+let host_cores text =
+  List.assoc_opt "host_cores" (section text "\"parallel\": {")
+
 let () =
   let args = Array.to_list Sys.argv in
   let max_ratio = ref 2.0 in
@@ -121,14 +206,17 @@ let () =
   | [ baseline; fresh ] ->
     let base_text = read_file baseline and fresh_text = read_file fresh in
     let failures = ref 0 and warnings = ref 0 in
-    let compare_section label unit base fresh =
+    (* [higher_is_better] flips the ratio for the throughput sections: the
+       printed ratio is always "times worse", so > max_ratio fails either
+       way. *)
+    let compare_section ?(higher_is_better = false) label unit base fresh =
       List.iter
         (fun (name, fv) ->
           match List.assoc_opt name base with
           | None -> ()
-          | Some bv when bv <= 0.0 -> ()
+          | Some bv when bv <= 0.0 || fv <= 0.0 -> ()
           | Some bv ->
-            let ratio = fv /. bv in
+            let ratio = if higher_is_better then bv /. fv else fv /. bv in
             let verdict =
               if ratio > !max_ratio then begin
                 incr failures;
@@ -147,8 +235,20 @@ let () =
     compare_section "kernel" "ms/run" (section base_text "\"kernels\": {")
       (section fresh_text "\"kernels\": {");
     compare_section "alloc" "w/txn" (alloc_section base_text) (alloc_section fresh_text);
+    compare_section ~higher_is_better:true "scaling" "ev/s" (scaling_section base_text)
+      (scaling_section fresh_text);
+    (match (host_cores base_text, host_cores fresh_text) with
+    | Some b, Some f when b = f ->
+      compare_section ~higher_is_better:true "parallel" "ev/s" (parallel_section base_text)
+        (parallel_section fresh_text)
+    | Some b, Some f ->
+      Printf.printf "parallel   (skipped: host cores %.0f vs %.0f — different speedup regime)\n"
+        b f
+    | _ -> ());
+    compare_section ~higher_is_better:true "sharding" "t/ktu" (sharding_section base_text)
+      (sharding_section fresh_text);
     if !failures > 0 then begin
-      Printf.printf "\n%d kernel(s) regressed by more than %.1fx\n" !failures !max_ratio;
+      Printf.printf "\n%d entr(ies) regressed by more than %.1fx\n" !failures !max_ratio;
       exit 1
     end
     else

@@ -15,6 +15,7 @@ module Runner = Icdb_workload.Runner
 module Protocol = Icdb_workload.Protocol
 module Experiments = Icdb_workload.Experiments
 module Overhead = Icdb_workload.Overhead
+module Sharding = Icdb_workload.Sharding
 
 let small ?(n_txns = 30) ?(p_intended_abort = 0.0) ?(p_spontaneous = 0.0)
     ?(crash_rate = 0.0) ?(use_increments = true) protocol () =
@@ -503,6 +504,27 @@ let print_trace_overhead n_txns rows =
     rows;
   print_newline ()
 
+(* --- sharded-federation throughput ---------------------------------------
+
+   The S2 grid (committed txns per 1000 virtual time units over shards x
+   cross-shard fraction). Every column is a deterministic virtual-time
+   measurement, so unlike the wall-clock sections this one is byte-stable:
+   any drift against BASELINE.json is a behavior change, not noise. *)
+
+let sharding_snapshot ~smoke = Sharding.run_cells ~smoke ()
+
+let print_sharding rows =
+  print_endline "Sharded federation (committed txns per 1000 virtual time units)";
+  print_endline "----------------------------------------------------------------";
+  List.iter
+    (fun (r : Sharding.row) ->
+      Printf.printf
+        "%d shards cross %3.0f%% %5d committed %10.2f txn/1000tu %6.1f msg/commit %5d top forces\n"
+        r.sh_shards (r.sh_cross *. 100.0) r.sh_committed r.sh_throughput
+        r.sh_msgs_per_commit r.sh_top_forces)
+    rows;
+  print_newline ()
+
 let print_scaling rows =
   print_endline "Scheduler hold-model (events/sec, steady state at N pending)";
   print_endline "------------------------------------------------------------";
@@ -516,7 +538,7 @@ let print_scaling rows =
 (* Machine-readable companion to the human table: kernel name -> ms/run plus
    the virtual-time phase-latency breakdown, so future changes have both a
    perf and a behavior trajectory to compare against. *)
-let write_bench_json path rows phases overhead alloc trace scaling parallel =
+let write_bench_json path rows phases overhead alloc trace scaling parallel sharding =
   let esc = Icdb_obs.Export.json_escape in
   let oc = open_out path in
   output_string oc "{\n  \"kernels\": {\n";
@@ -588,7 +610,17 @@ let write_bench_json path rows phases overhead alloc trace scaling parallel =
         r.p_domains r.p_accounts r.p_events r.p_wall r.p_events_per_sec r.p_speedup
         (if i < last then "," else ""))
     parallel;
-  output_string oc "    ]\n  }\n}\n";
+  output_string oc "    ]\n  },\n  \"sharding\": [\n";
+  let last = List.length sharding - 1 in
+  List.iteri
+    (fun i (r : Sharding.row) ->
+      Printf.fprintf oc
+        "    {\"shards\":%d,\"cross_pct\":%.0f,\"committed\":%d,\"throughput\":%.2f,\"msgs_per_commit\":%.2f,\"top_forces\":%d,\"shard_forces\":%d}%s\n"
+        r.sh_shards (r.sh_cross *. 100.0) r.sh_committed r.sh_throughput
+        r.sh_msgs_per_commit r.sh_top_forces r.sh_shard_forces
+        (if i < last then "," else ""))
+    sharding;
+  output_string oc "  ]\n}\n";
   close_out oc
 
 (* Sweep parallelism: `-j N` on the command line, ICDB_JOBS in the
@@ -625,6 +657,8 @@ let () =
   print_scaling scaling;
   let parallel = parallel_snapshot ~smoke in
   print_parallel parallel;
+  let sharding = sharding_snapshot ~smoke in
+  print_sharding sharding;
   write_bench_json "BENCH.json" rows (phase_snapshot ()) (overhead_snapshot ()) alloc
-    trace scaling parallel;
+    trace scaling parallel sharding;
   if not smoke then print_string (Experiments.run_all ~jobs:(jobs ()) ())

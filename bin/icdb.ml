@@ -18,6 +18,7 @@ module Export = Icdb_obs.Export
 module Sink = Icdb_obs.Sink
 module Sampling = Icdb_obs.Sampling
 module Scaling = Icdb_workload.Scaling
+module Sharding = Icdb_workload.Sharding
 
 let write_file path contents =
   let oc = open_out path in
@@ -34,6 +35,7 @@ let extra_experiments =
   [
     ("r1", "fault-injection campaign: violations per protocol and fault class");
     ("s1", "scaling lab: committed-txns/sec and events/sec vs accounts x sites");
+    ("s2", "sharding lab: committed-txns/sec vs shards x cross-shard fraction");
   ]
 
 let list_cmd =
@@ -62,8 +64,8 @@ let exp_cmd =
       value & flag
       & info [ "smoke" ]
           ~doc:
-            "With $(b,s1), run the reduced CI-sized ladder instead of the full \
-             million-account one. Ignored by other experiments.")
+            "With $(b,s1) or $(b,s2), run the reduced CI-sized ladder instead of the \
+             full million-account one. Ignored by other experiments.")
   in
   let trace_out =
     Arg.(
@@ -97,7 +99,13 @@ let exp_cmd =
   let run id jobs smoke trace_out trace_sample sim_domains =
     (* Core budget is shared between experiment-level parallelism (-j) and
        within-run partitioning (--sim-domains): scale the job count down so
-       jobs x sim_domains stays at the requested width (see Icdb_util.Pool). *)
+       jobs x sim_domains stays at the requested width (see Icdb_util.Pool).
+       The division clamps at one job — never a zero-width pool — and says
+       so when the requested budget could not be honored. *)
+    if jobs > 1 && sim_domains > 1 && jobs / sim_domains < 1 then
+      Printf.eprintf
+        "warning: core budget -j %d < --sim-domains %d; running 1 job of %d domains\n%!"
+        jobs sim_domains sim_domains;
     let jobs = max 1 (jobs / max 1 sim_domains) in
     if id = "all" then begin
       print_string (Experiments.run_all ~jobs ());
@@ -113,6 +121,7 @@ let exp_cmd =
       in
       print_string (Scaling.run_s1 ~smoke ?trace ~sim_domains ())
     end
+    else if id = "s2" then print_string (Sharding.run_s2 ~smoke ())
     else
       match Experiments.run id with
       | report -> print_string report
@@ -123,7 +132,7 @@ let exp_cmd =
   Cmd.v (Cmd.info "exp" ~doc)
     Term.(const run $ id $ jobs $ smoke $ trace_out $ trace_sample $ sim_domains)
 
-let report_to_string ?(central_gc = false) (r : Runner.report) =
+let report_to_string ?(central_gc = false) ?(sharded = false) (r : Runner.report) =
   let b = Buffer.create 512 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
   line "elapsed (virtual time)     %.1f" r.elapsed;
@@ -145,6 +154,12 @@ let report_to_string ?(central_gc = false) (r : Runner.report) =
     line "batch envelopes / occupancy     %d / %.2f" r.batch_envelopes
       r.batch_occupancy_mean;
   if central_gc then line "central decision-log forces     %d" r.central_log_forces;
+  (* Shard lines only on sharded runs: an unsharded report stays
+     byte-identical to older builds. *)
+  if sharded then begin
+    line "top-level decision-log forces   %d" r.central_log_forces;
+    line "shard decisions / log forces    %d / %d" r.shard_decisions r.shard_log_forces
+  end;
   line "message copies dropped          %d" r.messages_dropped;
   line "money conserved                 %b (%d -> %d)" r.money_conserved r.money_before
     r.money_after;
@@ -252,10 +267,40 @@ let run_cmd =
              executes events in global timestamp order); 1 runs the plain sequential \
              engine.")
   in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"S"
+          ~doc:
+            "Group the sites into $(docv) shards, each with its own coordinator, \
+             journal and decision log. Transactions confined to one shard commit in a \
+             purely local round at their shard coordinator; cross-shard ones run a \
+             top-level round over the participating shard coordinators. 1 (default) \
+             is the unsharded federation, byte-identical to older builds.")
+  in
+  let cross_shard =
+    Arg.(
+      value & opt float 0.0
+      & info [ "cross-shard" ] ~docv:"F"
+          ~doc:
+            "With $(b,--shards), probability in [0,1] that a generated transaction \
+             deliberately spans at least two shards. Default 0.")
+  in
+  let decision_force_time =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "decision-force-time" ] ~docv:"T"
+          ~doc:
+            "Model each coordinator's decision log as a serial device: every force \
+             occupies its log head for $(docv) virtual-time units (the contention \
+             sharding relieves — see $(b,icdb exp s2)). Unset: forces are \
+             instantaneous. Ignored when $(b,--central-group-commit) is set.")
+  in
   let run protocol n_txns n_sites concurrency seed p_intended_abort p_spontaneous crash_rate
       zipf_theta message_loss group_commit_window msg_batch_window central_gc_window
       mlt_action_retries trace_out trace_stream trace_sample metrics_out prom_out
-      sim_domains =
+      sim_domains shards cross_shard_fraction decision_force_time =
     let registry = Registry.create () in
     let tracer =
       (* Clock re-wired onto the run's engine by [Runner.run]. *)
@@ -297,11 +342,14 @@ let run_cmd =
           central_gc_window;
           mlt_action_retries;
           sim_domains;
+          shards;
+          cross_shard_fraction;
+          decision_force_time;
         }
     in
     let central_gc = match central_gc_window with Some w when w > 0.0 -> true | _ -> false in
     Printf.printf "protocol: %s\n%s" (Protocol.name protocol)
-      (report_to_string ~central_gc r);
+      (report_to_string ~central_gc ~sharded:(shards > 1) r);
     (match (trace_out, tracer) with
     | Some path, Some tr ->
       write_file path (Export.chrome_trace tr);
@@ -329,7 +377,8 @@ let run_cmd =
     Term.(
       const run $ protocol $ txns $ sites $ concurrency $ seed $ p_intended $ p_spont
       $ crash_rate $ theta $ loss $ gc_window $ batch_window $ central_gc $ retries
-      $ trace_out $ trace_stream $ trace_sample $ metrics_out $ prom_out $ sim_domains)
+      $ trace_out $ trace_stream $ trace_sample $ metrics_out $ prom_out $ sim_domains
+      $ shards $ cross_shard $ decision_force_time)
 
 let trace_cmd =
   let doc =
@@ -544,12 +593,23 @@ let chaos_cmd =
              (conservative synchronization). Outcomes, the stats table and the \
              trips summary are byte-identical for any $(docv).")
   in
-  let run protocol plans seed shrink reproducers_out flight_out sim_domains =
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"S"
+          ~doc:
+            "Run every campaign plan on a sharded federation with $(docv) shards: the \
+             plan space gains shard-coordinator crashes (crash + volatile-state wipe + \
+             per-shard restart recovery) and the stats table a shard-crash column. 1 \
+             (default) reproduces the unsharded campaign byte for byte.")
+  in
+  let run protocol plans seed shrink reproducers_out flight_out sim_domains shards =
     let protocols =
       match protocol with Some p -> [ p ] | None -> Protocol.all
     in
     let stats =
-      Campaign.run_campaign ~shrink_failures:shrink ~seed ~sim_domains ~plans protocols
+      Campaign.run_campaign ~shrink_failures:shrink ~seed ~sim_domains ~shards ~plans
+        protocols
     in
     Icdb_util.Table.print (Campaign.stats_table ~plans ~seed stats);
     let trips = Campaign.trips_summary stats in
@@ -598,7 +658,7 @@ let chaos_cmd =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
       const run $ protocol $ plans $ seed $ shrink $ reproducers_out $ flight_out
-      $ sim_domains)
+      $ sim_domains $ shards)
 
 let () =
   let doc = "atomic commitment for integrated database systems (Muth & Rakow, ICDE 1991)" in

@@ -33,12 +33,38 @@ val pp_summary : Format.formatter -> summary -> unit
 
 (** [crash fed] discards the central system's volatile state: both central
     lock tables are reset (blocked requesters are woken with
-    [Lock_revoked]). In-flight protocol fibers are {e not} magically
+    [Lock_revoked]), and in a sharded federation every shard coordinator's
+    CC/L1 tables with them (a whole-federation crash subsumes the shard
+    coordinators). In-flight protocol fibers are {e not} magically
     stopped — simulate the crash of their control flow by installing a
-    raising [fed.central_fail] hook. *)
+    raising [fed.central_fail] hook. For a crash of {e one} shard
+    coordinator use {!Federation.shard_crash} + {!recover_shard}. *)
 val crash : Federation.t -> unit
 
-(** [recover fed] walks the journal and completes every open transaction;
-    must run in a fiber (repairs execute local transactions and may wait
-    for site recoveries). Idempotent. *)
+(** [recover fed] walks the journal — top-level and every shard journal,
+    in a sharded federation — and completes every open transaction; must
+    run in a fiber (repairs execute local transactions and may wait for
+    site recoveries). An [Executing] entry whose decision {e was} forced at
+    some coordinator (e.g. the top level decided but the shard-decide push
+    was lost) is completed with that decision rather than presumed aborted.
+    Idempotent. *)
 val recover : Federation.t -> summary
+
+(** [recover_shard fed ~shard] restart-recovers one shard coordinator,
+    independent of the rest of the federation. Entries in the shard's
+    journal are handled by kind:
+
+    - single-shard transactions (the fast path — this coordinator is their
+      only coordinator) are completed exactly as {!recover} would: decided
+      entries pushed, [Executing] ones presumed aborted;
+    - mirrors of cross-shard transactions defer to the top-level decision
+      log: a recorded decision (the crash hit between the top-level force
+      and this shard's ack) is pushed to {e this shard's branches only} and
+      the mirror retired; without one the entry stays open, in doubt, until
+      the top-level coordinator finishes — the blocking window atomic
+      commitment cannot avoid.
+
+    [summary.entries_recovered] counts entries completed here, excluding
+    in-doubt mirrors left open. Idempotent, and safe to interleave with
+    {!recover}. Raises [Invalid_argument] on an out-of-range shard id. *)
+val recover_shard : Federation.t -> shard:int -> summary

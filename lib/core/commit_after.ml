@@ -28,9 +28,12 @@ let run (fed : Federation.t) (spec : Global.spec) =
   let gid = spec.gid in
   let start = Sim.now fed.engine in
   Metrics.txn_started fed.metrics;
-  Federation.journal_open fed ~gid ~protocol:"after";
+  Federation.journal_open_routed fed
+    ~sites:(List.map (fun (b : Global.branch) -> b.site) spec.branches)
+    ~gid ~protocol:"after";
   let obs = obs_begin fed ~gid ~protocol:"after" in
-  Trace.record fed.trace ~actor:"central" (ev gid "running");
+  let coord = coordinator_actor obs in
+  Trace.record fed.trace ~actor:coord (ev gid "running");
   if not (acquire_global_locks fed ~gid spec) then begin
     Federation.journal_close fed ~gid;
     finish fed ~gid ~start ~obs (Aborted Global_cc_denied)
@@ -56,7 +59,7 @@ let run (fed : Federation.t) (spec : Global.spec) =
     in
     fed.central_fail ~gid "executed";
     (* The inquiry: communication managers answer from the running state. *)
-    Trace.record fed.trace ~actor:"central" (ev gid "inquire");
+    Trace.record fed.trace ~actor:coord (ev gid "inquire");
     let votes =
       obs_phase fed obs ~gid Span.Vote @@ fun _ ->
       fanout fed
@@ -96,10 +99,10 @@ let run (fed : Federation.t) (spec : Global.spec) =
     in
     fed.central_fail ~gid "voted";
     let decide_commit = Option.is_none abort_cause in
-    Trace.record fed.trace ~actor:"central"
+    Trace.record fed.trace ~actor:coord
       (ev gid (if decide_commit then "decision:commit" else "decision:abort"));
     Federation.journal_decide fed ~gid ~commit:decide_commit;
-    obs_decision fed ~gid ~commit:decide_commit;
+    obs_decision fed obs ~gid ~commit:decide_commit;
     fed.central_fail ~gid "decided";
     obs_phase fed obs ~gid Span.Local_commit (fun _ ->
         ignore

@@ -35,9 +35,12 @@ let run (fed : Federation.t) (spec : Global.spec) =
   let gid = spec.gid in
   let start = Sim.now fed.engine in
   Metrics.txn_started fed.metrics;
-  Federation.journal_open fed ~gid ~protocol:"before";
+  Federation.journal_open_routed fed
+    ~sites:(List.map (fun (b : Global.branch) -> b.site) spec.branches)
+    ~gid ~protocol:"before";
   let obs = obs_begin fed ~gid ~protocol:"before" in
-  Trace.record fed.trace ~actor:"central" (ev gid "running");
+  let coord = coordinator_actor obs in
+  Trace.record fed.trace ~actor:coord (ev gid "running");
   if not (acquire_global_locks fed ~gid spec) then begin
     Federation.journal_close fed ~gid;
     finish fed ~gid ~start ~obs (Aborted Global_cc_denied)
@@ -105,7 +108,7 @@ let run (fed : Federation.t) (spec : Global.spec) =
     fed.central_fail ~gid "executed";
     (* The inquiry: ask every site for the final state of its local. A
        crashed site answers after recovery. *)
-    Trace.record fed.trace ~actor:"central" (ev gid "inquire");
+    Trace.record fed.trace ~actor:coord (ev gid "inquire");
     let states =
       obs_phase fed obs ~gid Span.Vote @@ fun _ ->
       fanout fed
@@ -129,10 +132,10 @@ let run (fed : Federation.t) (spec : Global.spec) =
     in
     fed.central_fail ~gid "voted";
     let decide_commit = Option.is_none abort_cause in
-    Trace.record fed.trace ~actor:"central"
+    Trace.record fed.trace ~actor:coord
       (ev gid (if decide_commit then "decision:commit" else "decision:abort"));
     Federation.journal_decide fed ~gid ~commit:decide_commit;
-    obs_decision fed ~gid ~commit:decide_commit;
+    obs_decision fed obs ~gid ~commit:decide_commit;
     fed.central_fail ~gid "decided";
     if not decide_commit then
       (* Mixed outcome: compensate every locally-committed branch. *)

@@ -60,9 +60,12 @@ let run ?(action_retries = 0) (fed : Federation.t) (spec : Global.mlt_spec) =
   let gid = spec.mlt_gid in
   let start = Sim.now fed.engine in
   Metrics.txn_started fed.metrics;
-  Federation.journal_open fed ~gid ~protocol:"mlt";
+  Federation.journal_open_routed fed
+    ~sites:(List.map (fun (a : Action.t) -> a.site) spec.actions)
+    ~gid ~protocol:"mlt";
   let obs = obs_begin fed ~gid ~protocol:"mlt" in
-  Trace.record fed.trace ~actor:"central" (ev gid "running");
+  let coord = coordinator_actor obs in
+  Trace.record fed.trace ~actor:coord (ev gid "running");
   let completed = ref [] in
   (* L1 actions run in program order; each one is an L0 transaction that
      commits before the global decision exists. *)
@@ -72,7 +75,11 @@ let run ?(action_retries = 0) (fed : Federation.t) (spec : Global.mlt_spec) =
       if spec.abort_after = Some seq then Error Global.Intended_abort
       else begin
         match
-          Lock.acquire fed.l1_locks ~owner:gid
+          (* the L1 manager responsible for the action's site — the owning
+             shard coordinator's in a sharded federation, central otherwise *)
+          Lock.acquire
+            (Federation.l1_table fed ~site:action.Action.site)
+            ~owner:gid
             ~obj:(Federation.intern fed (Action.l1_object action))
             ~mode:action.Action.clazz ?timeout:fed.global_lock_timeout ()
         with
@@ -105,15 +112,15 @@ let run ?(action_retries = 0) (fed : Federation.t) (spec : Global.mlt_spec) =
   let outcome =
     match result with
     | Ok () ->
-      Trace.record fed.trace ~actor:"central" (ev gid "decision:commit");
+      Trace.record fed.trace ~actor:coord (ev gid "decision:commit");
       Federation.journal_decide fed ~gid ~commit:true;
-      obs_decision fed ~gid ~commit:true;
+      obs_decision fed obs ~gid ~commit:true;
       fed.central_fail ~gid "decided";
       Global.Committed
     | Error cause ->
-      Trace.record fed.trace ~actor:"central" (ev gid "decision:abort");
+      Trace.record fed.trace ~actor:coord (ev gid "decision:abort");
       Federation.journal_decide fed ~gid ~commit:false;
-      obs_decision fed ~gid ~commit:false;
+      obs_decision fed obs ~gid ~commit:false;
       fed.central_fail ~gid "decided";
       (* Undo completed actions in reverse order via inverse actions. *)
       List.iter
@@ -126,5 +133,5 @@ let run ?(action_retries = 0) (fed : Federation.t) (spec : Global.mlt_spec) =
   in
   Action_log.remove fed.mlt_undo_log ~gid;
   Federation.journal_close fed ~gid;
-  Lock.release_all fed.l1_locks ~owner:gid;
+  Federation.release_l1_owner fed ~gid;
   finish fed ~gid ~start ~obs outcome

@@ -29,6 +29,31 @@ type journal_event =
   | J_decided of { gid : int; commit : bool }
   | J_closed of int
 
+(* One shard of a sharded federation: a contiguous group of sites whose
+   first member doubles as the shard coordinator. The shard coordinator
+   keeps its own stable journal and decision log (the L1 transaction
+   manager of the paper's two-level split, acting as L0 coordinator for
+   transactions confined to its shard) plus its own volatile CC state, so
+   a shard-coordinator crash loses exactly this shard's lock tables and
+   recovery can run per shard. *)
+type shard = {
+  sh_id : int;
+  sh_name : string;  (* "shard-<id>": metric label and trace actor *)
+  sh_coord : string;  (* coordinator site name (first member) *)
+  sh_sites : string list;
+  sh_journal : (int, journal_entry) Hashtbl.t;
+  sh_decision_log : (int, bool) Hashtbl.t;
+  sh_cc : Mode.t Lock.t;
+  sh_l1 : Conflict.clazz Lock.t;
+  mutable sh_forces : int;
+  mutable sh_decisions : int;
+  mutable sh_cgc_waiters : unit Fiber.resumer list;
+  mutable sh_cgc_scheduled : bool;
+  mutable sh_busy_until : float;  (* shard decision-log device (serial) *)
+  sh_decided_c : Registry.counter;
+  sh_forces_c : Registry.counter;
+}
+
 type t = {
   engine : Sim.t;
   engines : Sim.t array;
@@ -68,6 +93,17 @@ type t = {
      lazily per slot so exactly the instruments the run uses exist — the
      hot path then skips the registry's per-call label-key allocation *)
   phase_hists : (string, Registry.histogram option array) Hashtbl.t;
+  shards : shard array;  (* [||] = unsharded: every path below is untouched *)
+  shard_of_site : (string, int) Hashtbl.t;
+  gid_route : (int, int array) Hashtbl.t;
+      (* gid -> sorted participating shard ids; a singleton routes the whole
+         protocol round to that shard coordinator (the fast path), anything
+         longer is a top-level transaction over the shard coordinators.
+         Absent entries (and the whole table when unsharded) mean "central". *)
+  decision_force_time : float option;
+      (* service time of one decision-log force on its serial device; [None]
+         models the force as instantaneous (the pre-sharding behavior) *)
+  mutable central_busy_until : float;
 }
 
 let default_conflict =
@@ -211,6 +247,15 @@ let install_observability t =
   List.iter (fun (name, site) -> observe_site t name site) t.sites;
   Lock.set_observer t.global_cc (lock_handler t ~table:"global-cc" ~names:t.syms);
   Lock.set_observer t.l1_locks (lock_handler t ~table:"l1" ~names:t.syms);
+  (* Per-shard CC modules get their own table label, so lock metrics split
+     by shard; unsharded federations have no shards and add no metrics. *)
+  Array.iter
+    (fun sh ->
+      Lock.set_observer sh.sh_cc
+        (lock_handler t ~table:(sh.sh_name ^ "-cc") ~names:t.syms);
+      Lock.set_observer sh.sh_l1
+        (lock_handler t ~table:(sh.sh_name ^ "-l1") ~names:t.syms))
+    t.shards;
   let sim_events = Registry.counter t.registry "icdb_sim_events_total" in
   (* Every partition engine feeds the same counters — totals aggregate over
      the whole simulation regardless of how it is partitioned. Execution is
@@ -251,9 +296,12 @@ let normalize_window = function
 let create engine ?site_engines ?(latency = 1.0) ?(loss = 0.0)
     ?(global_lock_timeout = Some 200.0) ?(conflict = default_conflict)
     ?registry ?tracer ?(msg_batch_window = None) ?(central_gc_window = None)
-    configs =
+    ?(shards = 1) ?(decision_force_time = None) configs =
   let msg_batch_window = normalize_window msg_batch_window in
   let central_gc_window = normalize_window central_gc_window in
+  let decision_force_time = normalize_window decision_force_time in
+  if shards > List.length configs then
+    invalid_arg "Federation.create: more shards than sites";
   let registry = match registry with Some r -> r | None -> Registry.create () in
   let tracer =
     match tracer with
@@ -295,6 +343,50 @@ let create engine ?site_engines ?(latency = 1.0) ?(loss = 0.0)
   (* The L1 lock manager's compatibility checks run per acquisition; give
      the federation its own memoizing instance of the relation. *)
   let conflict = Conflict.memoized conflict in
+  (* Shard layout: contiguous balanced blocks of sites in creation order
+     (site i -> shard i*S/n), first member of each block is the shard
+     coordinator. [shards = 1] builds nothing at all — the sharded code
+     paths below are all behind [Array.length t.shards > 0], so unsharded
+     federations take exactly the pre-sharding code. *)
+  let shard_of_site = Hashtbl.create 16 in
+  let shards_arr =
+    if shards <= 1 then [||]
+    else begin
+      let names = Array.of_list (List.map (fun (c : Db.config) -> c.site_name) configs) in
+      let n = Array.length names in
+      Array.iteri (fun i name -> Hashtbl.replace shard_of_site name (i * shards / n)) names;
+      Array.init shards (fun s ->
+          let members =
+            Array.to_list names
+            |> List.filteri (fun i _ -> i * shards / n = s)
+          in
+          let sh_name = "shard-" ^ string_of_int s in
+          {
+            sh_id = s;
+            sh_name;
+            sh_coord = List.hd members;
+            sh_sites = members;
+            sh_journal = Hashtbl.create 64;
+            sh_decision_log = Hashtbl.create 256;
+            sh_cc =
+              Lock.create engine ~syms ~compatible:Mode.compatible ~combine:Mode.combine;
+            sh_l1 =
+              Lock.create engine ~syms ~compatible:(Conflict.compatible conflict)
+                ~combine:(Conflict.combine conflict);
+            sh_forces = 0;
+            sh_decisions = 0;
+            sh_cgc_waiters = [];
+            sh_cgc_scheduled = false;
+            sh_busy_until = 0.0;
+            sh_decided_c =
+              Registry.counter registry ~labels:[ ("shard", sh_name) ]
+                "icdb_shard_decisions_total";
+            sh_forces_c =
+              Registry.counter registry ~labels:[ ("shard", sh_name) ]
+                "icdb_shard_decision_forces_total";
+          })
+    end
+  in
   let t =
     {
       engine;
@@ -330,6 +422,11 @@ let create engine ?site_engines ?(latency = 1.0) ?(loss = 0.0)
       central_decisions = 0;
       central_force_hook = ignore;
       phase_hists = Hashtbl.create 8;
+      shards = shards_arr;
+      shard_of_site;
+      gid_route = Hashtbl.create 64;
+      decision_force_time;
+      central_busy_until = 0.0;
     }
   in
   install_observability t;
@@ -404,12 +501,63 @@ let fresh_gid t =
   t.next_gid
 
 let log_decision t ~gid ~commit = Hashtbl.replace t.decision_log gid commit
-let decision t ~gid = Hashtbl.find_opt t.decision_log gid
 
-let journal_open t ~gid ~protocol =
-  Hashtbl.replace t.journal gid
-    { j_protocol = protocol; j_branches = []; j_phase = Executing };
+let sharded t = Array.length t.shards > 0
+
+(* The participating shard ids a gid was opened with (sorted), or [None]
+   when the federation is unsharded / the gid was opened without sites. *)
+let route t gid = Hashtbl.find_opt t.gid_route gid
+
+let decision t ~gid =
+  match Hashtbl.find_opt t.decision_log gid with
+  | Some d -> Some d
+  | None ->
+    let n = Array.length t.shards in
+    let rec scan i =
+      if i >= n then None
+      else
+        match Hashtbl.find_opt t.shards.(i).sh_decision_log gid with
+        | Some d -> Some d
+        | None -> scan (i + 1)
+    in
+    scan 0
+
+let decision_log_size t =
+  Array.fold_left
+    (fun acc sh -> acc + Hashtbl.length sh.sh_decision_log)
+    (Hashtbl.length t.decision_log)
+    t.shards
+
+let journal_open_routed t ~sites ~gid ~protocol =
+  let entry () = { j_protocol = protocol; j_branches = []; j_phase = Executing } in
+  if not (sharded t) then Hashtbl.replace t.journal gid (entry ())
+  else begin
+    let route =
+      List.filter_map (Hashtbl.find_opt t.shard_of_site) sites
+      |> List.sort_uniq compare |> Array.of_list
+    in
+    match route with
+    (* no recognizable member sites: the central system coordinates, as it
+       would have before sharding *)
+    | [||] -> Hashtbl.replace t.journal gid (entry ())
+    | [| s |] ->
+      (* single-shard fast path: the journal entry lives at the shard
+         coordinator only — no top-level state at all *)
+      Hashtbl.replace t.gid_route gid route;
+      Hashtbl.replace t.shards.(s).sh_journal gid (entry ())
+    | multi ->
+      (* top-level transaction: a top entry plus one mirror per shard, each
+         holding that shard's branches (what the shard coordinator would
+         know as an L1 participant) *)
+      Hashtbl.replace t.gid_route gid route;
+      Hashtbl.replace t.journal gid (entry ());
+      Array.iter (fun s -> Hashtbl.replace t.shards.(s).sh_journal gid (entry ())) multi
+  end;
   t.journal_hook (J_opened gid)
+
+(* Legacy entry point: central coordinates (no route), exactly as before
+   sharding existed. Tests and hand-built transactions use it. *)
+let journal_open t ~gid ~protocol = journal_open_routed t ~sites:[] ~gid ~protocol
 
 let journal_find t gid =
   match Hashtbl.find_opt t.journal gid with
@@ -417,18 +565,54 @@ let journal_find t gid =
   | None -> failwith "Federation: no journal entry for this transaction"
 
 let journal_branch t ~gid ~site ~txn_id =
-  let entry = journal_find t gid in
-  entry.j_branches <- entry.j_branches @ [ (site, txn_id) ]
+  match route t gid with
+  | None ->
+    let entry = journal_find t gid in
+    entry.j_branches <- entry.j_branches @ [ (site, txn_id) ]
+  | Some [| s |] -> (
+    match Hashtbl.find_opt t.shards.(s).sh_journal gid with
+    | Some entry -> entry.j_branches <- entry.j_branches @ [ (site, txn_id) ]
+    | None -> failwith "Federation: no shard journal entry for this transaction")
+  | Some _ ->
+    let entry = journal_find t gid in
+    entry.j_branches <- entry.j_branches @ [ (site, txn_id) ];
+    (match Hashtbl.find_opt t.shard_of_site site with
+    | Some s -> (
+      match Hashtbl.find_opt t.shards.(s).sh_journal gid with
+      | Some mirror -> mirror.j_branches <- mirror.j_branches @ [ (site, txn_id) ]
+      | None -> ())
+    | None -> ())
+
+(* The decision log as a serial device: forces queue behind each other and
+   each occupies the log head for [decision_force_time]. [None] keeps the
+   pre-sharding model of an instantaneous force. The device state is one
+   [busy_until] watermark per coordinator (central + each shard), so S
+   shards really are S independent log heads — the resource the sharding
+   experiment varies. *)
+let serial_force t ~get ~set =
+  match t.decision_force_time with
+  | None -> ()
+  | Some ft ->
+    let now = Sim.now t.engine in
+    let start = if get () > now then get () else now in
+    let fin = start +. ft in
+    set fin;
+    Fiber.sleep t.engine (fin -. now)
 
 (* Group commit for the central decision log: every decision made within one
    [central_gc_window] shares a single log force. The caller (always a
    protocol fiber) blocks until the shared force completes, so when
    [journal_decide] returns the decision is durable — same contract as
    today's instantaneous write, just paid for in one force per window
-   instead of one per decision. Disabled ([None]): zero cost, zero delay. *)
+   instead of one per decision. Disabled ([None]): the force costs
+   [decision_force_time] on the central log device (zero cost, zero delay
+   when that is [None] too — the pre-sharding default). *)
 let force_decision t =
   match t.central_gc_window with
-  | None -> ()
+  | None ->
+    serial_force t
+      ~get:(fun () -> t.central_busy_until)
+      ~set:(fun v -> t.central_busy_until <- v)
   | Some window ->
     Fiber.await (fun resumer ->
         t.cgc_waiters <- resumer :: t.cgc_waiters;
@@ -444,15 +628,98 @@ let force_decision t =
                  List.iter (fun r -> r (Ok ())) waiters))
         end)
 
+(* Same contract per shard: group commit when the window is on, otherwise
+   the shard's own serial log device. *)
+let shard_force t sh =
+  match t.central_gc_window with
+  | None ->
+    serial_force t
+      ~get:(fun () -> sh.sh_busy_until)
+      ~set:(fun v -> sh.sh_busy_until <- v)
+  | Some window ->
+    Fiber.await (fun resumer ->
+        sh.sh_cgc_waiters <- resumer :: sh.sh_cgc_waiters;
+        if not sh.sh_cgc_scheduled then begin
+          sh.sh_cgc_scheduled <- true;
+          ignore
+            (Sim.schedule t.engine ~delay:window (fun () ->
+                 let waiters = List.rev sh.sh_cgc_waiters in
+                 sh.sh_cgc_waiters <- [];
+                 sh.sh_cgc_scheduled <- false;
+                 sh.sh_forces <- sh.sh_forces + 1;
+                 Registry.inc sh.sh_forces_c;
+                 List.iter (fun r -> r (Ok ())) waiters))
+        end)
+
+(* Record a decision at one shard coordinator: mirror entry (if any) flips
+   to [Decided] and the shard's stable decision log and counters advance.
+   Runs at the coordinator — callers reach it through
+   {!shard_decide_round}'s RPC for top-level transactions, or directly (no
+   wire hop) for the shard's own transactions; both force the shard log
+   afterwards. *)
+let shard_record_decision _t sh ~gid ~commit =
+  (match Hashtbl.find_opt sh.sh_journal gid with
+  | Some entry -> entry.j_phase <- Decided commit
+  | None -> ());
+  Hashtbl.replace sh.sh_decision_log gid commit;
+  sh.sh_decisions <- sh.sh_decisions + 1;
+  Registry.inc sh.sh_decided_c
+
+(* The top-level decision round of a cross-shard transaction: the central
+   system pushes the (already durable) decision to every participating shard
+   coordinator, which forces its own journal before acknowledging. A shard
+   coordinator that is down past the RPC retry budget simply misses the
+   round — the decision is durable at the top level, and per-shard recovery
+   pushes it when the coordinator comes back ({!Central_recovery}). *)
+let shard_decide_round t ~gid ~commit route =
+  ignore
+    (Fiber.all_on
+       (List.map
+          (fun s ->
+            let sh = t.shards.(s) in
+            let coord = Hashtbl.find t.by_name sh.sh_coord in
+            ( Site.engine coord,
+              fun () ->
+                try
+                  Link.rpc ~gid (Site.link coord) ~label:"shard-decide" (fun () ->
+                      shard_record_decision t sh ~gid ~commit;
+                      shard_force t sh;
+                      ("shard-decided", ()))
+                with Link.Unreachable _ -> () ))
+          (Array.to_list route)))
+
 let journal_decide t ~gid ~commit =
-  (journal_find t gid).j_phase <- Decided commit;
-  log_decision t ~gid ~commit;
-  t.central_decisions <- t.central_decisions + 1;
-  t.journal_hook (J_decided { gid; commit });
-  force_decision t
+  match route t gid with
+  | Some [| s |] ->
+    (* single-shard fast path: decided and forced entirely at the shard
+       coordinator — no top-level journal write, no top-level force, no
+       top-level message *)
+    let sh = t.shards.(s) in
+    shard_record_decision t sh ~gid ~commit;
+    t.journal_hook (J_decided { gid; commit });
+    shard_force t sh
+  | Some multi ->
+    (journal_find t gid).j_phase <- Decided commit;
+    log_decision t ~gid ~commit;
+    t.central_decisions <- t.central_decisions + 1;
+    t.journal_hook (J_decided { gid; commit });
+    force_decision t;
+    shard_decide_round t ~gid ~commit multi
+  | None ->
+    (journal_find t gid).j_phase <- Decided commit;
+    log_decision t ~gid ~commit;
+    t.central_decisions <- t.central_decisions + 1;
+    t.journal_hook (J_decided { gid; commit });
+    force_decision t
 
 let journal_close t ~gid =
-  Hashtbl.remove t.journal gid;
+  (match route t gid with
+  | None -> Hashtbl.remove t.journal gid
+  | Some [| s |] -> Hashtbl.remove t.shards.(s).sh_journal gid
+  | Some multi ->
+    Hashtbl.remove t.journal gid;
+    Array.iter (fun s -> Hashtbl.remove t.shards.(s).sh_journal gid) multi);
+  Hashtbl.remove t.gid_route gid;
   (* The transaction is finished at the coordinator: any receiver-side dedup
      state its wire exchanges left behind (orphans from capped retries) can
      never be consulted again — evict it. *)
@@ -479,8 +746,92 @@ let batch_occupancy_mean t =
   if envelopes = 0 then 0.0 else float_of_int members /. float_of_int envelopes
 
 let journal_open_entries t =
-  Hashtbl.fold (fun gid entry acc -> (gid, entry) :: acc) t.journal []
-  |> List.sort compare
+  if not (sharded t) then
+    Hashtbl.fold (fun gid entry acc -> (gid, entry) :: acc) t.journal []
+    |> List.sort compare
+  else begin
+    (* union over the shard journals and the top journal, one entry per gid;
+       the top entry wins for cross-shard transactions (it has every branch
+       and the authoritative phase, the mirrors only their shard's slice) *)
+    let merged = Hashtbl.create 32 in
+    Array.iter
+      (fun sh -> Hashtbl.iter (fun gid e -> Hashtbl.replace merged gid e) sh.sh_journal)
+      t.shards;
+    Hashtbl.iter (fun gid e -> Hashtbl.replace merged gid e) t.journal;
+    Hashtbl.fold (fun gid entry acc -> (gid, entry) :: acc) merged []
+    |> List.sort compare
+  end
+
+(* Raw open-entry count across the top journal and every shard journal
+   (cross-shard mirrors counted once per shard they live at) — zero exactly
+   when every journal is empty, which is what the quiescence monitors and
+   drain checks ask. *)
+let total_journal_entries t =
+  Array.fold_left
+    (fun acc sh -> acc + Hashtbl.length sh.sh_journal)
+    (Hashtbl.length t.journal)
+    t.shards
+
+(* {2 Sharded lock-table routing}
+
+   The additional CC module and the L1 lock manager live at the shard
+   coordinator owning the object's site; unsharded federations (and objects
+   at unknown sites) keep the central tables. Lock objects are "site/key"
+   strings, disjoint across shards, so routing changes which volatile table
+   holds an entry — and therefore what a shard-coordinator crash wipes —
+   without changing any grant decision. *)
+
+let shard_for_site t site =
+  if not (sharded t) then None else Hashtbl.find_opt t.shard_of_site site
+
+let cc_table t ~site =
+  match shard_for_site t site with
+  | Some s -> t.shards.(s).sh_cc
+  | None -> t.global_cc
+
+let l1_table t ~site =
+  match shard_for_site t site with
+  | Some s -> t.shards.(s).sh_l1
+  | None -> t.l1_locks
+
+(* Release everything a global transaction holds, wherever it holds it.
+   [release_all] is a no-op per table when the owner holds nothing there. *)
+let release_cc_owner t ~gid =
+  Lock.release_all t.global_cc ~owner:gid;
+  Array.iter (fun sh -> Lock.release_all sh.sh_cc ~owner:gid) t.shards
+
+let release_l1_owner t ~gid =
+  Lock.release_all t.l1_locks ~owner:gid;
+  Array.iter (fun sh -> Lock.release_all sh.sh_l1 ~owner:gid) t.shards
+
+(* Trace/span actor for a global transaction's coordinator: the shard
+   coordinator on the single-shard fast path, the central system otherwise
+   (always "central" when unsharded — traces are byte-identical). *)
+let gid_actor t ~gid =
+  match route t gid with
+  | Some [| s |] -> t.shards.(s).sh_name
+  | Some _ | None -> "central"
+
+(* A shard-coordinator crash loses the shard's volatile lock state (its CC
+   module and L1 manager), exactly as {!Central_recovery.crash} models for
+   the central system; the shard's stable journal and decision log survive.
+   Crashing the coordinator {e site} is the caller's separate decision. *)
+let shard_crash t ~shard =
+  let sh = t.shards.(shard) in
+  Lock.reset sh.sh_cc;
+  Lock.reset sh.sh_l1
+
+(* Shard decision-log forces, summed: with group commit on, the shared
+   forces that happened; off, one per shard decision (same convention as
+   {!central_log_forces}). *)
+let shard_log_forces t =
+  Array.fold_left
+    (fun acc sh ->
+      acc + (if t.central_gc_window <> None then sh.sh_forces else sh.sh_decisions))
+    0 t.shards
+
+let shard_decisions t =
+  Array.fold_left (fun acc sh -> acc + sh.sh_decisions) 0 t.shards
 
 let total_messages t =
   List.fold_left (fun acc (_, site) -> acc + Link.message_count (Site.link site)) 0 t.sites

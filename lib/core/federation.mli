@@ -31,6 +31,31 @@ type journal_event =
   | J_decided of { gid : int; commit : bool }
   | J_closed of int
 
+(** One shard of a sharded federation: a contiguous group of sites whose
+    first member is the shard coordinator. The coordinator keeps the
+    shard's own stable journal and decision log — it is simultaneously an
+    L1 participant of top-level (cross-shard) transactions and the L0
+    coordinator of transactions confined to its shard (the paper's
+    two-level split, one level down). Volatile per-shard lock tables model
+    the CC state a shard-coordinator crash loses. *)
+type shard = {
+  sh_id : int;
+  sh_name : string;  (** "shard-<id>": metric label and trace actor *)
+  sh_coord : string;  (** coordinator site name (first member) *)
+  sh_sites : string list;
+  sh_journal : (int, journal_entry) Hashtbl.t;
+  sh_decision_log : (int, bool) Hashtbl.t;
+  sh_cc : Icdb_lock.Mode.t Icdb_lock.Lock_table.t;
+  sh_l1 : Icdb_mlt.Conflict.clazz Icdb_lock.Lock_table.t;
+  mutable sh_forces : int;
+  mutable sh_decisions : int;
+  mutable sh_cgc_waiters : unit Icdb_sim.Fiber.resumer list;
+  mutable sh_cgc_scheduled : bool;
+  mutable sh_busy_until : float;
+  sh_decided_c : Icdb_obs.Registry.counter;
+  sh_forces_c : Icdb_obs.Registry.counter;
+}
+
 type t = {
   engine : Icdb_sim.Engine.t;
   engines : Icdb_sim.Engine.t array;
@@ -91,6 +116,19 @@ type t = {
   phase_hists : (string, Icdb_obs.Registry.histogram option array) Hashtbl.t;
       (** lazily filled per-(protocol, phase) handle cache behind
           {!phase_histogram} *)
+  shards : shard array;
+      (** [[||]] when unsharded — every journal/lock/decision path is then
+          exactly the pre-sharding code *)
+  shard_of_site : (string, int) Hashtbl.t;
+  gid_route : (int, int array) Hashtbl.t;
+      (** gid -> sorted participating shard ids, registered by
+          {!journal_open}; a singleton is the single-shard fast path *)
+  decision_force_time : float option;
+      (** service time of one decision-log force on its coordinator's
+          serial log device; [None] (default) = instantaneous forces, the
+          pre-sharding model. Ignored while [central_gc_window] batches
+          forces. *)
+  mutable central_busy_until : float;
 }
 
 (** [create engine ?latency ?loss ?global_lock_timeout ?conflict configs]
@@ -124,7 +162,15 @@ type t = {
     engines must all be coupled to the same {!Icdb_sim.Parallel} scheduler.
     Placement is exactness-neutral: events execute in global (time, seq)
     order no matter which engine holds them. Raises [Invalid_argument] if
-    the array length differs from the config count. *)
+    the array length differs from the config count.
+
+    [shards] (default 1) groups the sites into that many contiguous
+    balanced shards, each coordinated by its first site; 1 builds no shard
+    state at all and reproduces unsharded runs byte-for-byte.
+    [decision_force_time] (default [None]) gives every decision-log force a
+    service time on its coordinator's serial log device — the knob the S2
+    sharding lab turns to expose the central log as the bottleneck. Raises
+    [Invalid_argument] when [shards] exceeds the site count. *)
 val create :
   Icdb_sim.Engine.t ->
   ?site_engines:Icdb_sim.Engine.t array ->
@@ -136,6 +182,8 @@ val create :
   ?tracer:Icdb_obs.Tracer.t ->
   ?msg_batch_window:float option ->
   ?central_gc_window:float option ->
+  ?shards:int ->
+  ?decision_force_time:float option ->
   Icdb_localdb.Engine.config list ->
   t
 
@@ -162,28 +210,102 @@ val fresh_gid : t -> int
 (** Record a decision in the central system's stable log. *)
 val log_decision : t -> gid:int -> commit:bool -> unit
 
+(** [decision t ~gid] looks the decision up in the central log first, then
+    in every shard's log — a decision is a decision no matter which
+    coordinator forced it. *)
 val decision : t -> gid:int -> bool option
+
+(** Stable decision records across the central and all shard logs. *)
+val decision_log_size : t -> int
+
+(** {2 Sharding} *)
+
+(** Whether the federation was created with [shards > 1]. *)
+val sharded : t -> bool
+
+(** [route t gid] is the sorted participating shard ids {!journal_open}
+    registered for [gid]; [None] when unsharded or opened without sites
+    (central coordinates either way). *)
+val route : t -> int -> int array option
+
+(** The shard owning a site, or [None] when unsharded / unknown. *)
+val shard_for_site : t -> string -> int option
+
+(** The CC-module / L1 lock table responsible for objects at [site]: the
+    owning shard's table, or the central one when unsharded. *)
+val cc_table : t -> site:string -> Icdb_lock.Mode.t Icdb_lock.Lock_table.t
+
+val l1_table : t -> site:string -> Icdb_mlt.Conflict.clazz Icdb_lock.Lock_table.t
+
+(** Release a global transaction's locks across the central and every
+    shard table (no-op per table where it holds nothing). *)
+val release_cc_owner : t -> gid:int -> unit
+
+val release_l1_owner : t -> gid:int -> unit
+
+(** Coordinator actor for a gid's spans and traces: "shard-<i>" on the
+    single-shard fast path, "central" otherwise. *)
+val gid_actor : t -> gid:int -> string
+
+(** [shard_crash t ~shard] wipes the shard's volatile lock tables (CC
+    module + L1 manager), the shard-coordinator analogue of
+    {!Central_recovery.crash}; stable shard state survives. Crashing the
+    coordinator site itself is the caller's separate step. *)
+val shard_crash : t -> shard:int -> unit
+
+(** Shard decision-log forces summed over shards (group-commit forces when
+    the window is on, one per shard decision otherwise), and total shard
+    decisions. Both 0 when unsharded. *)
+val shard_log_forces : t -> int
+
+val shard_decisions : t -> int
 
 (** {2 Central journal (used by the protocols and central recovery)} *)
 
-(** [journal_open t ~gid ~protocol] adds an [Executing] entry. *)
+(** [journal_open_routed t ~sites ~gid ~protocol] adds an [Executing]
+    entry. In a sharded federation [sites] (the member sites the
+    transaction will touch) routes the entry: one shard — the entry lives
+    only in that shard's journal and the whole commit round stays there;
+    several — a top-level entry plus a mirror at each participating shard.
+    An empty/unknown site list (or an unsharded federation) keeps the
+    central journal, as before. *)
+val journal_open_routed :
+  t -> sites:string list -> gid:int -> protocol:string -> unit
+
+(** [journal_open t ~gid ~protocol] = [journal_open_routed ~sites:[]]: the
+    central system coordinates. *)
 val journal_open : t -> gid:int -> protocol:string -> unit
 
-(** [journal_branch t ~gid ~site ~txn_id] records one local transaction. *)
+(** [journal_branch t ~gid ~site ~txn_id] records one local transaction
+    (routed to the gid's journal entry; cross-shard transactions also
+    record it in the owning shard's mirror). *)
 val journal_branch : t -> gid:int -> site:string -> txn_id:int -> unit
 
 (** [journal_decide t ~gid ~commit] flips the entry to [Decided] {e and}
     writes the decision log. With [central_gc_window] set the caller (a
     protocol fiber) blocks until the window's shared log force completes —
-    the decision is durable on return either way. *)
+    the decision is durable on return either way. Routed: a single-shard
+    transaction decides entirely at its shard coordinator (no top-level
+    write, force or message); a cross-shard one decides at the top level
+    and then runs a "shard-decide" RPC round over the participating shard
+    coordinators, each forcing its own journal before acknowledging (a
+    coordinator down past the retry budget misses the round and is caught
+    up by per-shard recovery). *)
 val journal_decide : t -> gid:int -> commit:bool -> unit
 
-(** [journal_close t ~gid] removes the entry once every site has applied
-    the outcome. *)
+(** [journal_close t ~gid] removes the entry (and any shard mirrors) once
+    every site has applied the outcome. *)
 val journal_close : t -> gid:int -> unit
 
-(** Open entries (recovery's work list), sorted by gid. *)
+(** Open entries (recovery's work list), sorted by gid: the union over the
+    top journal and every shard journal, one entry per gid (the top entry,
+    which has every branch, wins for cross-shard transactions). *)
 val journal_open_entries : t -> (int * journal_entry) list
+
+(** Raw open-entry count over the top and shard journals (mirrors counted
+    per shard); 0 exactly when every journal is empty — the quiescence
+    check the monitors and drain probes use. *)
+val total_journal_entries : t -> int
 
 (** Sum of message counts over all links, and the per-label breakdown. *)
 val total_messages : t -> int

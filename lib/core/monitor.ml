@@ -63,7 +63,7 @@ let trip t name detail =
       (Span.Mark ("monitor-trip:" ^ name))
   end
 
-let journal_empty t = Hashtbl.length t.fed.Federation.journal = 0
+let journal_empty t = Federation.total_journal_entries t.fed = 0
 
 (* Quiescent = no transaction mid-protocol anywhere: journal empty and no
    deferred redo/undo work pending (a decided-but-not-yet-redone action
@@ -106,6 +106,10 @@ let check_leaks t =
       let global =
         Lock.held_count t.fed.Federation.global_cc
         + Lock.held_count t.fed.Federation.l1_locks
+        + Array.fold_left
+            (fun acc (sh : Federation.shard) ->
+              acc + Lock.held_count sh.sh_cc + Lock.held_count sh.sh_l1)
+            0 t.fed.Federation.shards
       in
       let local =
         List.fold_left

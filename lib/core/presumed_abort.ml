@@ -17,9 +17,12 @@ let run (fed : Federation.t) (spec : Global.spec) =
   let gid = spec.gid in
   let start = Sim.now fed.engine in
   Metrics.txn_started fed.metrics;
-  Federation.journal_open fed ~gid ~protocol:"2pc-pa";
+  Federation.journal_open_routed fed
+    ~sites:(List.map (fun (b : Global.branch) -> b.site) spec.branches)
+    ~gid ~protocol:"2pc-pa";
   let obs = obs_begin fed ~gid ~protocol:"2pc-pa" in
-  Trace.record fed.trace ~actor:"central" (ev gid "running");
+  let coord = coordinator_actor obs in
+  Trace.record fed.trace ~actor:coord (ev gid "running");
   let unsupported =
     List.find_opt
       (fun (b : Global.branch) ->
@@ -41,7 +44,7 @@ let run (fed : Federation.t) (spec : Global.spec) =
                spec.branches))
     in
     fed.central_fail ~gid "executed";
-    Trace.record fed.trace ~actor:"central" (ev gid "inquire");
+    Trace.record fed.trace ~actor:coord (ev gid "inquire");
     let votes =
       obs_phase fed obs ~gid Span.Vote @@ fun _ ->
       fanout fed
@@ -91,9 +94,9 @@ let run (fed : Federation.t) (spec : Global.spec) =
     in
     fed.central_fail ~gid "voted";
     let decide_commit = Option.is_none abort_cause in
-    Trace.record fed.trace ~actor:"central"
+    Trace.record fed.trace ~actor:coord
       (ev gid (if decide_commit then "decision:commit" else "decision:abort"));
-    obs_decision fed ~gid ~commit:decide_commit;
+    obs_decision fed obs ~gid ~commit:decide_commit;
     if decide_commit then begin
       (* Only commits are force-logged — aborts are presumed. *)
       Federation.journal_decide fed ~gid ~commit:true;

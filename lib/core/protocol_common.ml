@@ -30,36 +30,41 @@ let acquire_global_locks (fed : Federation.t) ~gid (spec : Global.spec) =
       List.concat_map
         (fun (b : Global.branch) ->
           List.map
-            (fun (key, intent) -> (b.site ^ "/" ^ key, mode_of_intent intent))
+            (fun (key, intent) -> (b.site ^ "/" ^ key, b.site, mode_of_intent intent))
             (Program.intents b.program))
         spec.branches
-      |> List.sort compare
+      (* sorted by (object, mode), as before sharding: the globally stable
+         acquisition order is what prevents deadlocks between transactions
+         spanning several shards' CC tables *)
+      |> List.sort (fun (o1, _, m1) (o2, _, m2) -> compare (o1, m1) (o2, m2))
     in
     let rec go = function
       | [] -> true
-      | (obj, mode) :: rest -> (
-        (* sort on names (stable acquisition order), intern at the boundary *)
+      | (obj, site, mode) :: rest -> (
+        (* sort on names (stable acquisition order), intern at the boundary;
+           the table is the owning shard coordinator's (central when
+           unsharded) *)
         match
-          Lock.acquire fed.global_cc ~owner:gid ~obj:(Federation.intern fed obj) ~mode
-            ?timeout:fed.global_lock_timeout ()
+          Lock.acquire (Federation.cc_table fed ~site) ~owner:gid
+            ~obj:(Federation.intern fed obj) ~mode ?timeout:fed.global_lock_timeout ()
         with
         | Lock.Granted ->
           Metrics.global_lock_acquired fed.metrics;
           go rest
         | Lock.Timeout | Lock.Deadlock -> false
-        (* A central crash resets the additional CC module and wakes every
-           waiter with [Lock_revoked]; to this transaction that is just a
-           denial — it must abort cleanly, not die with an escaping
-           exception. *)
+        (* A central (or shard-coordinator) crash resets the CC module and
+           wakes every waiter with [Lock_revoked]; to this transaction that
+           is just a denial — it must abort cleanly, not die with an
+           escaping exception. *)
         | exception Lock.Lock_revoked -> false)
     in
     let ok = go wanted in
-    if not ok then Lock.release_all fed.global_cc ~owner:gid;
+    if not ok then Federation.release_cc_owner fed ~gid;
     ok
   end
 
 let release_global_locks (fed : Federation.t) ~gid =
-  Lock.release_all fed.global_cc ~owner:gid
+  Federation.release_cc_owner fed ~gid
 
 (* Per-site fan-out: each branch's fiber is spawned on its site's engine, so
    in a domain-partitioned simulation the branch bodies run on the partition
@@ -87,19 +92,26 @@ let fanout (fed : Federation.t) pairs =
    closed on exceptions — a dangling span is how a central crash looks in
    the trace. *)
 
-type obs = { txn_span : int; obs_protocol : string }
+type obs = { txn_span : int; obs_protocol : string; obs_actor : string }
 
 let obs_begin (fed : Federation.t) ~gid ~protocol =
+  (* the coordinator actor: "shard-<i>" when the gid routed to a single
+     shard (the fast path), "central" otherwise — and always "central" in
+     an unsharded federation, so existing traces are unchanged *)
+  let actor = Federation.gid_actor fed ~gid in
   let txn_span =
     (* guard at the call site too: the [Span] argument is a record built
        before [begin_span] can decline it *)
     if Tracer.enabled fed.tracer then
-      Tracer.begin_span fed.tracer ~actor:"central" (Span.Txn { gid; protocol })
+      Tracer.begin_span fed.tracer ~actor (Span.Txn { gid; protocol })
     else -1
   in
-  { txn_span; obs_protocol = protocol }
+  { txn_span; obs_protocol = protocol; obs_actor = actor }
 
-let obs_phase (fed : Federation.t) obs ~gid ?(actor = "central") phase f =
+let coordinator_actor obs = obs.obs_actor
+
+let obs_phase (fed : Federation.t) obs ~gid ?actor phase f =
+  let actor = match actor with Some a -> a | None -> obs.obs_actor in
   let start = Sim.now fed.engine in
   let span =
     if Tracer.enabled fed.tracer then
@@ -120,9 +132,9 @@ let obs_phase (fed : Federation.t) obs ~gid ?(actor = "central") phase f =
     fin ();
     raise e
 
-let obs_decision (fed : Federation.t) ~gid ~commit =
+let obs_decision (fed : Federation.t) obs ~gid ~commit =
   if Tracer.enabled fed.tracer then
-    Tracer.instant fed.tracer ~actor:"central" (Span.Decision { gid; commit })
+    Tracer.instant fed.tracer ~actor:obs.obs_actor (Span.Decision { gid; commit })
 
 type exec_status = Exec_ok of Db.txn | Exec_failed of Db.abort_reason
 
@@ -231,6 +243,7 @@ let resolve_prepared_durably (fed : Federation.t) ~site ~txn_id ~commit =
   deliver ()
 
 let finish (fed : Federation.t) ~gid ~start ?obs outcome =
+  let actor = match obs with Some o -> o.obs_actor | None -> "central" in
   (match obs with
   | Some o -> Tracer.end_span fed.tracer o.txn_span
   | None -> ());
@@ -238,10 +251,10 @@ let finish (fed : Federation.t) ~gid ~start ?obs outcome =
   | Global.Committed ->
     Metrics.txn_committed fed.metrics ~response_time:(Sim.now fed.engine -. start);
     Serialization_graph.record_outcome fed.graph ~gid ~committed:true;
-    Trace.record fed.trace ~actor:"central" (ev gid "committed")
+    Trace.record fed.trace ~actor (ev gid "committed")
   | Global.Aborted cause ->
     Metrics.txn_aborted fed.metrics;
     Serialization_graph.record_outcome fed.graph ~gid ~committed:false;
-    Trace.record fed.trace ~actor:"central"
+    Trace.record fed.trace ~actor
       (ev gid (Format.asprintf "aborted (%a)" Global.pp_abort_cause cause)));
   outcome

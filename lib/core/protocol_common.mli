@@ -47,21 +47,29 @@ type obs
 
 (** [obs_begin fed ~gid ~protocol] opens the root span. [protocol] is the
     stable observability name ("2pc", "2pc-pa", "after", "before", "mlt",
-    "hybrid") used as the histogram label. *)
+    "hybrid") used as the histogram label. Call it after the journal is
+    open: the run's coordinator actor ({!coordinator_actor}) is resolved
+    from the gid's registered shard route. *)
 val obs_begin : Federation.t -> gid:int -> protocol:string -> obs
+
+(** The run's coordinator actor for traces and spans: "shard-<i>" on the
+    single-shard fast path of a sharded federation, "central" otherwise. *)
+val coordinator_actor : obs -> string
 
 (** [obs_phase fed obs ~gid ?actor phase f] runs [f span] inside a [Phase]
     span (child of the run's [Txn] span; [span] is its id, for parenting
     per-branch work) and records the phase duration in the
     [icdb_phase_time{protocol, phase}] histogram. The span is closed and
     the duration recorded even when [f] raises (central-crash injection);
-    the exception is re-raised. [actor] defaults to ["central"]. *)
+    the exception is re-raised. [actor] defaults to the run's coordinator
+    actor. *)
 val obs_phase :
   Federation.t -> obs -> gid:int -> ?actor:string -> Icdb_obs.Span.phase ->
   (int -> 'a) -> 'a
 
-(** Instant marking the commit/abort decision point. *)
-val obs_decision : Federation.t -> gid:int -> commit:bool -> unit
+(** Instant marking the commit/abort decision point, at the run's
+    coordinator actor. *)
+val obs_decision : Federation.t -> obs -> gid:int -> commit:bool -> unit
 
 (** Result of executing one branch's program (transaction left running). *)
 type exec_status = Exec_ok of Db.txn | Exec_failed of Db.abort_reason

@@ -13,9 +13,12 @@ let run (fed : Federation.t) (spec : Global.spec) =
   let gid = spec.gid in
   let start = Sim.now fed.engine in
   Metrics.txn_started fed.metrics;
-  Federation.journal_open fed ~gid ~protocol:"2pc";
+  Federation.journal_open_routed fed
+    ~sites:(List.map (fun (b : Global.branch) -> b.site) spec.branches)
+    ~gid ~protocol:"2pc";
   let obs = obs_begin fed ~gid ~protocol:"2pc" in
-  Trace.record fed.trace ~actor:"central" (ev gid "running");
+  let coord = coordinator_actor obs in
+  Trace.record fed.trace ~actor:coord (ev gid "running");
   let unsupported =
     List.find_opt
       (fun (b : Global.branch) ->
@@ -49,9 +52,9 @@ let run (fed : Federation.t) (spec : Global.spec) =
     (match exec_failure with
     | Some cause ->
       (* No commit protocol needed: abort the survivors directly. *)
-      Trace.record fed.trace ~actor:"central" (ev gid "decision:abort");
+      Trace.record fed.trace ~actor:coord (ev gid "decision:abort");
       Federation.journal_decide fed ~gid ~commit:false;
-      obs_decision fed ~gid ~commit:false;
+      obs_decision fed obs ~gid ~commit:false;
       obs_phase fed obs ~gid Span.Local_commit (fun _ ->
           ignore
             (fanout fed
@@ -72,7 +75,7 @@ let run (fed : Federation.t) (spec : Global.spec) =
       finish fed ~gid ~start ~obs (Aborted cause)
     | None ->
       (* Phase 1: the inquiry. Locals enter the ready state. *)
-      Trace.record fed.trace ~actor:"central" (ev gid "inquire");
+      Trace.record fed.trace ~actor:coord (ev gid "inquire");
       let votes =
         obs_phase fed obs ~gid Span.Vote (fun _ ->
             fanout fed
@@ -109,10 +112,10 @@ let run (fed : Federation.t) (spec : Global.spec) =
       in
       fed.central_fail ~gid "voted";
       let decide_commit = Option.is_none abort_cause in
-      Trace.record fed.trace ~actor:"central"
+      Trace.record fed.trace ~actor:coord
         (ev gid (if decide_commit then "decision:commit" else "decision:abort"));
       Federation.journal_decide fed ~gid ~commit:decide_commit;
-      obs_decision fed ~gid ~commit:decide_commit;
+      obs_decision fed obs ~gid ~commit:decide_commit;
       fed.central_fail ~gid "decided";
       (* Phase 2: apply the decision at every site in the ready state. A
          crashed participant holds the transaction in doubt; the decision

@@ -1,4 +1,5 @@
 module Sim = Icdb_sim.Engine
+module Fiber = Icdb_sim.Fiber
 module Rng = Icdb_util.Rng
 module Table = Icdb_util.Table
 module Site = Icdb_net.Site
@@ -26,13 +27,18 @@ let horizon = 300.0
    balance is an atomicity invariant, a healthy intended-abort rate so the
    compensation paths run, and short local lock waits so in-doubt locals
    stall neighbours briefly instead of forever. *)
-let base_config ?(sim_domains = 1) protocol ~seed =
+let base_config ?(sim_domains = 1) ?(shards = 1) protocol ~seed =
   {
     Runner.default with
     protocol;
     seed;
     sim_domains;
-    n_sites = 3;
+    shards;
+    (* four sites shard evenly into 2 or 4; a healthy cross-shard rate so
+       both the fast path and the two-level round face the chaos. With
+       [shards = 1] every field below equals the pre-sharding config. *)
+    n_sites = (if shards > 1 then 4 else 3);
+    cross_shard_fraction = (if shards > 1 then 0.25 else 0.0);
     accounts_per_site = 12;
     initial_balance = 500;
     n_txns = 40;
@@ -52,8 +58,13 @@ let inject (fed : Federation.t) kind =
   Tracer.instant fed.tracer ~actor:"fault" (Span.Mark ("fault:" ^ kind))
 
 (* Arm every event of the plan against a freshly built federation. Runs as
-   the runner's [on_setup] hook: time 0, nothing spawned yet. *)
-let arm engine (fed : Federation.t) ~base_latency ~base_loss ~mlt (plan : Plan.t) =
+   the runner's [on_setup] hook: time 0, nothing spawned yet. Shards whose
+   coordinator a [Shard_crash] takes down are pushed onto [crashed]: their
+   restart recovery must run at drain, like central recovery — a mid-run
+   [recover_shard] would presume abort on transactions whose coordinator
+   fibers are still alive. *)
+let arm engine (fed : Federation.t) ~base_latency ~base_loss ~mlt ~crashed
+    (plan : Plan.t) =
   let n_sites = List.length fed.sites in
   let site_of idx = snd (List.nth fed.sites (idx mod n_sites)) in
   let gid_base = fed.next_gid in
@@ -99,7 +110,21 @@ let arm engine (fed : Federation.t) ~base_latency ~base_loss ~mlt (plan : Plan.t
                Link.set_duplication link probability));
         ignore
           (Sim.schedule engine ~delay:(at +. duration) (fun () ->
-               Link.set_duplication link 0.0)))
+               Link.set_duplication link 0.0))
+      | Shard_crash { shard; at; duration } ->
+        if Federation.sharded fed then begin
+          let shard = shard mod Array.length fed.shards in
+          let coord = Federation.site fed fed.shards.(shard).sh_coord in
+          ignore
+            (Sim.schedule engine ~delay:at (fun () ->
+                 inject fed "shard-crash";
+                 (* the coordinator site goes down and the shard's volatile
+                    CC/L1 state dies with it; restart recovery runs at
+                    drain, once the in-flight fibers have settled *)
+                 Federation.shard_crash fed ~shard;
+                 crashed := shard :: !crashed;
+                 if Site.is_up coord then Site.crash_for coord ~duration))
+        end)
     plan.events;
   if Hashtbl.length armed > 0 then begin
     let fired : (int, unit) Hashtbl.t = Hashtbl.create 7 in
@@ -295,20 +320,22 @@ type outcome = {
    forensic read, negligible memory. *)
 let flight_capacity = 512
 
-let run_plan ?registry ?(seed = 42L) ?sim_domains ?extra_setup ~protocol
+let run_plan ?registry ?(seed = 42L) ?sim_domains ?shards ?extra_setup ~protocol
     (plan : Plan.t) =
-  let cfg = base_config ?sim_domains protocol ~seed in
+  let cfg = base_config ?sim_domains ?shards protocol ~seed in
   let mlt = not (Protocol.is_flat protocol) in
   let killed = ref 0 in
   let fed_ref = ref None in
   let monitor_ref = ref None in
   let recover2 = ref None in
   let drain_error = ref None in
+  let crashed_shards = ref [] in
   (* The runner re-points the clock onto its own engine. *)
   let tracer = Tracer.create ~enabled:true ~limit:flight_capacity ~clock:(fun () -> 0.0) () in
   let on_setup engine (fed : Federation.t) =
     fed_ref := Some fed;
-    arm engine fed ~base_latency:cfg.latency ~base_loss:cfg.message_loss ~mlt plan;
+    arm engine fed ~base_latency:cfg.latency ~base_loss:cfg.message_loss ~mlt
+      ~crashed:crashed_shards plan;
     monitor_ref :=
       Some
         (Monitor.attach fed ~finished:(fun () ->
@@ -338,6 +365,14 @@ let run_plan ?registry ?(seed = 42L) ?sim_domains ?extra_setup ~protocol
          invariant probes must not trip the hook again. *)
       fed.central_fail <- (fun ~gid:_ _ -> ());
       try
+        (* Per-shard restart recovery first, for every shard whose
+           coordinator crashed: resolves its fast-path entries and any
+           cross-shard mirror whose top decision is logged. The full
+           recovery then settles what's left — the two are promised to
+           compose idempotently. *)
+        List.iter
+          (fun shard -> ignore (Central_recovery.recover_shard fed ~shard))
+          (List.sort_uniq compare !crashed_shards);
         ignore (Central_recovery.recover fed);
         (* Recovering twice is promised to be a no-op — check it every run. *)
         recover2 := Some (Central_recovery.recover fed)
@@ -377,8 +412,8 @@ let run_plan ?registry ?(seed = 42L) ?sim_domains ?extra_setup ~protocol
 
 (* Greedy minimisation: drop one event at a time as long as the plan still
    violates; fixpoint is a locally minimal reproducer. *)
-let shrink ?(seed = 42L) ?sim_domains ~protocol (plan : Plan.t) =
-  let violates p = (run_plan ~seed ?sim_domains ~protocol p).violations <> [] in
+let shrink ?(seed = 42L) ?sim_domains ?shards ~protocol (plan : Plan.t) =
+  let violates p = (run_plan ~seed ?sim_domains ?shards ~protocol p).violations <> [] in
   let rec go plan =
     let n = Plan.length plan in
     let rec try_remove i =
@@ -404,12 +439,17 @@ type protocol_stats = {
 
 let plan_seed ~seed i = Int64.add seed (Int64.mul 1000003L (Int64.of_int i))
 
-let run_protocol ?(shrink_failures = false) ?(seed = 42L) ?sim_domains ~plans
+let run_protocol ?(shrink_failures = false) ?(seed = 42L) ?sim_domains ?shards ~plans
     protocol =
-  let cfg = base_config ?sim_domains protocol ~seed in
+  let cfg = base_config ?sim_domains ?shards protocol ~seed in
+  let classes =
+    match shards with
+    | Some s when s > 1 -> Plan.fault_classes_sharded
+    | _ -> Plan.fault_classes
+  in
   let failures = ref [] in
   let events = ref 0 in
-  let by_class = List.map (fun c -> (c, ref 0)) Plan.fault_classes in
+  let by_class = List.map (fun c -> (c, ref 0)) classes in
   let trip_tally : (string, int * float) Hashtbl.t = Hashtbl.create 4 in
   let tally_trips outcome =
     List.iter
@@ -424,18 +464,18 @@ let run_protocol ?(shrink_failures = false) ?(seed = 42L) ?sim_domains ~plans
   in
   for i = 0 to plans - 1 do
     let plan =
-      Plan.generate ~seed:(plan_seed ~seed i) ~n_sites:cfg.n_sites ~n_txns:cfg.n_txns
-        ~horizon
+      Plan.generate ?shards ~seed:(plan_seed ~seed i) ~n_sites:cfg.n_sites
+        ~n_txns:cfg.n_txns ~horizon ()
     in
     events := !events + Plan.length plan;
     List.iter (fun e -> incr (List.assoc (Plan.classify e) by_class)) plan.events;
-    let outcome = run_plan ~seed ?sim_domains ~protocol plan in
+    let outcome = run_plan ~seed ?sim_domains ?shards ~protocol plan in
     tally_trips outcome;
     if outcome.violations <> [] then begin
       let outcome =
         if shrink_failures then
-          run_plan ~seed ?sim_domains ~protocol
-            (shrink ~seed ?sim_domains ~protocol plan)
+          run_plan ~seed ?sim_domains ?shards ~protocol
+            (shrink ~seed ?sim_domains ?shards ~protocol plan)
         else outcome
       in
       failures := outcome :: !failures
@@ -452,16 +492,23 @@ let run_protocol ?(shrink_failures = false) ?(seed = 42L) ?sim_domains ~plans
       |> List.sort compare;
   }
 
-let run_campaign ?shrink_failures ?seed ?sim_domains ~plans protocols =
-  List.map (run_protocol ?shrink_failures ?seed ?sim_domains ~plans) protocols
+let run_campaign ?shrink_failures ?seed ?sim_domains ?shards ~plans protocols =
+  List.map (run_protocol ?shrink_failures ?seed ?sim_domains ?shards ~plans) protocols
 
 let stats_table ~plans ~seed stats =
+  (* column set follows the campaign's class tally: the plain 5 classes
+     unsharded, + shard-crash when the campaign ran sharded *)
+  let classes =
+    match stats with
+    | s :: _ -> List.map fst s.cp_by_class
+    | [] -> Plan.fault_classes
+  in
   let tbl =
     Table.create
       ~title:
         (Printf.sprintf "R1: fault-injection campaign (%d plans/protocol, seed %Ld)"
            plans seed)
-      ([ "protocol"; "plans"; "events" ] @ Plan.fault_classes @ [ "violations" ])
+      ([ "protocol"; "plans"; "events" ] @ classes @ [ "violations" ])
   in
   List.iter
     (fun s ->
@@ -471,9 +518,7 @@ let stats_table ~plans ~seed stats =
            string_of_int s.cp_plans;
            string_of_int s.cp_events;
          ]
-        @ List.map
-            (fun c -> string_of_int (List.assoc c s.cp_by_class))
-            Plan.fault_classes
+        @ List.map (fun c -> string_of_int (List.assoc c s.cp_by_class)) classes
         @ [ string_of_int (List.length s.cp_failures) ]))
     stats;
   tbl
@@ -501,8 +546,8 @@ let trips_summary stats =
     "monitor first trips (plans tripped, earliest virtual time):\n"
     ^ String.concat "\n" lines ^ "\n"
 
-let experiment_r1 ?(plans = 25) ?(seed = 42L) ?sim_domains () =
-  let stats = run_campaign ~seed ?sim_domains ~plans Protocol.all in
+let experiment_r1 ?(plans = 25) ?(seed = 42L) ?sim_domains ?shards () =
+  let stats = run_campaign ~seed ?sim_domains ?shards ~plans Protocol.all in
   Table.print (stats_table ~plans ~seed stats);
   (match trips_summary stats with
   | "" -> ()

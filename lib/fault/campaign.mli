@@ -14,9 +14,11 @@ exception Central_crash_injected
 (** Fixed chaos workload for one protocol (small federation, hot accounts,
     commuting increments, intended aborts). [sim_domains] (default 1)
     partitions the simulation over that many domains — outcomes, summaries
-    and invariant verdicts are byte-identical for any value. *)
+    and invariant verdicts are byte-identical for any value. [shards]
+    (default 1) runs the chaos workload on a sharded federation (4 sites, a
+    25% cross-shard rate); 1 keeps the exact pre-sharding config. *)
 val base_config :
-  ?sim_domains:int -> Icdb_workload.Protocol.t -> seed:int64 ->
+  ?sim_domains:int -> ?shards:int -> Icdb_workload.Protocol.t -> seed:int64 ->
   Icdb_workload.Runner.config
 
 (** Virtual-time window plan events are drawn from. *)
@@ -64,6 +66,7 @@ val run_plan :
   ?registry:Icdb_obs.Registry.t ->
   ?seed:int64 ->
   ?sim_domains:int ->
+  ?shards:int ->
   ?extra_setup:(Icdb_sim.Engine.t -> Icdb_core.Federation.t -> unit) ->
   protocol:Icdb_workload.Protocol.t ->
   Plan.t ->
@@ -71,8 +74,8 @@ val run_plan :
 
 (** Greedy one-event-removal minimisation of a violating plan, to fixpoint. *)
 val shrink :
-  ?seed:int64 -> ?sim_domains:int -> protocol:Icdb_workload.Protocol.t ->
-  Plan.t -> Plan.t
+  ?seed:int64 -> ?sim_domains:int -> ?shards:int ->
+  protocol:Icdb_workload.Protocol.t -> Plan.t -> Plan.t
 
 type protocol_stats = {
   cp_protocol : Icdb_workload.Protocol.t;
@@ -93,6 +96,7 @@ val run_protocol :
   ?shrink_failures:bool ->
   ?seed:int64 ->
   ?sim_domains:int ->
+  ?shards:int ->
   plans:int ->
   Icdb_workload.Protocol.t ->
   protocol_stats
@@ -101,6 +105,7 @@ val run_campaign :
   ?shrink_failures:bool ->
   ?seed:int64 ->
   ?sim_domains:int ->
+  ?shards:int ->
   plans:int ->
   Icdb_workload.Protocol.t list ->
   protocol_stats list
@@ -118,4 +123,5 @@ val trips_summary : protocol_stats list -> string
 (** Experiment R1: the campaign over all six protocols (expected all-zero
     violation column). Prints the table plus any violating plans. *)
 val experiment_r1 :
-  ?plans:int -> ?seed:int64 -> ?sim_domains:int -> unit -> protocol_stats list
+  ?plans:int -> ?seed:int64 -> ?sim_domains:int -> ?shards:int -> unit ->
+  protocol_stats list

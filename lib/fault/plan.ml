@@ -6,6 +6,7 @@ type event =
   | Loss_burst of { site : int; at : float; duration : float; loss : float }
   | Latency_spike of { site : int; at : float; duration : float; factor : float }
   | Duplication of { site : int; at : float; duration : float; probability : float }
+  | Shard_crash of { shard : int; at : float; duration : float }
 
 type t = { plan_seed : int64; events : event list }
 
@@ -29,8 +30,13 @@ let classify = function
   | Loss_burst _ -> "loss"
   | Latency_spike _ -> "latency"
   | Duplication _ -> "duplication"
+  | Shard_crash _ -> "shard-crash"
 
 let fault_classes = [ "site-crash"; "central-crash"; "loss"; "latency"; "duplication" ]
+
+(* The sharded campaign's extra column; kept out of [fault_classes] so the
+   unsharded R1 table keeps its exact pre-sharding shape. *)
+let fault_classes_sharded = fault_classes @ [ "shard-crash" ]
 
 let pp_event ppf = function
   | Site_crash { site; at; duration } ->
@@ -45,6 +51,8 @@ let pp_event ppf = function
   | Duplication { site; at; duration; probability } ->
     Format.fprintf ppf "duplication site=%d at=%.1f dur=%.1f p=%.2f" site at duration
       probability
+  | Shard_crash { shard; at; duration } ->
+    Format.fprintf ppf "shard-crash shard=%d at=%.1f dur=%.1f" shard at duration
 
 let pp ppf t =
   Format.fprintf ppf "plan seed=%Ld events=%d" t.plan_seed (List.length t.events);
@@ -55,10 +63,13 @@ let to_string t = Format.asprintf "%a" pp t
 (* Seeded generator. Event times land inside [0, horizon); durations are
    short relative to the horizon so faults overlap the workload rather than
    outlasting it. *)
-let gen_event rng ~n_sites ~n_txns ~horizon =
+let gen_event rng ~n_sites ~n_txns ~horizon ~shards =
   let site = Rng.int rng n_sites in
   let at = Rng.float rng horizon in
-  match Rng.int rng 5 with
+  (* The sixth arm exists only for sharded federations; when [shards <= 1]
+     the draw stays the exact 5-way [Rng.int rng 5] of the unsharded
+     generator, so pre-sharding plans are reproduced byte for byte. *)
+  match Rng.int rng (if shards > 1 then 6 else 5) with
   | 0 -> Site_crash { site; at; duration = 10.0 +. Rng.float rng 40.0 }
   | 1 -> Central_crash { txn = Rng.int rng n_txns; phase_idx = Rng.int rng n_phases }
   | 2 ->
@@ -72,7 +83,7 @@ let gen_event rng ~n_sites ~n_txns ~horizon =
         duration = 10.0 +. Rng.float rng 30.0;
         factor = 2.0 +. Rng.float rng 8.0;
       }
-  | _ ->
+  | 4 ->
     Duplication
       {
         site;
@@ -80,13 +91,14 @@ let gen_event rng ~n_sites ~n_txns ~horizon =
         duration = 10.0 +. Rng.float rng 30.0;
         probability = 0.1 +. Rng.float rng 0.4;
       }
+  | _ -> Shard_crash { shard = site mod shards; at; duration = 10.0 +. Rng.float rng 40.0 }
 
-let generate ~seed ~n_sites ~n_txns ~horizon =
+let generate ?(shards = 1) ~seed ~n_sites ~n_txns ~horizon () =
   let rng = Rng.create seed in
   let n_events = Rng.int rng 7 in
   {
     plan_seed = seed;
-    events = List.init n_events (fun _ -> gen_event rng ~n_sites ~n_txns ~horizon);
+    events = List.init n_events (fun _ -> gen_event rng ~n_sites ~n_txns ~horizon ~shards);
   }
 
 let remove_nth t n =

@@ -22,6 +22,12 @@ type event =
       (** multiply the site link's latency by [factor] during the window *)
   | Duplication of { site : int; at : float; duration : float; probability : float }
       (** deliver each message twice with [probability] during the window *)
+  | Shard_crash of { shard : int; at : float; duration : float }
+      (** crash shard [shard mod shards]'s coordinator at [at]: its site
+          goes down for [duration], its volatile CC/L1 state is wiped
+          ({!Icdb_core.Federation.shard_crash}), and per-shard restart
+          recovery runs once the site is back. Only generated for sharded
+          federations *)
 
 type t = { plan_seed : int64; events : event list }
 
@@ -41,13 +47,21 @@ val n_phases : int
 val classify : event -> string
 
 val fault_classes : string list
+
+(** [fault_classes] plus ["shard-crash"] — the sharded campaign's table
+    columns; kept separate so the unsharded R1 table is unchanged. *)
+val fault_classes_sharded : string list
+
 val pp_event : Format.formatter -> event -> unit
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 
-(** [generate ~seed ~n_sites ~n_txns ~horizon] draws 0–6 events from the
-    seed. Deterministic. *)
-val generate : seed:int64 -> n_sites:int -> n_txns:int -> horizon:float -> t
+(** [generate ~seed ~n_sites ~n_txns ~horizon ()] draws 0–6 events from the
+    seed. Deterministic. With [shards] > 1 the event space gains
+    {!Shard_crash} (a 6-way draw); the default keeps the exact pre-sharding
+    5-way draw sequence, reproducing historical plans byte for byte. *)
+val generate :
+  ?shards:int -> seed:int64 -> n_sites:int -> n_txns:int -> horizon:float -> unit -> t
 
 (** Plan with the [n]-th event removed (shrinking step). *)
 val remove_nth : t -> int -> t

@@ -53,6 +53,17 @@ type config = {
   sim_domains : int;
       (* partition the simulation over this many domains (1 = the plain
          sequential engine, byte-identical output either way) *)
+  shards : int;
+      (* group the sites into this many shards, each with its own
+         coordinator, journal and decision log; 1 = the unsharded
+         federation, byte-identical to the pre-sharding runner *)
+  cross_shard_fraction : float;
+      (* probability that a generated transaction deliberately spans at
+         least two shards; the rest stay within one shard and take the
+         single-shard fast path (ignored when [shards <= 1]) *)
+  decision_force_time : float option;
+      (* serial decision-log device: each force at a coordinator occupies
+         its log head for this long (see {!Federation.create}) *)
 }
 
 let default =
@@ -90,6 +101,9 @@ let default =
     msg_batch_window = None;
     central_gc_window = None;
     sim_domains = 1;
+    shards = 1;
+    cross_shard_fraction = 0.0;
+    decision_force_time = None;
   }
 
 type report = {
@@ -128,6 +142,8 @@ type report = {
   batch_envelopes : int;
   batch_occupancy_mean : float;
   central_log_forces : int;
+  shard_log_forces : int;
+  shard_decisions : int;
 }
 
 let site_name i = Printf.sprintf "site-%d" i
@@ -189,18 +205,60 @@ let balanced_deltas rng ~n =
 (* Site and account name strings are formatted once per run and indexed
    thereafter: the generators run per transaction, and formatting every
    object name was one of the top per-transaction allocators. *)
-type names = { ns_sites : string array; ns_accounts : string array }
+type names = {
+  ns_sites : string array;
+  ns_accounts : string array;
+  ns_shards : int array array;
+      (* site indices per shard, [Federation.create]'s contiguous-range
+         mapping; [||] when the run is unsharded *)
+}
 
 let make_names cfg =
   {
     ns_sites = Array.init cfg.n_sites site_name;
     ns_accounts = Array.init cfg.accounts_per_site account_name;
+    ns_shards =
+      (if cfg.shards <= 1 then [||]
+       else
+         Array.init cfg.shards (fun s ->
+             Array.of_list
+               (List.filter
+                  (fun i -> i * cfg.shards / cfg.n_sites = s)
+                  (List.init cfg.n_sites Fun.id))));
   }
+
+(* Shard-aware site placement. A single-shard transaction samples all its
+   branches inside one uniformly chosen shard (→ the fast path); a
+   cross-shard one spreads its branches round-robin over distinct shards so
+   "cross" deterministically means cross. Only reached when [shards > 1]:
+   the unsharded generator keeps its exact pre-sharding draw sequence. *)
+let sharded_sites cfg names rng ~branches_n =
+  let shards = Array.length names.ns_shards in
+  let within members n =
+    let n = min n (Array.length members) in
+    List.map (fun i -> members.(i)) (Rng.sample_distinct rng ~n ~bound:(Array.length members))
+  in
+  if branches_n > 1 && Rng.bernoulli rng cfg.cross_shard_fraction then begin
+    let k = min branches_n shards in
+    let shard_ids = Rng.sample_distinct rng ~n:k ~bound:shards in
+    let quota = Array.make shards 0 in
+    List.iteri
+      (fun b _ ->
+        let s = List.nth shard_ids (b mod k) in
+        quota.(s) <- quota.(s) + 1)
+      (List.init branches_n Fun.id);
+    List.concat_map (fun s -> within names.ns_shards.(s) quota.(s)) shard_ids
+  end
+  else within names.ns_shards.(Rng.int rng shards) branches_n
 
 let flat_spec cfg names fed rng zipf =
   let gid = Federation.fresh_gid fed in
   let branches_n = min cfg.branches_per_txn cfg.n_sites in
-  let sites = Rng.sample_distinct rng ~n:branches_n ~bound:cfg.n_sites in
+  let sites =
+    if cfg.shards <= 1 then Rng.sample_distinct rng ~n:branches_n ~bound:cfg.n_sites
+    else sharded_sites cfg names rng ~branches_n
+  in
+  let branches_n = List.length sites in
   let abort_branch =
     if Rng.bernoulli rng cfg.p_intended_abort then Some (Rng.int rng branches_n) else None
   in
@@ -226,7 +284,11 @@ let flat_spec cfg names fed rng zipf =
 let mlt_spec cfg names fed rng zipf =
   let gid = Federation.fresh_gid fed in
   let branches_n = min cfg.branches_per_txn cfg.n_sites in
-  let sites = Rng.sample_distinct rng ~n:branches_n ~bound:cfg.n_sites in
+  let sites =
+    if cfg.shards <= 1 then Rng.sample_distinct rng ~n:branches_n ~bound:cfg.n_sites
+    else sharded_sites cfg names rng ~branches_n
+  in
+  let branches_n = List.length sites in
   let n_ops = branches_n * cfg.ops_per_branch in
   let deltas = if cfg.use_increments then balanced_deltas rng ~n:n_ops else [||] in
   let actions =
@@ -278,6 +340,10 @@ let phase_breakdown registry ~protocol =
 let run ?registry ?tracer ?on_setup ?on_txn_exn ?on_drain cfg =
   if cfg.n_sites <= 0 || cfg.n_txns < 0 || cfg.concurrency <= 0 then
     invalid_arg "Runner.run: bad configuration";
+  if cfg.shards < 1 || cfg.shards > cfg.n_sites then
+    invalid_arg "Runner.run: shards must be in 1..n_sites";
+  if cfg.cross_shard_fraction < 0.0 || cfg.cross_shard_fraction > 1.0 then
+    invalid_arg "Runner.run: cross_shard_fraction must be in [0,1]";
   (* One engine per partition: partition 0 holds the central system (and
      everything when unpartitioned), sites round-robin over the rest. The
      scheduler executes in the exact global (time, seq) order whatever the
@@ -294,13 +360,19 @@ let run ?registry ?tracer ?on_setup ?on_txn_exn ?on_drain cfg =
   let configs = List.init cfg.n_sites (site_config cfg) in
   let site_engines =
     Array.init cfg.n_sites (fun i ->
-        if n_parts = 1 then engine else engines.(1 + (i mod (n_parts - 1))))
+        if n_parts = 1 then engine
+        else if cfg.shards > 1 then
+          (* the shard is the natural partition: a single-shard fast-path
+             round then runs entirely on the partition owning the shard *)
+          engines.(1 + (i * cfg.shards / cfg.n_sites mod (n_parts - 1)))
+        else engines.(1 + (i mod (n_parts - 1))))
   in
   let fed =
     Federation.create engine ~site_engines ~latency:cfg.latency
       ~loss:cfg.message_loss ?registry ?tracer
       ~msg_batch_window:cfg.msg_batch_window
-      ~central_gc_window:cfg.central_gc_window configs
+      ~central_gc_window:cfg.central_gc_window ~shards:cfg.shards
+      ~decision_force_time:cfg.decision_force_time configs
   in
   (* On a shared registry the per-run counters may hold a previous run's
      totals; start this run from zero. (Labelled metrics — phase latencies,
@@ -435,7 +507,7 @@ let run ?registry ?tracer ?on_setup ?on_txn_exn ?on_drain cfg =
     money_conserved = money_after = money_before;
     serializable = violations = [];
     violations = List.map (Format.asprintf "%a" Graph.pp_violation) violations;
-    decision_log_entries = Hashtbl.length fed.decision_log;
+    decision_log_entries = Federation.decision_log_size fed;
     log_forces = sum (fun db -> Icdb_wal.Log.force_count (Db.wal db));
     log_forces_per_commit =
       (if committed > 0 then
@@ -451,4 +523,6 @@ let run ?registry ?tracer ?on_setup ?on_txn_exn ?on_drain cfg =
     batch_envelopes = Federation.batch_envelopes fed;
     batch_occupancy_mean = Federation.batch_occupancy_mean fed;
     central_log_forces = Federation.central_log_forces fed;
+    shard_log_forces = Federation.shard_log_forces fed;
+    shard_decisions = Federation.shard_decisions fed;
   }

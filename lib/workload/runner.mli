@@ -61,6 +61,27 @@ type config = {
           ({!Icdb_sim.Parallel}). Reports, traces and metrics are
           byte-identical for every value; 1 (the default) runs today's
           sequential engine with no coupling at all *)
+  shards : int;
+      (** group the federation's sites into this many shards, each with its
+          own coordinator site, journal, decision log and batcher
+          ({!Icdb_core.Federation.create}). A transaction whose branches
+          all land in one shard commits in a purely local round at its
+          shard coordinator; cross-shard transactions run a top-level round
+          over the participating shard coordinators. 1 (the default) is the
+          unsharded federation, byte-identical to the pre-sharding runner.
+          Must lie in [1..n_sites]. When sharded, the shard (not the site)
+          is the unit of [sim_domains] placement *)
+  cross_shard_fraction : float;
+      (** probability a generated transaction deliberately spans at least
+          two shards (round-robin over distinct shards); the rest sample
+          all their branches inside one uniformly chosen shard. In [0,1];
+          ignored when [shards <= 1] *)
+  decision_force_time : float option;
+      (** model the decision log as a serial device: every force occupies
+          its coordinator's log head for this long, so with [shards = S]
+          the federation has S+1 independent log heads instead of one —
+          the contention sharding relieves. [None] (default) keeps forces
+          instantaneous; ignored when [central_gc_window] is set *)
 }
 
 val default : config
@@ -109,7 +130,14 @@ type report = {
   batch_occupancy_mean : float;  (** logical messages per envelope *)
   central_log_forces : int;
       (** central decision-log forces: shared group-commit forces when
-          [central_gc_window] is on, one per decision otherwise *)
+          [central_gc_window] is on, one per decision otherwise. In a
+          sharded run only cross-shard transactions force here *)
+  shard_log_forces : int;
+      (** decision-log forces summed over the shard coordinators (same
+          group-commit accounting as [central_log_forces]); 0 unsharded *)
+  shard_decisions : int;
+      (** decisions recorded at shard coordinators — fast-path decisions
+          plus cross-shard mirrors; 0 unsharded *)
 }
 
 (** [run config] builds the federation, runs the workload to completion and

@@ -94,10 +94,10 @@ let test_corpus protocol () = List.iter (check_clean ~protocol) corpus
 (* --- plan generation --- *)
 
 let test_generate_deterministic () =
-  let gen () = Plan.generate ~seed:99L ~n_sites:3 ~n_txns:40 ~horizon:300.0 in
+  let gen () = Plan.generate ~seed:99L ~n_sites:3 ~n_txns:40 ~horizon:300.0 () in
   Alcotest.(check string) "same seed, same plan" (Plan.to_string (gen ()))
     (Plan.to_string (gen ()));
-  let other = Plan.generate ~seed:100L ~n_sites:3 ~n_txns:40 ~horizon:300.0 in
+  let other = Plan.generate ~seed:100L ~n_sites:3 ~n_txns:40 ~horizon:300.0 () in
   Alcotest.(check bool) "different seed, different plan" true
     (Plan.to_string (gen ()) <> Plan.to_string other)
 
