@@ -185,6 +185,26 @@ let sharding_section text =
       | Some s, Some c, Some v -> Some (Printf.sprintf "s%.0f-x%.0f" s c, v)
       | _ -> None)
 
+(* "paxos" rows share the "overhead" rows' leading field, but only they
+   carry "acceptors", which the key requires — so the overhead rows fall
+   out of the match. Two entries per row: msgs and decision forces per
+   commit, both costs (lower is better, the default direction). *)
+let paxos_section text =
+  rows_section text "{\"protocol\":\"" (fun line ->
+      match
+        (str_field line "protocol", num_field line "acceptors", num_field line "msgs_per_commit")
+      with
+      | Some p, Some a, Some v -> Some (Printf.sprintf "%s-a%.0f-msgs" p a, v)
+      | _ -> None)
+  @ rows_section text "{\"protocol\":\"" (fun line ->
+        match
+          ( str_field line "protocol",
+            num_field line "acceptors",
+            num_field line "decision_forces_per_commit" )
+        with
+        | Some p, Some a, Some v -> Some (Printf.sprintf "%s-a%.0f-forces" p a, v)
+        | _ -> None)
+
 let host_cores text =
   List.assoc_opt "host_cores" (section text "\"parallel\": {")
 
@@ -247,6 +267,7 @@ let () =
     | _ -> ());
     compare_section ~higher_is_better:true "sharding" "t/ktu" (sharding_section base_text)
       (sharding_section fresh_text);
+    compare_section "paxos" "per-ct" (paxos_section base_text) (paxos_section fresh_text);
     if !failures > 0 then begin
       Printf.printf "\n%d entr(ies) regressed by more than %.1fx\n" !failures !max_ratio;
       exit 1

@@ -222,6 +222,54 @@ let overhead_snapshot () =
       (protocol, run None, run (Some 3.0)))
     Protocol.all
 
+(* --- Paxos Commit decision-log cost --------------------------------------
+
+   Per-protocol fixed-spec lab with a single-coordinator decision log
+   ([acceptors = 1]) and a 2F+1 acceptor group ([acceptors = 3]). Every
+   column is virtual-time and fixed-seed, so like "sharding" this section
+   is byte-stable: any drift against BASELINE.json is a behavior change,
+   not noise. [forces] counts decision-record stable writes — central log
+   plus acceptor logs — per commit, the write amplification replication
+   pays for non-blocking recovery. *)
+
+type paxos_row = {
+  x_protocol : string;
+  x_acceptors : int;
+  x_msgs_per_commit : float;
+  x_decision_forces_per_commit : float;
+  x_committed : int;
+}
+
+let paxos_snapshot () =
+  List.concat_map
+    (fun protocol ->
+      List.map
+        (fun acceptors ->
+          let r = Overhead.run { Overhead.default with protocol; acceptors } in
+          let forces = r.Overhead.central_log_forces + r.Overhead.paxos_acceptor_forces in
+          {
+            x_protocol = Protocol.name protocol;
+            x_acceptors = acceptors;
+            x_msgs_per_commit = r.messages_per_committed;
+            x_decision_forces_per_commit =
+              (if r.committed > 0 then float_of_int forces /. float_of_int r.committed
+               else 0.0);
+            x_committed = r.committed;
+          })
+        [ 1; 3 ])
+    Protocol.all
+
+let print_paxos rows =
+  print_endline "Paxos Commit decision-log cost (fixed specs, virtual time)";
+  print_endline "----------------------------------------------------------";
+  List.iter
+    (fun r ->
+      Printf.printf "%-10s acceptors=%d %8.2f msg/commit %6.2f decision forces/commit %5d committed\n"
+        r.x_protocol r.x_acceptors r.x_msgs_per_commit r.x_decision_forces_per_commit
+        r.x_committed)
+    rows;
+  print_newline ()
+
 (* --- pure scheduler kernel ----------------------------------------------
 
    The classic hold model on the event queue alone, no federation: prefill
@@ -538,7 +586,7 @@ let print_scaling rows =
 (* Machine-readable companion to the human table: kernel name -> ms/run plus
    the virtual-time phase-latency breakdown, so future changes have both a
    perf and a behavior trajectory to compare against. *)
-let write_bench_json path rows phases overhead alloc trace scaling parallel sharding =
+let write_bench_json path rows phases overhead alloc trace scaling parallel sharding paxos =
   let esc = Icdb_obs.Export.json_escape in
   let oc = open_out path in
   output_string oc "{\n  \"kernels\": {\n";
@@ -620,6 +668,16 @@ let write_bench_json path rows phases overhead alloc trace scaling parallel shar
         r.sh_msgs_per_commit r.sh_top_forces r.sh_shard_forces
         (if i < last then "," else ""))
     sharding;
+  output_string oc "  ],\n  \"paxos\": [\n";
+  let last = List.length paxos - 1 in
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"protocol\":\"%s\",\"acceptors\":%d,\"msgs_per_commit\":%.3f,\"decision_forces_per_commit\":%.3f,\"committed\":%d}%s\n"
+        (esc r.x_protocol) r.x_acceptors r.x_msgs_per_commit
+        r.x_decision_forces_per_commit r.x_committed
+        (if i < last then "," else ""))
+    paxos;
   output_string oc "  ]\n}\n";
   close_out oc
 
@@ -659,6 +717,8 @@ let () =
   print_parallel parallel;
   let sharding = sharding_snapshot ~smoke in
   print_sharding sharding;
+  let paxos = paxos_snapshot () in
+  print_paxos paxos;
   write_bench_json "BENCH.json" rows (phase_snapshot ()) (overhead_snapshot ()) alloc
-    trace scaling parallel sharding;
+    trace scaling parallel sharding paxos;
   if not smoke then print_string (Experiments.run_all ~jobs:(jobs ()) ())

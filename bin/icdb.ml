@@ -36,6 +36,7 @@ let extra_experiments =
     ("r1", "fault-injection campaign: violations per protocol and fault class");
     ("s1", "scaling lab: committed-txns/sec and events/sec vs accounts x sites");
     ("s2", "sharding lab: committed-txns/sec vs shards x cross-shard fraction");
+    ("a1", "availability lab: Paxos Commit cost + blocking under a leader crash");
   ]
 
 let list_cmd =
@@ -65,7 +66,8 @@ let exp_cmd =
       & info [ "smoke" ]
           ~doc:
             "With $(b,s1) or $(b,s2), run the reduced CI-sized ladder instead of the \
-             full million-account one. Ignored by other experiments.")
+             full million-account one; with $(b,a1), the reduced availability lab. \
+             Ignored by other experiments.")
   in
   let trace_out =
     Arg.(
@@ -122,6 +124,7 @@ let exp_cmd =
       print_string (Scaling.run_s1 ~smoke ?trace ~sim_domains ())
     end
     else if id = "s2" then print_string (Sharding.run_s2 ~smoke ())
+    else if id = "a1" then print_string (Icdb_workload.Availability.run_a1 ~smoke ())
     else
       match Experiments.run id with
       | report -> print_string report
@@ -132,7 +135,8 @@ let exp_cmd =
   Cmd.v (Cmd.info "exp" ~doc)
     Term.(const run $ id $ jobs $ smoke $ trace_out $ trace_sample $ sim_domains)
 
-let report_to_string ?(central_gc = false) ?(sharded = false) (r : Runner.report) =
+let report_to_string ?(central_gc = false) ?(sharded = false) ?(paxos = false)
+    (r : Runner.report) =
   let b = Buffer.create 512 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
   line "elapsed (virtual time)     %.1f" r.elapsed;
@@ -159,6 +163,13 @@ let report_to_string ?(central_gc = false) ?(sharded = false) (r : Runner.report
   if sharded then begin
     line "top-level decision-log forces   %d" r.central_log_forces;
     line "shard decisions / log forces    %d / %d" r.shard_decisions r.shard_log_forces
+  end;
+  (* Paxos lines only when a group is installed: an acceptors=1 report
+     stays byte-identical to older builds. *)
+  if paxos then begin
+    line "paxos rounds / acceptor forces  %d / %d" r.paxos_rounds
+      r.paxos_acceptor_forces;
+    line "paxos leader failovers          %d" r.paxos_failovers
   end;
   line "message copies dropped          %d" r.messages_dropped;
   line "money conserved                 %b (%d -> %d)" r.money_conserved r.money_before
@@ -286,6 +297,16 @@ let run_cmd =
             "With $(b,--shards), probability in [0,1] that a generated transaction \
              deliberately spans at least two shards. Default 0.")
   in
+  let acceptors =
+    Arg.(
+      value & opt int 1
+      & info [ "acceptors" ] ~docv:"A"
+          ~doc:
+            "Replicate every commit/abort decision to $(docv) acceptor sites (Paxos \
+             Commit; $(docv) odd, 2F+1, at most the site count) instead of forcing a \
+             single coordinator log. 1 (default) installs nothing and is \
+             byte-identical to older builds.")
+  in
   let decision_force_time =
     Arg.(
       value
@@ -300,7 +321,7 @@ let run_cmd =
   let run protocol n_txns n_sites concurrency seed p_intended_abort p_spontaneous crash_rate
       zipf_theta message_loss group_commit_window msg_batch_window central_gc_window
       mlt_action_retries trace_out trace_stream trace_sample metrics_out prom_out
-      sim_domains shards cross_shard_fraction decision_force_time =
+      sim_domains shards cross_shard_fraction acceptors decision_force_time =
     let registry = Registry.create () in
     let tracer =
       (* Clock re-wired onto the run's engine by [Runner.run]. *)
@@ -344,12 +365,13 @@ let run_cmd =
           sim_domains;
           shards;
           cross_shard_fraction;
+          acceptors;
           decision_force_time;
         }
     in
     let central_gc = match central_gc_window with Some w when w > 0.0 -> true | _ -> false in
     Printf.printf "protocol: %s\n%s" (Protocol.name protocol)
-      (report_to_string ~central_gc ~sharded:(shards > 1) r);
+      (report_to_string ~central_gc ~sharded:(shards > 1) ~paxos:(acceptors > 1) r);
     (match (trace_out, tracer) with
     | Some path, Some tr ->
       write_file path (Export.chrome_trace tr);
@@ -378,7 +400,7 @@ let run_cmd =
       const run $ protocol $ txns $ sites $ concurrency $ seed $ p_intended $ p_spont
       $ crash_rate $ theta $ loss $ gc_window $ batch_window $ central_gc $ retries
       $ trace_out $ trace_stream $ trace_sample $ metrics_out $ prom_out $ sim_domains
-      $ shards $ cross_shard $ decision_force_time)
+      $ shards $ cross_shard $ acceptors $ decision_force_time)
 
 let trace_cmd =
   let doc =
@@ -603,13 +625,25 @@ let chaos_cmd =
              per-shard restart recovery) and the stats table a shard-crash column. 1 \
              (default) reproduces the unsharded campaign byte for byte.")
   in
-  let run protocol plans seed shrink reproducers_out flight_out sim_domains shards =
+  let acceptors =
+    Arg.(
+      value & opt int 1
+      & info [ "acceptors" ] ~docv:"A"
+          ~doc:
+            "Run every campaign plan with Paxos Commit over $(docv) acceptor sites \
+             (odd, 2F+1): the plan space gains acceptor-site crashes, injected \
+             central crashes trigger a leader failover instead of waiting for \
+             restart recovery, and the stats table gains an acceptor-crash column. \
+             1 (default) reproduces the single-coordinator campaign byte for byte.")
+  in
+  let run protocol plans seed shrink reproducers_out flight_out sim_domains shards
+      acceptors =
     let protocols =
       match protocol with Some p -> [ p ] | None -> Protocol.all
     in
     let stats =
-      Campaign.run_campaign ~shrink_failures:shrink ~seed ~sim_domains ~shards ~plans
-        protocols
+      Campaign.run_campaign ~shrink_failures:shrink ~seed ~sim_domains ~shards
+        ~acceptors ~plans protocols
     in
     Icdb_util.Table.print (Campaign.stats_table ~plans ~seed stats);
     let trips = Campaign.trips_summary stats in
@@ -658,7 +692,7 @@ let chaos_cmd =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
       const run $ protocol $ plans $ seed $ shrink $ reproducers_out $ flight_out
-      $ sim_domains $ shards)
+      $ sim_domains $ shards $ acceptors)
 
 let () =
   let doc = "atomic commitment for integrated database systems (Muth & Rakow, ICDE 1991)" in

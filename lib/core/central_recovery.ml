@@ -132,6 +132,13 @@ let resolve_entry (fed : Federation.t) ~gid ~(entry : Federation.journal_entry)
         (fun (e : Action_log.entry) -> if site_ok e.site then undo_branch e.site)
         (Action_log.entries fed.undo_log ~gid)
 
+(* The last word on an in-doubt gid before abort is presumed: with Paxos
+   Commit installed, ask the acceptor quorum — an accepted value there is a
+   decision the crashed coordinator made durable even though its own journal
+   never saw it. *)
+let quorum_decision (fed : Federation.t) ~gid =
+  match fed.decision_recover with Some read -> read ~gid | None -> None
+
 let recover (fed : Federation.t) =
   let pushed = ref 0 and aborted = ref 0 and redone = ref 0 and undone = ref 0 in
   let entries = Federation.journal_open_entries fed in
@@ -145,7 +152,10 @@ let recover (fed : Federation.t) =
              the shard-decide push lost) beats the presumption of abort *)
           match Federation.decision fed ~gid with
           | Some d -> d
-          | None -> false (* presumed abort *))
+          | None -> (
+            match quorum_decision fed ~gid with
+            | Some d -> d
+            | None -> false (* presumed abort *)))
       in
       resolve_entry fed ~gid ~entry ~decision
         ~site_ok:(fun _ -> true)
@@ -198,8 +208,12 @@ let recover_shard (fed : Federation.t) ~shard =
         match entry.j_phase with
         | Federation.Decided d -> Some d
         | Federation.Executing ->
-          if local then Some (Option.value ~default:false (Federation.decision fed ~gid))
-          else Federation.decision fed ~gid
+          let logged =
+            match Federation.decision fed ~gid with
+            | Some d -> Some d
+            | None -> quorum_decision fed ~gid
+          in
+          if local then Some (Option.value ~default:false logged) else logged
       in
       match decision with
       | None -> () (* cross-shard, in doubt: wait for the top level *)
@@ -231,3 +245,42 @@ let recover_shard (fed : Federation.t) ~shard =
     branches_redone = !redone;
     branches_undone = !undone;
   }
+
+(* Completion of ONE in-doubt transaction by a freshly elected Paxos leader,
+   without waiting for the crashed coordinator's full restart recovery. The
+   caller ({!Paxos_commit}) has already driven the prepare/accept rounds, so
+   by the time this runs the decision is durable at the acceptor quorum and
+   {!Federation.t.decision_recover} can read it back. Everything below is
+   the per-entry tail of {!recover}, restricted to [gid]; marker guards make
+   it idempotent and safe to race a later whole-federation [recover]. *)
+let takeover (fed : Federation.t) ~gid =
+  let entry_opt =
+    match Federation.route fed gid with
+    | Some [| s |] -> Hashtbl.find_opt fed.shards.(s).sh_journal gid
+    | Some _ | None -> Hashtbl.find_opt fed.journal gid
+  in
+  match entry_opt with
+  | None -> false (* already closed: nothing was in doubt *)
+  | Some entry ->
+    let decision =
+      match entry.j_phase with
+      | Federation.Decided d -> d
+      | Federation.Executing -> (
+        match Federation.decision fed ~gid with
+        | Some d -> d
+        | None -> (
+          match quorum_decision fed ~gid with
+          | Some d -> d
+          | None -> false (* presumed abort, as [recover] would *)))
+    in
+    let pushed = ref 0 and aborted = ref 0 and redone = ref 0 and undone = ref 0 in
+    resolve_entry fed ~gid ~entry ~decision
+      ~site_ok:(fun _ -> true)
+      ~pushed ~aborted ~redone ~undone;
+    Action_log.remove fed.redo_log ~gid;
+    Action_log.remove fed.undo_log ~gid;
+    Action_log.remove fed.mlt_undo_log ~gid;
+    Federation.log_decision fed ~gid ~commit:decision;
+    Serialization_graph.record_outcome fed.graph ~gid ~committed:decision;
+    Federation.journal_close fed ~gid;
+    true

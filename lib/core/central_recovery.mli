@@ -68,3 +68,12 @@ val recover : Federation.t -> summary
     in-doubt mirrors left open. Idempotent, and safe to interleave with
     {!recover}. Raises [Invalid_argument] on an out-of-range shard id. *)
 val recover_shard : Federation.t -> shard:int -> summary
+
+(** [takeover fed ~gid] completes one in-doubt transaction as a freshly
+    elected Paxos leader would: decision from the journal phase, the
+    decision logs, or the acceptor quorum ([fed.decision_recover]) — abort
+    presumed only when all three are silent — then the entry is resolved,
+    logged and closed exactly as {!recover} does per entry. Returns [false]
+    (and does nothing) when the entry is already closed. Must run in a
+    fiber; idempotent and safe to race a later {!recover}. *)
+val takeover : Federation.t -> gid:int -> bool

@@ -104,6 +104,19 @@ type t = {
       (* service time of one decision-log force on its serial device; [None]
          models the force as instantaneous (the pre-sharding behavior) *)
   mutable central_busy_until : float;
+  mutable decision_replicator : (gid:int -> commit:bool -> unit) option;
+      (* Paxos Commit hook: when installed, [journal_decide] makes the
+         decision durable by replicating it to the acceptor quorum instead
+         of forcing the coordinator's own log. [None] (default) keeps the
+         single-coordinator force byte-for-byte. *)
+  mutable decision_recover : (gid:int -> bool option) option;
+      (* quorum read of the replicated decision log: what a freshly elected
+         leader (or restart recovery) can learn from the acceptors about an
+         in-doubt gid. [None] when Paxos is off. *)
+  mutable leader_failover : gid:int -> unit;
+      (* elect-a-new-leader trigger for one in-doubt transaction; fault
+         injectors call it right after simulating a coordinator crash.
+         Default: no-op (a plain coordinator has no one to fail over to). *)
 }
 
 let default_conflict =
@@ -427,6 +440,9 @@ let create engine ?site_engines ?(latency = 1.0) ?(loss = 0.0)
       gid_route = Hashtbl.create 64;
       decision_force_time;
       central_busy_until = 0.0;
+      decision_replicator = None;
+      decision_recover = None;
+      leader_failover = (fun ~gid:_ -> ());
     }
   in
   install_observability t;
@@ -688,6 +704,15 @@ let shard_decide_round t ~gid ~commit route =
                 with Link.Unreachable _ -> () ))
           (Array.to_list route)))
 
+(* Durability step for a freshly recorded decision: the coordinator's own
+   log force by default, or — with Paxos Commit installed — an accept round
+   over the acceptor quorum (the coordinator's log is then just a cache and
+   never forced). *)
+let make_durable t ~gid ~commit ~force =
+  match t.decision_replicator with
+  | Some replicate -> replicate ~gid ~commit
+  | None -> force ()
+
 let journal_decide t ~gid ~commit =
   match route t gid with
   | Some [| s |] ->
@@ -697,20 +722,20 @@ let journal_decide t ~gid ~commit =
     let sh = t.shards.(s) in
     shard_record_decision t sh ~gid ~commit;
     t.journal_hook (J_decided { gid; commit });
-    shard_force t sh
+    make_durable t ~gid ~commit ~force:(fun () -> shard_force t sh)
   | Some multi ->
     (journal_find t gid).j_phase <- Decided commit;
     log_decision t ~gid ~commit;
     t.central_decisions <- t.central_decisions + 1;
     t.journal_hook (J_decided { gid; commit });
-    force_decision t;
+    make_durable t ~gid ~commit ~force:(fun () -> force_decision t);
     shard_decide_round t ~gid ~commit multi
   | None ->
     (journal_find t gid).j_phase <- Decided commit;
     log_decision t ~gid ~commit;
     t.central_decisions <- t.central_decisions + 1;
     t.journal_hook (J_decided { gid; commit });
-    force_decision t
+    make_durable t ~gid ~commit ~force:(fun () -> force_decision t)
 
 let journal_close t ~gid =
   (match route t gid with
@@ -731,9 +756,13 @@ let batcher t name = Hashtbl.find_opt t.batchers name
 
 (* Central decision-log forces: with group commit on, the shared forces that
    actually happened; off, one (conceptual) force per decision — the §5
-   baseline the group-commit numbers are compared against. *)
+   baseline the group-commit numbers are compared against. Under Paxos
+   Commit the central log is never forced at all (durability lives at the
+   acceptor quorum; see [Paxos_commit.acceptor_forces]). *)
 let central_log_forces t =
-  if t.central_gc_window <> None then t.central_forces else t.central_decisions
+  if Option.is_some t.decision_replicator then 0
+  else if t.central_gc_window <> None then t.central_forces
+  else t.central_decisions
 
 let batch_envelopes t =
   Hashtbl.fold (fun _ b acc -> acc + Batcher.envelope_count b) t.batchers 0
@@ -823,12 +852,15 @@ let shard_crash t ~shard =
 
 (* Shard decision-log forces, summed: with group commit on, the shared
    forces that happened; off, one per shard decision (same convention as
-   {!central_log_forces}). *)
+   {!central_log_forces}, including the Paxos gate: replicated decisions
+   count acceptor forces instead). *)
 let shard_log_forces t =
-  Array.fold_left
-    (fun acc sh ->
-      acc + (if t.central_gc_window <> None then sh.sh_forces else sh.sh_decisions))
-    0 t.shards
+  if Option.is_some t.decision_replicator then 0
+  else
+    Array.fold_left
+      (fun acc sh ->
+        acc + (if t.central_gc_window <> None then sh.sh_forces else sh.sh_decisions))
+      0 t.shards
 
 let shard_decisions t =
   Array.fold_left (fun acc sh -> acc + sh.sh_decisions) 0 t.shards

@@ -129,6 +129,19 @@ type t = {
           pre-sharding model. Ignored while [central_gc_window] batches
           forces. *)
   mutable central_busy_until : float;
+  mutable decision_replicator : (gid:int -> commit:bool -> unit) option;
+      (** Paxos Commit hook ({!Paxos_commit.install}): when set,
+          {!journal_decide} makes a decision durable by replicating it to
+          the acceptor quorum instead of forcing the coordinator's own log.
+          [None] (default) keeps single-coordinator forces byte-for-byte. *)
+  mutable decision_recover : (gid:int -> bool option) option;
+      (** quorum read of the replicated decision log, consulted by
+          {!Central_recovery} for in-doubt entries before presuming abort;
+          [None] when Paxos is off. *)
+  mutable leader_failover : gid:int -> unit;
+      (** new-leader election trigger for one in-doubt transaction; fault
+          injectors call it right after simulating a coordinator crash.
+          Default: no-op. *)
 }
 
 (** [create engine ?latency ?loss ?global_lock_timeout ?conflict configs]
@@ -323,7 +336,8 @@ val batcher : t -> string -> Icdb_net.Batcher.t option
 
 (** Central decision-log forces: with group commit on, the shared forces
     that actually happened; off, one per decision (the baseline they are
-    compared against). *)
+    compared against). Always 0 while a [decision_replicator] is installed —
+    durability then lives at the acceptor quorum. *)
 val central_log_forces : t -> int
 
 (** Batch envelopes put on the wire across all sites, and members per

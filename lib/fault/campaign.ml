@@ -27,13 +27,14 @@ let horizon = 300.0
    balance is an atomicity invariant, a healthy intended-abort rate so the
    compensation paths run, and short local lock waits so in-doubt locals
    stall neighbours briefly instead of forever. *)
-let base_config ?(sim_domains = 1) ?(shards = 1) protocol ~seed =
+let base_config ?(sim_domains = 1) ?(shards = 1) ?(acceptors = 1) protocol ~seed =
   {
     Runner.default with
     protocol;
     seed;
     sim_domains;
     shards;
+    acceptors;
     (* four sites shard evenly into 2 or 4; a healthy cross-shard rate so
        both the fast path and the two-level round face the chaos. With
        [shards = 1] every field below equals the pre-sharding config. *)
@@ -124,7 +125,19 @@ let arm engine (fed : Federation.t) ~base_latency ~base_loss ~mlt ~crashed
                  Federation.shard_crash fed ~shard;
                  crashed := shard :: !crashed;
                  if Site.is_up coord then Site.crash_for coord ~duration))
-        end)
+        end
+      | Acceptor_crash { acceptor; at; duration } ->
+        (* Paxos groups are the federation's first-sites prefix, so acceptor
+           [i] lives on site [i]. Its stable acceptor log survives the crash
+           (like a WAL); the site just answers nothing until restart — the
+           fault Paxos Commit's quorum is there to mask. *)
+        let s = site_of acceptor in
+        ignore
+          (Sim.schedule engine ~delay:at (fun () ->
+               if Site.is_up s then begin
+                 inject fed "acceptor-crash";
+                 Site.crash_for s ~duration
+               end)))
     plan.events;
   if Hashtbl.length armed > 0 then begin
     let fired : (int, unit) Hashtbl.t = Hashtbl.create 7 in
@@ -136,6 +149,10 @@ let arm engine (fed : Federation.t) ~base_latency ~base_loss ~mlt ~crashed
           inject fed "central-crash";
           (* Volatile central state dies with the coordinator fiber. *)
           Central_recovery.crash fed;
+          (* With Paxos Commit installed a new leader takes over the
+             in-doubt instance from the acceptor quorum; a no-op otherwise
+             (drain-time recovery resolves it, as before). *)
+          fed.leader_failover ~gid;
           raise Central_crash_injected
         | _ -> ())
   end
@@ -320,9 +337,9 @@ type outcome = {
    forensic read, negligible memory. *)
 let flight_capacity = 512
 
-let run_plan ?registry ?(seed = 42L) ?sim_domains ?shards ?extra_setup ~protocol
-    (plan : Plan.t) =
-  let cfg = base_config ?sim_domains ?shards protocol ~seed in
+let run_plan ?registry ?(seed = 42L) ?sim_domains ?shards ?acceptors ?extra_setup
+    ~protocol (plan : Plan.t) =
+  let cfg = base_config ?sim_domains ?shards ?acceptors protocol ~seed in
   let mlt = not (Protocol.is_flat protocol) in
   let killed = ref 0 in
   let fed_ref = ref None in
@@ -336,9 +353,18 @@ let run_plan ?registry ?(seed = 42L) ?sim_domains ?shards ?extra_setup ~protocol
     fed_ref := Some fed;
     arm engine fed ~base_latency:cfg.latency ~base_loss:cfg.message_loss ~mlt
       ~crashed:crashed_shards plan;
+    (* A Paxos leader failover legitimately pauses a transaction for the
+       failover delay plus two quorum rounds over possibly-crashed
+       acceptors; the watchdog horizon is widened so a healthy failover
+       never reads as a stuck transaction (and clean Paxos runs stay
+       monitor-silent). *)
+    let monitor_config =
+      if cfg.acceptors > 1 then { Monitor.default_config with stuck_after = 240.0 }
+      else Monitor.default_config
+    in
     monitor_ref :=
       Some
-        (Monitor.attach fed ~finished:(fun () ->
+        (Monitor.attach ~config:monitor_config fed ~finished:(fun () ->
              (* Every transaction settled: committed, aborted, or its
                 coordinator killed by an injected central crash. Killed
                 coordinators leave open journal entries by design — central
@@ -412,8 +438,10 @@ let run_plan ?registry ?(seed = 42L) ?sim_domains ?shards ?extra_setup ~protocol
 
 (* Greedy minimisation: drop one event at a time as long as the plan still
    violates; fixpoint is a locally minimal reproducer. *)
-let shrink ?(seed = 42L) ?sim_domains ?shards ~protocol (plan : Plan.t) =
-  let violates p = (run_plan ~seed ?sim_domains ?shards ~protocol p).violations <> [] in
+let shrink ?(seed = 42L) ?sim_domains ?shards ?acceptors ~protocol (plan : Plan.t) =
+  let violates p =
+    (run_plan ~seed ?sim_domains ?shards ?acceptors ~protocol p).violations <> []
+  in
   let rec go plan =
     let n = Plan.length plan in
     let rec try_remove i =
@@ -439,13 +467,17 @@ type protocol_stats = {
 
 let plan_seed ~seed i = Int64.add seed (Int64.mul 1000003L (Int64.of_int i))
 
-let run_protocol ?(shrink_failures = false) ?(seed = 42L) ?sim_domains ?shards ~plans
-    protocol =
-  let cfg = base_config ?sim_domains ?shards protocol ~seed in
+let run_protocol ?(shrink_failures = false) ?(seed = 42L) ?sim_domains ?shards
+    ?acceptors ~plans protocol =
+  let cfg = base_config ?sim_domains ?shards ?acceptors protocol ~seed in
+  let sharded = match shards with Some s -> s > 1 | None -> false in
+  let paxos = match acceptors with Some a -> a > 1 | None -> false in
   let classes =
-    match shards with
-    | Some s when s > 1 -> Plan.fault_classes_sharded
-    | _ -> Plan.fault_classes
+    match (sharded, paxos) with
+    | true, true -> Plan.fault_classes_sharded_acceptors
+    | true, false -> Plan.fault_classes_sharded
+    | false, true -> Plan.fault_classes_acceptors
+    | false, false -> Plan.fault_classes
   in
   let failures = ref [] in
   let events = ref 0 in
@@ -464,18 +496,18 @@ let run_protocol ?(shrink_failures = false) ?(seed = 42L) ?sim_domains ?shards ~
   in
   for i = 0 to plans - 1 do
     let plan =
-      Plan.generate ?shards ~seed:(plan_seed ~seed i) ~n_sites:cfg.n_sites
+      Plan.generate ?shards ?acceptors ~seed:(plan_seed ~seed i) ~n_sites:cfg.n_sites
         ~n_txns:cfg.n_txns ~horizon ()
     in
     events := !events + Plan.length plan;
     List.iter (fun e -> incr (List.assoc (Plan.classify e) by_class)) plan.events;
-    let outcome = run_plan ~seed ?sim_domains ?shards ~protocol plan in
+    let outcome = run_plan ~seed ?sim_domains ?shards ?acceptors ~protocol plan in
     tally_trips outcome;
     if outcome.violations <> [] then begin
       let outcome =
         if shrink_failures then
-          run_plan ~seed ?sim_domains ?shards ~protocol
-            (shrink ~seed ?sim_domains ?shards ~protocol plan)
+          run_plan ~seed ?sim_domains ?shards ?acceptors ~protocol
+            (shrink ~seed ?sim_domains ?shards ?acceptors ~protocol plan)
         else outcome
       in
       failures := outcome :: !failures
@@ -492,8 +524,11 @@ let run_protocol ?(shrink_failures = false) ?(seed = 42L) ?sim_domains ?shards ~
       |> List.sort compare;
   }
 
-let run_campaign ?shrink_failures ?seed ?sim_domains ?shards ~plans protocols =
-  List.map (run_protocol ?shrink_failures ?seed ?sim_domains ?shards ~plans) protocols
+let run_campaign ?shrink_failures ?seed ?sim_domains ?shards ?acceptors ~plans
+    protocols =
+  List.map
+    (run_protocol ?shrink_failures ?seed ?sim_domains ?shards ?acceptors ~plans)
+    protocols
 
 let stats_table ~plans ~seed stats =
   (* column set follows the campaign's class tally: the plain 5 classes
@@ -546,8 +581,8 @@ let trips_summary stats =
     "monitor first trips (plans tripped, earliest virtual time):\n"
     ^ String.concat "\n" lines ^ "\n"
 
-let experiment_r1 ?(plans = 25) ?(seed = 42L) ?sim_domains ?shards () =
-  let stats = run_campaign ~seed ?sim_domains ?shards ~plans Protocol.all in
+let experiment_r1 ?(plans = 25) ?(seed = 42L) ?sim_domains ?shards ?acceptors () =
+  let stats = run_campaign ~seed ?sim_domains ?shards ?acceptors ~plans Protocol.all in
   Table.print (stats_table ~plans ~seed stats);
   (match trips_summary stats with
   | "" -> ()

@@ -16,10 +16,13 @@ exception Central_crash_injected
     partitions the simulation over that many domains — outcomes, summaries
     and invariant verdicts are byte-identical for any value. [shards]
     (default 1) runs the chaos workload on a sharded federation (4 sites, a
-    25% cross-shard rate); 1 keeps the exact pre-sharding config. *)
+    25% cross-shard rate); 1 keeps the exact pre-sharding config.
+    [acceptors] (default 1) installs Paxos Commit with that group size;
+    1 keeps the single-coordinator decision log, byte-identical to the
+    pre-Paxos campaign. *)
 val base_config :
-  ?sim_domains:int -> ?shards:int -> Icdb_workload.Protocol.t -> seed:int64 ->
-  Icdb_workload.Runner.config
+  ?sim_domains:int -> ?shards:int -> ?acceptors:int ->
+  Icdb_workload.Protocol.t -> seed:int64 -> Icdb_workload.Runner.config
 
 (** Virtual-time window plan events are drawn from. *)
 val horizon : float
@@ -67,6 +70,7 @@ val run_plan :
   ?seed:int64 ->
   ?sim_domains:int ->
   ?shards:int ->
+  ?acceptors:int ->
   ?extra_setup:(Icdb_sim.Engine.t -> Icdb_core.Federation.t -> unit) ->
   protocol:Icdb_workload.Protocol.t ->
   Plan.t ->
@@ -74,7 +78,7 @@ val run_plan :
 
 (** Greedy one-event-removal minimisation of a violating plan, to fixpoint. *)
 val shrink :
-  ?seed:int64 -> ?sim_domains:int -> ?shards:int ->
+  ?seed:int64 -> ?sim_domains:int -> ?shards:int -> ?acceptors:int ->
   protocol:Icdb_workload.Protocol.t -> Plan.t -> Plan.t
 
 type protocol_stats = {
@@ -97,6 +101,7 @@ val run_protocol :
   ?seed:int64 ->
   ?sim_domains:int ->
   ?shards:int ->
+  ?acceptors:int ->
   plans:int ->
   Icdb_workload.Protocol.t ->
   protocol_stats
@@ -106,6 +111,7 @@ val run_campaign :
   ?seed:int64 ->
   ?sim_domains:int ->
   ?shards:int ->
+  ?acceptors:int ->
   plans:int ->
   Icdb_workload.Protocol.t list ->
   protocol_stats list
@@ -123,5 +129,6 @@ val trips_summary : protocol_stats list -> string
 (** Experiment R1: the campaign over all six protocols (expected all-zero
     violation column). Prints the table plus any violating plans. *)
 val experiment_r1 :
-  ?plans:int -> ?seed:int64 -> ?sim_domains:int -> ?shards:int -> unit ->
+  ?plans:int -> ?seed:int64 -> ?sim_domains:int -> ?shards:int ->
+  ?acceptors:int -> unit ->
   protocol_stats list

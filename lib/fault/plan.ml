@@ -7,6 +7,7 @@ type event =
   | Latency_spike of { site : int; at : float; duration : float; factor : float }
   | Duplication of { site : int; at : float; duration : float; probability : float }
   | Shard_crash of { shard : int; at : float; duration : float }
+  | Acceptor_crash of { acceptor : int; at : float; duration : float }
 
 type t = { plan_seed : int64; events : event list }
 
@@ -31,12 +32,18 @@ let classify = function
   | Latency_spike _ -> "latency"
   | Duplication _ -> "duplication"
   | Shard_crash _ -> "shard-crash"
+  | Acceptor_crash _ -> "acceptor-crash"
 
 let fault_classes = [ "site-crash"; "central-crash"; "loss"; "latency"; "duplication" ]
 
 (* The sharded campaign's extra column; kept out of [fault_classes] so the
    unsharded R1 table keeps its exact pre-sharding shape. *)
 let fault_classes_sharded = fault_classes @ [ "shard-crash" ]
+
+(* Same convention for the Paxos campaign: the acceptor-crash column only
+   appears when acceptor faults can actually be generated. *)
+let fault_classes_acceptors = fault_classes @ [ "acceptor-crash" ]
+let fault_classes_sharded_acceptors = fault_classes_sharded @ [ "acceptor-crash" ]
 
 let pp_event ppf = function
   | Site_crash { site; at; duration } ->
@@ -53,6 +60,9 @@ let pp_event ppf = function
       probability
   | Shard_crash { shard; at; duration } ->
     Format.fprintf ppf "shard-crash shard=%d at=%.1f dur=%.1f" shard at duration
+  | Acceptor_crash { acceptor; at; duration } ->
+    Format.fprintf ppf "acceptor-crash acceptor=%d at=%.1f dur=%.1f" acceptor at
+      duration
 
 let pp ppf t =
   Format.fprintf ppf "plan seed=%Ld events=%d" t.plan_seed (List.length t.events);
@@ -63,13 +73,16 @@ let to_string t = Format.asprintf "%a" pp t
 (* Seeded generator. Event times land inside [0, horizon); durations are
    short relative to the horizon so faults overlap the workload rather than
    outlasting it. *)
-let gen_event rng ~n_sites ~n_txns ~horizon ~shards =
+let gen_event rng ~n_sites ~n_txns ~horizon ~shards ~acceptors =
   let site = Rng.int rng n_sites in
   let at = Rng.float rng horizon in
-  (* The sixth arm exists only for sharded federations; when [shards <= 1]
-     the draw stays the exact 5-way [Rng.int rng 5] of the unsharded
-     generator, so pre-sharding plans are reproduced byte for byte. *)
-  match Rng.int rng (if shards > 1 then 6 else 5) with
+  (* Extra arms exist only for the feature that can use them: the shard arm
+     when [shards > 1], the acceptor arm when [acceptors > 1]. With both
+     off the draw stays the exact 5-way [Rng.int rng 5] of the original
+     generator, so earlier plans are reproduced byte for byte (and the
+     sharded 6-way draw likewise). *)
+  let bound = 5 + (if shards > 1 then 1 else 0) + (if acceptors > 1 then 1 else 0) in
+  match Rng.int rng bound with
   | 0 -> Site_crash { site; at; duration = 10.0 +. Rng.float rng 40.0 }
   | 1 -> Central_crash { txn = Rng.int rng n_txns; phase_idx = Rng.int rng n_phases }
   | 2 ->
@@ -91,14 +104,20 @@ let gen_event rng ~n_sites ~n_txns ~horizon ~shards =
         duration = 10.0 +. Rng.float rng 30.0;
         probability = 0.1 +. Rng.float rng 0.4;
       }
-  | _ -> Shard_crash { shard = site mod shards; at; duration = 10.0 +. Rng.float rng 40.0 }
+  | 5 when shards > 1 ->
+    Shard_crash { shard = site mod shards; at; duration = 10.0 +. Rng.float rng 40.0 }
+  | _ ->
+    Acceptor_crash
+      { acceptor = site mod acceptors; at; duration = 10.0 +. Rng.float rng 40.0 }
 
-let generate ?(shards = 1) ~seed ~n_sites ~n_txns ~horizon () =
+let generate ?(shards = 1) ?(acceptors = 1) ~seed ~n_sites ~n_txns ~horizon () =
   let rng = Rng.create seed in
   let n_events = Rng.int rng 7 in
   {
     plan_seed = seed;
-    events = List.init n_events (fun _ -> gen_event rng ~n_sites ~n_txns ~horizon ~shards);
+    events =
+      List.init n_events (fun _ ->
+          gen_event rng ~n_sites ~n_txns ~horizon ~shards ~acceptors);
   }
 
 let remove_nth t n =

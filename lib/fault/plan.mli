@@ -28,6 +28,12 @@ type event =
           ({!Icdb_core.Federation.shard_crash}), and per-shard restart
           recovery runs once the site is back. Only generated for sharded
           federations *)
+  | Acceptor_crash of { acceptor : int; at : float; duration : float }
+      (** crash the site hosting Paxos acceptor [acceptor mod acceptors]
+          (the federation's first 2F+1 sites) at [at] for [duration]: its
+          stable acceptor log survives, but it answers no prepare/accept
+          until restart. Only generated for Paxos campaigns
+          ([acceptors > 1]) *)
 
 type t = { plan_seed : int64; events : event list }
 
@@ -52,16 +58,30 @@ val fault_classes : string list
     columns; kept separate so the unsharded R1 table is unchanged. *)
 val fault_classes_sharded : string list
 
+(** [fault_classes] (resp. [fault_classes_sharded]) plus ["acceptor-crash"]
+    — the Paxos campaign's table columns. *)
+val fault_classes_acceptors : string list
+
+val fault_classes_sharded_acceptors : string list
+
 val pp_event : Format.formatter -> event -> unit
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 
 (** [generate ~seed ~n_sites ~n_txns ~horizon ()] draws 0–6 events from the
     seed. Deterministic. With [shards] > 1 the event space gains
-    {!Shard_crash} (a 6-way draw); the default keeps the exact pre-sharding
-    5-way draw sequence, reproducing historical plans byte for byte. *)
+    {!Shard_crash}, with [acceptors] > 1 {!Acceptor_crash} (widening the
+    draw by one arm each); the defaults keep the exact historical draw
+    sequences, reproducing earlier plans byte for byte. *)
 val generate :
-  ?shards:int -> seed:int64 -> n_sites:int -> n_txns:int -> horizon:float -> unit -> t
+  ?shards:int ->
+  ?acceptors:int ->
+  seed:int64 ->
+  n_sites:int ->
+  n_txns:int ->
+  horizon:float ->
+  unit ->
+  t
 
 (** Plan with the [n]-th event removed (shrinking step). *)
 val remove_nth : t -> int -> t

@@ -967,7 +967,7 @@ let experiments =
     ("v5", "message complexity (§3)", v5);
     ("v6", "crash-window atomicity matrix (§3.2/§3.3)", v6);
     ("v7", "serializability-requirement violations (§3.2/§3.3)", v7);
-    ("a1", "extension: presumed-abort 2PC ablation [ML 83]", a1);
+    ("pa1", "extension: presumed-abort 2PC ablation [ML 83]", a1);
     ("a2", "extension: hybrid commitment on mixed-capability federations", a2);
     ("a3", "extension: MLT action-retry ablation", a3);
     ("a4", "extension: central-crash recovery matrix", a4);

@@ -28,6 +28,7 @@ type config = {
   msg_batch_window : float option;
   central_gc_window : float option;
   group_commit_window : float option;
+  acceptors : int;
 }
 
 let default =
@@ -49,6 +50,7 @@ let default =
     msg_batch_window = None;
     central_gc_window = None;
     group_commit_window = None;
+    acceptors = 1;
   }
 
 type result = {
@@ -62,6 +64,7 @@ type result = {
   messages_by_label : (string * int) list;
   local_log_forces : int;
   central_log_forces : int;
+  paxos_acceptor_forces : int;
   log_forces_per_commit : float;
   batch_envelopes : int;
   batch_occupancy_mean : float;
@@ -176,6 +179,13 @@ let run ?registry cfg =
   in
   List.iter (fun (_, site) -> Db.load (Site.db site) rows) fed.sites;
   let money_before = cfg.n_sites * cfg.accounts_per_site * cfg.initial_balance in
+  (* Paxos Commit replication, fault-free: the lab that measures what the
+     acceptor rounds cost in messages and forces per commit. *)
+  let paxos =
+    if cfg.acceptors > 1 then
+      Some (Icdb_core.Paxos_commit.install fed ~acceptors:cfg.acceptors)
+    else None
+  in
   let specs = gen_specs cfg in
   let outcomes = Array.make (Array.length specs) false in
   let next = ref 0 in
@@ -209,6 +219,11 @@ let run ?registry cfg =
       0 fed.sites
   in
   let central_log_forces = Federation.central_log_forces fed in
+  let paxos_acceptor_forces =
+    match paxos with
+    | Some p -> Icdb_core.Paxos_commit.acceptor_forces p
+    | None -> 0
+  in
   let money_after =
     List.fold_left (fun acc (_, _, v) -> acc + v) 0 (Federation.snapshot fed)
   in
@@ -224,7 +239,9 @@ let run ?registry cfg =
     messages_by_label = Federation.messages_by_label fed;
     local_log_forces;
     central_log_forces;
-    log_forces_per_commit = per_commit (local_log_forces + central_log_forces);
+    paxos_acceptor_forces;
+    log_forces_per_commit =
+      per_commit (local_log_forces + central_log_forces + paxos_acceptor_forces);
     batch_envelopes = Federation.batch_envelopes fed;
     batch_occupancy_mean = Federation.batch_occupancy_mean fed;
     money_conserved = money_after = money_before;

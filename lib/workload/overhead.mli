@@ -32,6 +32,9 @@ type config = {
   msg_batch_window : float option;  (** see {!Icdb_core.Federation.create} *)
   central_gc_window : float option;
   group_commit_window : float option;  (** local engines' group commit *)
+  acceptors : int;
+      (** Paxos Commit group size (2F+1); 1 (default) = single-coordinator
+          forces, byte-identical to the pre-Paxos lab *)
 }
 
 val default : config
@@ -51,8 +54,12 @@ type result = {
   local_log_forces : int;
   central_log_forces : int;
       (** shared group-commit forces, or one per decision with the window
-          off (the §5 baseline) *)
-  log_forces_per_commit : float;  (** (local + central) / committed *)
+          off (the §5 baseline); 0 under Paxos — see next field *)
+  paxos_acceptor_forces : int;
+      (** acceptor log forces of the replicated decision log (0 with
+          [acceptors = 1]) *)
+  log_forces_per_commit : float;
+      (** (local + central + acceptor) / committed *)
   batch_envelopes : int;
   batch_occupancy_mean : float;
   money_conserved : bool;

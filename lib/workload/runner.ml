@@ -64,6 +64,10 @@ type config = {
   decision_force_time : float option;
       (* serial decision-log device: each force at a coordinator occupies
          its log head for this long (see {!Federation.create}) *)
+  acceptors : int;
+      (* Paxos Commit group size (2F+1): decisions replicate to this many
+         acceptor sites instead of forcing one coordinator log; 1 = Paxos
+         off, byte-identical to the single-coordinator runner *)
 }
 
 let default =
@@ -104,6 +108,7 @@ let default =
     shards = 1;
     cross_shard_fraction = 0.0;
     decision_force_time = None;
+    acceptors = 1;
   }
 
 type report = {
@@ -144,6 +149,9 @@ type report = {
   central_log_forces : int;
   shard_log_forces : int;
   shard_decisions : int;
+  paxos_rounds : int;
+  paxos_acceptor_forces : int;
+  paxos_failovers : int;
 }
 
 let site_name i = Printf.sprintf "site-%d" i
@@ -344,6 +352,8 @@ let run ?registry ?tracer ?on_setup ?on_txn_exn ?on_drain cfg =
     invalid_arg "Runner.run: shards must be in 1..n_sites";
   if cfg.cross_shard_fraction < 0.0 || cfg.cross_shard_fraction > 1.0 then
     invalid_arg "Runner.run: cross_shard_fraction must be in [0,1]";
+  if cfg.acceptors < 1 || cfg.acceptors mod 2 = 0 || cfg.acceptors > cfg.n_sites
+  then invalid_arg "Runner.run: acceptors must be odd and in 1..n_sites";
   (* One engine per partition: partition 0 holds the central system (and
      everything when unpartitioned), sites round-robin over the rest. The
      scheduler executes in the exact global (time, seq) order whatever the
@@ -387,6 +397,14 @@ let run ?registry ?tracer ?on_setup ?on_txn_exn ?on_drain cfg =
   in
   List.iter (fun (_, site) -> Db.load (Site.db site) rows) fed.sites;
   let money_before = cfg.n_sites * cfg.accounts_per_site * cfg.initial_balance in
+  (* Paxos Commit: installed before [on_setup] so fault injectors armed
+     there already see the leader-failover hook; [acceptors = 1] installs
+     nothing and the run is byte-identical to the plain runner. *)
+  let paxos =
+    if cfg.acceptors > 1 then
+      Some (Icdb_core.Paxos_commit.install fed ~acceptors:cfg.acceptors)
+    else None
+  in
   (* Fault-campaign hook: runs with the federation built and preloaded but
      before any fiber is spawned, so injectors it arms see the whole run. *)
   Option.iter (fun f -> f engine fed) on_setup;
@@ -525,4 +543,12 @@ let run ?registry ?tracer ?on_setup ?on_txn_exn ?on_drain cfg =
     central_log_forces = Federation.central_log_forces fed;
     shard_log_forces = Federation.shard_log_forces fed;
     shard_decisions = Federation.shard_decisions fed;
+    paxos_rounds =
+      (match paxos with Some p -> Icdb_core.Paxos_commit.rounds p | None -> 0);
+    paxos_acceptor_forces =
+      (match paxos with
+      | Some p -> Icdb_core.Paxos_commit.acceptor_forces p
+      | None -> 0);
+    paxos_failovers =
+      (match paxos with Some p -> Icdb_core.Paxos_commit.failovers p | None -> 0);
   }

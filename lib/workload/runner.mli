@@ -82,6 +82,12 @@ type config = {
           the federation has S+1 independent log heads instead of one —
           the contention sharding relieves. [None] (default) keeps forces
           instantaneous; ignored when [central_gc_window] is set *)
+  acceptors : int;
+      (** Paxos Commit group size (2F+1, odd, at most [n_sites]): every
+          decision replicates to this many acceptor sites instead of
+          forcing one coordinator log, and a leader crash can be failed
+          over ({!Icdb_core.Paxos_commit}). 1 (the default) installs
+          nothing and is byte-identical to the single-coordinator runner *)
 }
 
 val default : config
@@ -138,6 +144,12 @@ type report = {
   shard_decisions : int;
       (** decisions recorded at shard coordinators — fast-path decisions
           plus cross-shard mirrors; 0 unsharded *)
+  paxos_rounds : int;
+      (** Paxos accept rounds driven (ballot 0 + recovery ballots); 0 with
+          [acceptors = 1] *)
+  paxos_acceptor_forces : int;
+      (** acceptor log forces across the groups (promises + votes) *)
+  paxos_failovers : int;  (** new-leader elections triggered *)
 }
 
 (** [run config] builds the federation, runs the workload to completion and
